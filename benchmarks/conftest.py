@@ -1,0 +1,29 @@
+"""Shared benchmark fixtures: results directory and collector isolation."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.events import reset_ambient
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(autouse=True)
+def _isolated_collector():
+    reset_ambient()
+    yield
+    reset_ambient()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory the rendered tables/figures are written to."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(results_dir: Path, name: str, text: str) -> None:
+    (results_dir / name).write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,58 @@
+"""Figure 1 — per-program data structure occurrence.
+
+Checks the figure's structure: 37 programs, per-program Σ matching the
+published x-axis labels, the <2% cut-off aggregating rare kinds into a
+"Rest" series, and list dominating every large program.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events.types import StructureKind
+from repro.eval import render_figure1
+from repro.study import FIG1_PROGRAMS, run_occurrence_study
+
+from .conftest import save_result
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_occurrence_study(loc_scale=0.05)
+
+
+def test_fig1_series(benchmark, study, results_dir):
+    names, series = benchmark(study.figure1_series)
+    save_result(results_dir, "figure1.txt", render_figure1(study))
+
+    assert len(names) == 37
+    # Major kinds in the published legend (>= 2% share) + Rest.
+    assert StructureKind.LIST in series
+    assert StructureKind.DICTIONARY in series
+    assert StructureKind.ARRAY_LIST in series
+    assert StructureKind.STACK in series
+    assert StructureKind.QUEUE in series
+    assert StructureKind.OTHER in series
+    # Rare kinds are folded away, exactly like the paper's 2% cut.
+    assert StructureKind.SORTED_LIST not in series
+    assert StructureKind.LINKED_LIST not in series
+
+    # Per-program sums reproduce the figure's Σ annotations.
+    expected = {p.name: p.instances for p in FIG1_PROGRAMS}
+    for i, name in enumerate(names):
+        total = sum(series[kind][i] for kind in series)
+        assert total == expected[name], name
+
+
+def test_fig1_rest_total(study):
+    _names, series = study.figure1_series()
+    # hashSet 38 + sortedList 20 + sortedSet 10 + sortedDict 8 + linked 3.
+    assert sum(series[StructureKind.OTHER]) == 79
+
+
+def test_fig1_list_dominates_big_programs(study):
+    names, series = study.figure1_series()
+    totals = {p.name: p.instances for p in FIG1_PROGRAMS}
+    for i, name in enumerate(names):
+        if totals[name] >= 50:
+            assert series[StructureKind.LIST][i] > totals[name] * 0.4, name

@@ -1,0 +1,59 @@
+"""Figure 2 — the runtime profile of the paper's example snippet.
+
+The snippet fills a capacity-10 list front to back, then reads it in
+reverse.  The published profile shows: ten insert (write) bars at
+ascending positions, ten read bars at descending positions, and a flat
+grey size bar at 10 throughout (capacity semantics).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import OperationKind, collecting
+from repro.patterns import PatternType, detect
+from repro.viz import profile_to_svg, render_profile
+from repro.workloads import gen_fig2_snippet
+
+from .conftest import save_result
+
+
+@pytest.fixture(scope="module")
+def profile():
+    with collecting():
+        lst = gen_fig2_snippet()
+        return lst.profile()
+
+
+def test_fig2_profile_shape(benchmark, profile, results_dir):
+    def capture():
+        with collecting():
+            return gen_fig2_snippet().profile()
+
+    measured = benchmark(capture)
+    save_result(
+        results_dir,
+        "figure2.txt",
+        render_profile(measured, width=40, height=10),
+    )
+    save_result(results_dir, "figure2.svg", profile_to_svg(measured))
+
+    inserts = [e for e in measured if e.op is OperationKind.INSERT]
+    reads = [e for e in measured if e.op is OperationKind.READ]
+    assert [e.position for e in inserts] == list(range(10))
+    assert [e.position for e in reads] == list(range(9, -1, -1))
+
+
+def test_fig2_flat_size_bar(profile):
+    """The grey bar: size stays 10 while Add() fills the pre-sized list."""
+    sizes = [e.size for e in profile if e.op is not OperationKind.INIT]
+    assert sizes == [10] * 20
+
+
+def test_fig2_two_patterns(profile):
+    """The paper: 'the runtime profile contains two separate access
+    patterns' — Insert-Back (the fill) and Read-Backward (the dump)."""
+    analysis = detect(profile)
+    assert analysis.count(PatternType.INSERT_BACK) == 1
+    assert analysis.count(PatternType.READ_BACKWARD) == 1
+    assert len(analysis.patterns) == 2

@@ -1,0 +1,107 @@
+"""Pipeline scaling: throughput vs profile size.
+
+Characterizes how recording, assembly, pattern detection and the
+use-case engine scale with event count — the whole analysis must stay
+near-linear for DSspy's "within several minutes" claim (§I) to hold on
+realistic captures.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.events import AccessKind, EventCollector, OperationKind, StructureKind
+from repro.patterns import PatternDetector
+from repro.usecases import UseCaseEngine
+
+
+def build_profile(n_events: int):
+    """Fill/scan/clear cycles totalling ~n_events, collector-direct."""
+    collector = EventCollector()
+    iid = collector.register_instance(StructureKind.LIST)
+    batch = 1_000
+    produced = 0
+    while produced < n_events:
+        size = 0
+        for i in range(batch):
+            size += 1
+            collector.record(iid, OperationKind.INSERT, AccessKind.WRITE, i, size)
+        for i in range(batch):
+            collector.record(iid, OperationKind.READ, AccessKind.READ, i, size)
+        collector.record(iid, OperationKind.CLEAR, AccessKind.WRITE, None, 0)
+        produced += 2 * batch + 1
+    return collector.finish()[iid]
+
+
+SIZES = (10_000, 40_000, 160_000)
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return {n: build_profile(n) for n in SIZES}
+
+
+def _scaling_exponent(points: list[tuple[int, float]]) -> float:
+    """Log-log slope between the smallest and largest measurement."""
+    import math
+
+    (n0, t0), (n1, t1) = points[0], points[-1]
+    return math.log(t1 / t0) / math.log(n1 / n0)
+
+
+def test_detector_scales_linearly(benchmark, profiles, results_dir):
+    detector = PatternDetector()
+
+    def measure():
+        rows = []
+        for n in SIZES:
+            start = time.perf_counter()
+            detector.detect(profiles[n])
+            rows.append((n, time.perf_counter() - start))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    from .conftest import save_result
+
+    save_result(
+        results_dir,
+        "scaling_detector.txt",
+        "\n".join(f"{n:>8} events {t * 1e3:>8.1f} ms" for n, t in rows),
+    )
+    exponent = _scaling_exponent(rows)
+    assert exponent < 1.4, rows  # near-linear (log-log slope ~1)
+
+
+def test_engine_scales_linearly(profiles, results_dir):
+    engine = UseCaseEngine()
+    rows = []
+    for n in SIZES:
+        start = time.perf_counter()
+        engine.analyze_profile(profiles[n])
+        rows.append((n, time.perf_counter() - start))
+    from .conftest import save_result
+
+    save_result(
+        results_dir,
+        "scaling_engine.txt",
+        "\n".join(f"{n:>8} events {t * 1e3:>8.1f} ms" for n, t in rows),
+    )
+    assert _scaling_exponent(rows) < 1.4, rows
+
+
+def test_recording_throughput(benchmark):
+    """Raw recording rate (events/second) for the Table IV slowdown
+    discussion; asserted above a floor so regressions surface."""
+    n = 50_000
+
+    def record():
+        collector = EventCollector()
+        iid = collector.register_instance(StructureKind.LIST)
+        for i in range(n):
+            collector.record(iid, OperationKind.READ, AccessKind.READ, i % 100, 100)
+        return collector
+
+    collector = benchmark(record)
+    assert collector.event_count == n

@@ -1,0 +1,55 @@
+"""Table II — recurring regularities on 15 programs.
+
+Mines the synthesized per-program profile suites through the real
+regularity classifier and use-case engine; every row and both totals
+(81 regularities, 41 parallel use cases) must reproduce.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import render_table2
+from repro.study import (
+    TABLE2_PROGRAMS,
+    TABLE2_TOTAL_PARALLEL_USE_CASES,
+    TABLE2_TOTAL_REGULARITIES,
+    run_regularity_study,
+)
+
+from .conftest import save_result
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_regularity_study()
+
+
+def test_table2_totals(benchmark, results_dir):
+    study = benchmark.pedantic(run_regularity_study, rounds=1, iterations=1)
+    save_result(results_dir, "table2.txt", render_table2(study))
+    assert study.total_regularities == TABLE2_TOTAL_REGULARITIES
+    assert study.total_parallel_use_cases == TABLE2_TOTAL_PARALLEL_USE_CASES
+
+
+def test_table2_every_row_matches(study):
+    for program in study.programs:
+        assert program.matches_paper, (
+            program.row.name,
+            program.regularities_found,
+            program.parallel_use_cases_found,
+        )
+
+
+def test_table2_has_15_programs(study):
+    assert len(study.programs) == len(TABLE2_PROGRAMS) == 15
+
+
+def test_table2_parallel_never_exceeds_double_regularities(study):
+    """Sanity on the fire/astrogrep rows: a location carries at most
+    two parallel use cases (the Figure 3 pair)."""
+    for program in study.programs:
+        assert (
+            program.parallel_use_cases_found
+            <= 2 * program.regularities_found
+        )

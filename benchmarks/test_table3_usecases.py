@@ -1,0 +1,48 @@
+"""Table III — 66 use cases in the survey programs by category.
+
+Runs the synthesized survey suites through the real use-case engine;
+the category totals (LI 49, IQ 3, SAI 1, FS 3, FLR 10) and every
+per-program row must reproduce.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import render_table3
+from repro.study import TABLE3_TOTALS, TABLE3_TOTAL_USE_CASES, run_usecase_survey
+from repro.usecases import UseCaseKind
+
+from .conftest import save_result
+
+
+@pytest.fixture(scope="module")
+def survey():
+    return run_usecase_survey()
+
+
+def test_table3_totals(benchmark, results_dir):
+    survey = benchmark.pedantic(run_usecase_survey, rounds=1, iterations=1)
+    save_result(results_dir, "table3.txt", render_table3(survey))
+    totals = survey.totals()
+    assert survey.total_use_cases == TABLE3_TOTAL_USE_CASES
+    assert totals[UseCaseKind.LONG_INSERT] == TABLE3_TOTALS["LI"]
+    assert totals[UseCaseKind.IMPLEMENT_QUEUE] == TABLE3_TOTALS["IQ"]
+    assert totals[UseCaseKind.SORT_AFTER_INSERT] == TABLE3_TOTALS["SAI"]
+    assert totals[UseCaseKind.FREQUENT_SEARCH] == TABLE3_TOTALS["FS"]
+    assert totals[UseCaseKind.FREQUENT_LONG_READ] == TABLE3_TOTALS["FLR"]
+
+
+def test_table3_every_row_matches(survey):
+    for program in survey.programs:
+        assert program.matches_paper, (program.row.name, program.counts)
+
+
+def test_table3_li_dominates(survey):
+    """§VII: Long-Insert and Frequent-Long-Read dominate the survey —
+    the paper's caveat about category frequency."""
+    totals = survey.totals()
+    li_flr = totals[UseCaseKind.LONG_INSERT] + totals[
+        UseCaseKind.FREQUENT_LONG_READ
+    ]
+    assert li_flr / survey.total_use_cases > 0.85

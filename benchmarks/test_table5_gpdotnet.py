@@ -1,0 +1,77 @@
+"""Table V — DSspy's use-case report for GPdotNET.
+
+The published output lists five use cases: a Frequent-Long-Read on the
+terminal-set array, Frequent-Long-Read + Long-Insert on the population
+list (the pair the manual parallelization also touched), and
+Frequent-Long-Read + Long-Insert on the selection structure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import StructureKind, collecting
+from repro.usecases import UseCaseEngine, UseCaseKind, format_table_v
+from repro.usecases.rules import PARALLEL_RULES
+from repro.workloads import GPdotNET
+
+from .conftest import save_result
+
+
+@pytest.fixture(scope="module")
+def report():
+    workload = GPdotNET()
+    with collecting() as session:
+        workload.run_tracked(scale=0.5)
+    return UseCaseEngine(rules=PARALLEL_RULES).analyze_collector(session)
+
+
+def test_table5_report(benchmark, results_dir):
+    workload = GPdotNET()
+
+    def run():
+        with collecting() as session:
+            workload.run_tracked(scale=0.5)
+        return UseCaseEngine(rules=PARALLEL_RULES).analyze_collector(session)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        results_dir,
+        "table5.txt",
+        format_table_v(report, title="DSspy use cases for GPdotNET"),
+    )
+    assert len(report.use_cases) == 5
+
+
+def test_table5_use_case_structure(report):
+    """Five use cases on three distinct structures, kinds as published."""
+    by_label: dict[str, set[UseCaseKind]] = {}
+    for use_case in report.use_cases:
+        by_label.setdefault(use_case.profile.label, set()).add(use_case.kind)
+
+    assert by_label["terminals"] == {UseCaseKind.FREQUENT_LONG_READ}
+    assert by_label["population"] == {
+        UseCaseKind.FREQUENT_LONG_READ,
+        UseCaseKind.LONG_INSERT,
+    }
+    assert by_label["selection_pool"] == {
+        UseCaseKind.FREQUENT_LONG_READ,
+        UseCaseKind.LONG_INSERT,
+    }
+    assert len(by_label) == 3  # three structures, like Table V
+
+
+def test_table5_terminals_is_array(report):
+    """Use case one targets an Array (Table V: Array<System.Double>)."""
+    terminals_cases = [
+        u for u in report.use_cases if u.profile.label == "terminals"
+    ]
+    assert terminals_cases[0].profile.kind is StructureKind.ARRAY
+
+
+def test_table5_report_format(report):
+    text = format_table_v(report)
+    assert text.count("Use Case") >= 5
+    assert "Frequent-Long-Read" in text
+    assert "Long-Insert" in text
+    assert "Recommendation" in text

@@ -1,0 +1,62 @@
+"""Table VI — sequential vs parallelizable runtime fractions.
+
+The paper's explanation of the 1.20 CPU-Benchmarks speedup: measured
+sequential fractions of 94.29% / 3.89% / 9.09% / 28.21% for the four
+analyzed programs, with lower fractions yielding higher speedups.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import (
+    fractions_explain_speedups,
+    render_table6,
+    run_fraction_analysis,
+    run_prose_cases,
+)
+
+from .conftest import save_result
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_fraction_analysis()
+
+
+def test_table6_fractions(benchmark, results_dir):
+    rows = benchmark(run_fraction_analysis)
+    save_result(results_dir, "table6.txt", render_table6(rows))
+    for row in rows:
+        assert row.measured_fraction == pytest.approx(
+            row.paper_fraction, abs=0.0005
+        ), row.name
+
+
+def test_table6_ordering_claim(rows):
+    """'The lower the sequential fraction, the higher the parallel
+    potential' — the measured speedups respect the fraction order."""
+    assert fractions_explain_speedups(rows)
+
+
+def test_table6_cpu_bench_is_the_outlier(rows):
+    by_name = {r.name: r for r in rows}
+    cpu = by_name["CPU Benchmarks"]
+    assert cpu.measured_fraction > 0.9
+    assert cpu.program_speedup < 1.3
+    gp = by_name["Gpdotnet"]
+    assert gp.program_speedup > 3.0
+
+
+def test_prose_speedup_verdicts(results_dir):
+    """§V per-location speedups: every case agrees with the paper on
+    whether the parallelization paid off."""
+    cases = run_prose_cases(scale=0.3)
+    lines = [
+        f"{c.description}: measured {c.measured_speedup:.2f} "
+        f"(paper {c.paper_speedup:.2f})"
+        for c in cases
+    ]
+    save_result(results_dir, "prose_cases.txt", "\n".join(lines))
+    for case in cases:
+        assert case.same_verdict, case.description

@@ -1,0 +1,43 @@
+"""Table VII — related-work capability matrix (qualitative).
+
+A static table in the paper; here we render it and assert its shape
+claims: this work is the only approach combining access collection,
+parallel-potential detection and use-case deduction.
+"""
+
+from __future__ import annotations
+
+from repro.eval import TABLE7_MATRIX, render_table7
+
+from .conftest import save_result
+
+
+def test_table7_render(benchmark, results_dir):
+    text = benchmark(render_table7)
+    save_result(results_dir, "table7.txt", text)
+    assert "This work" in text
+    assert "Capability" in text
+
+
+def test_table7_this_work_unique_on_use_cases():
+    row = TABLE7_MATRIX["Deduction of use cases"]
+    assert row["This work"] == "+"
+    assert all(v == "-" for k, v in row.items() if k != "This work")
+
+
+def test_table7_this_work_detects_parallel_potential():
+    row = TABLE7_MATRIX["Detection of parallel potential"]
+    assert row["This work"] == "+"
+    positives = [k for k, v in row.items() if v == "+"]
+    assert set(positives) == {
+        "Data Structure Optimization",
+        "Automatic Parallelization",
+        "This work",
+    }
+
+
+def test_table7_consistent_columns():
+    approaches = set(next(iter(TABLE7_MATRIX.values())))
+    for capability, row in TABLE7_MATRIX.items():
+        assert set(row) == approaches, capability
+        assert all(v in "+o-" for v in row.values())

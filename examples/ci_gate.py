@@ -1,0 +1,76 @@
+"""Scenario: DSspy as a CI gate for parallelization smells.
+
+Run:  python examples/ci_gate.py
+
+The continuous-integration workflow built from the JSON export and the
+report-diff API: profile the current build, archive the capture, diff
+against the previous build's archive, and fail the gate when new
+parallelization smells were introduced.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.events import collecting, read_profiles, save_collector
+from repro.patterns import compare_reports
+from repro.structures import TrackedList
+from repro.usecases import UseCaseEngine, report_to_json, summarize_json
+
+
+def build_v1() -> None:
+    """Version 1: a tidy event pipeline."""
+    log = TrackedList(label="event_log")
+    for i in range(80):
+        log.append(i)
+
+
+def build_v2() -> None:
+    """Version 2: someone added a linear rescan over the whole log —
+    a Frequent-Long-Read in the making."""
+    log = TrackedList(label="event_log")
+    for i in range(400):
+        log.append(i)
+    for _ in range(15):
+        seen = 0
+        for i in range(len(log)):
+            if log[i] % 3 == 0:
+                seen += 1
+
+
+def capture(build, path: Path) -> None:
+    with collecting() as session:
+        build()
+    save_collector(session, path)
+
+
+def main() -> int:
+    engine = UseCaseEngine()
+    with tempfile.TemporaryDirectory() as tmp:
+        v1_archive = Path(tmp) / "v1.jsonl"
+        v2_archive = Path(tmp) / "v2.jsonl"
+        capture(build_v1, v1_archive)
+        capture(build_v2, v2_archive)
+
+        before = engine.analyze(read_profiles(v1_archive))
+        after = engine.analyze(read_profiles(v2_archive))
+
+        print("v1:", summarize_json(report_to_json(before)))
+        print("v2:", summarize_json(report_to_json(after)))
+        print()
+
+        diff = compare_reports(before, after)
+        print(diff.describe())
+        if diff.introduced:
+            print()
+            print("CI GATE: FAILED — new parallelization smells introduced:")
+            for label, kind in diff.introduced:
+                print(f"  {kind} on {label}")
+            return 1
+        print("CI GATE: passed")
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,76 @@
+"""Scenario: fully automatic instrumentation of unmodified source code.
+
+Run:  python examples/instrument_program.py
+
+DSspy's headline mode (paper §IV): take a program that knows nothing
+about profiling, statically find its list/array instantiations, rewrite
+them to tracked proxies, execute the instrumented copy, and report the
+use cases — all without touching the original file.  Also measures the
+instrumentation slowdown, the Table IV metric.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.instrument import find_sites, measure_slowdown, run_instrumented
+from repro.usecases import UseCaseEngine, format_table_v
+
+#: An unmodified "legacy" program: an event log that is filled and then
+#: repeatedly searched the slow way.
+LEGACY_PROGRAM = textwrap.dedent(
+    '''
+    def load_events(n):
+        events = []
+        for i in range(n):
+            events.append((i * 37) % n)
+        return events
+
+    def count_matches(events, needle):
+        hits = 0
+        for i in range(len(events)):
+            if events[i] == needle:
+                hits += 1
+        return hits
+
+    def main():
+        events = load_events(3000)
+        total = 0
+        for needle in range(12):
+            total += count_matches(events, needle)
+        return total
+    '''
+)
+
+
+def main() -> None:
+    # -- 1. Static analysis: where are the containers? ---------------------
+    print("instantiation sites found statically:")
+    for site in find_sites(LEGACY_PROGRAM, filename="legacy.py"):
+        print("  ", site.describe())
+    print()
+
+    # -- 2. Instrument, execute, analyze -----------------------------------
+    run = run_instrumented(LEGACY_PROGRAM, entry="main")
+    print(
+        f"instrumented run: result={run.result}, "
+        f"{run.collector.instance_count} instances, "
+        f"{run.event_count} access events, {run.rewrite.rewrites} rewrites"
+    )
+    report = UseCaseEngine().analyze(run.profiles)
+    print()
+    print(format_table_v(report, title="Use cases in the legacy program"))
+    print()
+
+    # -- 3. Slowdown (the cost of profiling, paid once) ---------------------
+    slowdown = measure_slowdown(LEGACY_PROGRAM, entry="main", repeats=3)
+    print(
+        f"instrumentation slowdown: {slowdown.factor:.1f}x "
+        f"({slowdown.plain_seconds * 1e3:.1f} ms -> "
+        f"{slowdown.instrumented_seconds * 1e3:.1f} ms; "
+        "paper average: 47.13x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

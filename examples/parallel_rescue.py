@@ -1,0 +1,46 @@
+"""Scenario: follow every recommendation on the real workloads.
+
+Run:  python examples/parallel_rescue.py
+
+For each evaluation workload with a true-positive use case, apply the
+recommended transform with real threads, verify the result is identical
+to the sequential program, and show the simulated 8-core speedup (plain
+and bandwidth-contended machine models).
+"""
+
+from __future__ import annotations
+
+from repro.parallel import (
+    PAPER_CONTENDED_MACHINE,
+    MachineConfig,
+    SimulatedMachine,
+)
+from repro.workloads import EVALUATION_WORKLOADS, verify_all
+
+
+def main() -> None:
+    print("Applying recommended transforms with real threads:")
+    for outcome in verify_all(scale=0.1):
+        status = "OK" if outcome.matches_sequential else "MISMATCH"
+        print(f"  [{status}] {outcome.name} ({outcome.detail})")
+    print()
+
+    plain = SimulatedMachine(MachineConfig(cores=8))
+    print(f"{'workload':<18}{'ideal 8-core':>13}{'contended':>11}{'paper':>7}")
+    for workload in EVALUATION_WORKLOADS:
+        decomposition = workload.decomposition(scale=0.3)
+        print(
+            f"{workload.name:<18}"
+            f"{decomposition.speedup(plain):>13.2f}"
+            f"{decomposition.speedup(PAPER_CONTENDED_MACHINE):>11.2f}"
+            f"{workload.paper.speedup:>7.2f}"
+        )
+    print()
+    print(
+        "The contended model (shared memory interface, AMD-FX-like) is "
+        "what lands the simulated numbers in the paper's band."
+    )
+
+
+if __name__ == "__main__":
+    main()

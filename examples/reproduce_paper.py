@@ -1,0 +1,57 @@
+"""Scenario: regenerate every table of the paper in one run.
+
+Run:  python examples/reproduce_paper.py [scale]
+
+Drives the full reproduction: the empirical study (Tables I–III,
+Figure 1), the seven-program evaluation (Table IV), the GPdotNET report
+(Table V), the sequential-fraction analysis (Table VI) and the
+related-work matrix (Table VII).  ``scale`` (default 0.3) shrinks the
+workloads; detection results are scale-stable.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.eval import (
+    evaluate_all,
+    render_figure1,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table6,
+    render_table7,
+    run_fraction_analysis,
+)
+from repro.events import collecting
+from repro.study import run_occurrence_study, run_regularity_study, run_usecase_survey
+from repro.usecases import UseCaseEngine, format_table_v
+from repro.usecases.rules import PARALLEL_RULES
+from repro.workloads import GPdotNET
+
+
+def main(scale: float = 0.3) -> None:
+    print(render_table1(run_occurrence_study(loc_scale=0.05)))
+    print()
+    print(render_figure1(run_occurrence_study(loc_scale=0.05)))
+    print()
+    print(render_table2(run_regularity_study()))
+    print()
+    print(render_table3(run_usecase_survey()))
+    print()
+    print(render_table4(evaluate_all(scale=scale)))
+    print()
+
+    with collecting() as session:
+        GPdotNET().run_tracked(scale=scale)
+    report = UseCaseEngine(rules=PARALLEL_RULES).analyze_collector(session)
+    print(format_table_v(report, title="Table V — DSspy output for GPdotNET"))
+    print()
+    print(render_table6(run_fraction_analysis()))
+    print()
+    print(render_table7())
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.3)

@@ -1,0 +1,60 @@
+"""Scenario: visualize the canonical runtime-profile shapes.
+
+Run:  python examples/visualize_profiles.py [output_dir]
+
+Renders the paper's Figure 2 snippet and one profile per use-case kind,
+both as terminal charts and as standalone SVG files — the visualization
+DSspy presents to the engineer for trust and program understanding.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.events import collecting
+from repro.patterns import detect
+from repro.viz import profile_to_svg, render_patterns, render_profile
+from repro.workloads import (
+    gen_fig2_snippet,
+    gen_frequent_long_read,
+    gen_insert_back_read_forward,
+    gen_long_insert,
+    gen_queue_usage,
+    gen_sort_after_insert,
+    gen_stack_usage,
+    gen_write_without_read,
+)
+
+SHAPES = [
+    ("fig2_snippet", lambda: gen_fig2_snippet()),
+    ("fig3_insert_read_cycles", lambda: gen_insert_back_read_forward(50, 8)),
+    ("long_insert", lambda: gen_long_insert(400)),
+    ("queue_usage", lambda: gen_queue_usage(90)),
+    ("stack_usage", lambda: gen_stack_usage(25, 4)),
+    ("sort_after_insert", lambda: gen_sort_after_insert(200)),
+    ("frequent_long_read", lambda: gen_frequent_long_read(12, 60)),
+    ("write_without_read", lambda: gen_write_without_read(40)),
+]
+
+
+def main(output_dir: str = "profile_gallery") -> None:
+    out = Path(output_dir)
+    out.mkdir(exist_ok=True)
+    for name, maker in SHAPES:
+        with collecting():
+            structure = maker()
+            profile = structure.profile()
+        print(f"=== {name} ({len(profile)} events) ===")
+        print(render_profile(profile, width=70, height=10))
+        analysis = detect(profile)
+        print(render_patterns(analysis, max_rows=5))
+        print()
+        svg_path = out / f"{name}.svg"
+        svg_path.write_text(profile_to_svg(profile, title=name))
+        print(f"  -> {svg_path}")
+        print()
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "profile_gallery")

@@ -1,0 +1,140 @@
+"""repro — a reproduction of DSspy (IPDPS 2014).
+
+"Locating Parallelization Potential in Object-Oriented Data Structures"
+(Molitorisz, Karcher, Bieleš, Tichy).  The package profiles the runtime
+behaviour of object-oriented data structures, detects recurring access
+patterns, derives use cases with parallel potential, and recommends how
+to parallelize them.
+
+Quickstart::
+
+    from repro import collecting, TrackedList, UseCaseEngine
+
+    with collecting() as session:
+        xs = TrackedList(label="items")
+        for i in range(500):
+            xs.append(i)
+        for _ in range(20):
+            _ = [x for x in xs]
+
+    report = UseCaseEngine().analyze_collector(session)
+    for uc in report.use_cases:
+        print(uc.describe())
+        print("  ->", uc.recommendation.action)
+
+Package map (see DESIGN.md for the full inventory):
+
+- :mod:`repro.events` — access events, runtime profiles, collectors
+- :mod:`repro.structures` — instrumented (proxy) containers
+- :mod:`repro.instrument` — static analysis + AST instrumentation
+- :mod:`repro.patterns` — access-pattern detection
+- :mod:`repro.usecases` — use-case rules and recommendations
+- :mod:`repro.viz` — runtime-profile visualization (ASCII/SVG)
+- :mod:`repro.parallel` — parallel executors + simulated multicore machine
+- :mod:`repro.workloads` — the paper's benchmark programs, reimplemented
+- :mod:`repro.study` — the empirical study (Tables I–III, Figure 1)
+- :mod:`repro.eval` — the evaluation harness (Tables IV–VI)
+"""
+
+from .events import (
+    AccessEvent,
+    AccessKind,
+    AllocationSite,
+    EventCollector,
+    OperationKind,
+    RuntimeProfile,
+    StructureKind,
+    collecting,
+    read_profiles,
+    save_collector,
+    save_profiles,
+)
+from .instrument import (
+    analyze_function,
+    instrument_imports,
+    instrumented,
+    run_instrumented,
+)
+from .patterns import (
+    AccessPattern,
+    PatternAnalysis,
+    PatternDetector,
+    PatternType,
+    RegularityClassifier,
+    compare_profiles,
+    compare_reports,
+    compute_stats,
+    detect,
+)
+from .structures import (
+    TrackedArray,
+    TrackedDict,
+    TrackedLinkedList,
+    TrackedList,
+    TrackedQueue,
+    TrackedSet,
+    TrackedSortedList,
+    TrackedStack,
+    as_tracked,
+)
+from .usecases import (
+    PAPER_THRESHOLDS,
+    Thresholds,
+    UseCase,
+    UseCaseEngine,
+    UseCaseKind,
+    UseCaseReport,
+    explain_profile,
+    format_table_v,
+    near_misses,
+    report_to_json,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessEvent",
+    "AccessKind",
+    "AccessPattern",
+    "AllocationSite",
+    "EventCollector",
+    "OperationKind",
+    "PAPER_THRESHOLDS",
+    "PatternAnalysis",
+    "PatternDetector",
+    "PatternType",
+    "RegularityClassifier",
+    "RuntimeProfile",
+    "StructureKind",
+    "Thresholds",
+    "TrackedArray",
+    "TrackedDict",
+    "TrackedLinkedList",
+    "TrackedList",
+    "TrackedQueue",
+    "TrackedSet",
+    "TrackedSortedList",
+    "TrackedStack",
+    "UseCase",
+    "UseCaseEngine",
+    "UseCaseKind",
+    "UseCaseReport",
+    "analyze_function",
+    "as_tracked",
+    "collecting",
+    "compare_profiles",
+    "compare_reports",
+    "compute_stats",
+    "detect",
+    "explain_profile",
+    "format_table_v",
+    "instrument_imports",
+    "instrumented",
+    "near_misses",
+    "read_profiles",
+    "report_to_json",
+    "run_instrumented",
+    "save_collector",
+    "save_profiles",
+    "__version__",
+]

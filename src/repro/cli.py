@@ -1,0 +1,269 @@
+"""``dsspy`` command-line interface.
+
+Subcommands:
+
+``dsspy analyze FILE``
+    Instrument a Python program, execute it, and print the use-case
+    report (the paper's fully automatic mode).
+
+``dsspy scan PATH``
+    Static analysis only: list container instantiation sites in a file,
+    or per-program occurrence statistics for a directory tree.
+
+``dsspy tables [NAME ...]``
+    Regenerate the paper's tables (table1, table2, table3, table4,
+    table6, table7, fig1) and print them.
+
+``dsspy demo``
+    A 5-second end-to-end demonstration on a synthetic profile.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .events import read_profiles, save_profiles
+    from .instrument import RewriteConfig, run_instrumented_file
+    from .usecases import UseCaseEngine, format_summary, format_table_v
+    from .viz import render_profile
+
+    if args.load:
+        profiles = read_profiles(args.load)
+        print(f"{args.load}: {len(profiles)} archived profiles loaded")
+        report = UseCaseEngine().analyze(profiles)
+        print(format_table_v(report, title=f"DSspy use cases from {args.load}"))
+        print(format_summary(report, name=str(args.load)))
+        return 0
+
+    config = RewriteConfig(dicts=args.dicts)
+    run = run_instrumented_file(args.file, entry=args.entry, config=config)
+    print(
+        f"{args.file}: {run.rewrite.rewrites} sites instrumented, "
+        f"{run.collector.instance_count} instances, "
+        f"{run.event_count} access events in {run.duration:.3f}s"
+    )
+    if args.save:
+        save_profiles(run.profiles, args.save)
+        print(f"profiles archived to {args.save}")
+    report = UseCaseEngine().analyze(run.profiles)
+    print()
+    print(format_table_v(report, title=f"DSspy use cases for {args.file}"))
+    print()
+    print(format_summary(report, name=str(args.file)))
+    if args.charts:
+        for profile in run.collector.nonempty_profiles():
+            print()
+            print(f"--- {profile} ---")
+            print(render_profile(profile, width=72, height=10))
+    return 0
+
+
+def _cmd_transform(args: argparse.Namespace) -> int:
+    from .instrument import suggest_transforms, transform_source
+
+    source = Path(args.file).read_text(encoding="utf-8")
+    if args.dry_run:
+        suggestions = suggest_transforms(source)
+        for line in suggestions or ["nothing to transform"]:
+            print(line)
+        return 0
+    transformed, report = transform_source(source)
+    for line in report.applied:
+        print(f"applied: {line}")
+    for line in report.skipped:
+        print(f"skipped: {line}")
+    out_path = Path(args.output) if args.output else Path(args.file).with_suffix(
+        ".parallel.py"
+    )
+    out_path.write_text(transformed, encoding="utf-8")
+    print(f"{report.count} transforms -> {out_path}")
+    return 0
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    from .instrument import find_sites_in_file, scan_program
+
+    path = Path(args.path)
+    if path.is_file():
+        sites = find_sites_in_file(path)
+        for site in sites:
+            print(site.describe())
+        print(f"{len(sites)} instantiation sites")
+    else:
+        stats = scan_program(path)
+        print(f"{stats.name}: {stats.loc} LOC")
+        for kind, count in sorted(
+            stats.counts.items(), key=lambda kv: -kv[1]
+        ):
+            print(f"  {kind.value:<18} {count}")
+        print(
+            f"  dynamic instances: {stats.dynamic_instances}, "
+            f"arrays: {stats.array_instances}"
+        )
+    return 0
+
+
+_TABLE_NAMES = ("table1", "fig1", "table2", "table3", "table4", "table6", "table7")
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    names = args.names or list(_TABLE_NAMES)
+    for name in names:
+        if name not in _TABLE_NAMES:
+            print(f"unknown table {name!r}; choose from {_TABLE_NAMES}", file=sys.stderr)
+            return 2
+    from . import eval as eval_pkg
+    from .study import run_occurrence_study, run_regularity_study, run_usecase_survey
+
+    for name in names:
+        if name in ("table1", "fig1"):
+            study = run_occurrence_study(loc_scale=0.05)
+            text = (
+                eval_pkg.render_table1(study)
+                if name == "table1"
+                else eval_pkg.render_figure1(study)
+            )
+        elif name == "table2":
+            text = eval_pkg.render_table2(run_regularity_study())
+        elif name == "table3":
+            text = eval_pkg.render_table3(run_usecase_survey())
+        elif name == "table4":
+            text = eval_pkg.render_table4(
+                eval_pkg.evaluate_all(scale=args.scale)
+            )
+        elif name == "table6":
+            text = eval_pkg.render_table6(eval_pkg.run_fraction_analysis())
+        else:
+            text = eval_pkg.render_table7()
+        print(text)
+        print()
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .events import collecting
+    from .usecases import UseCaseEngine, format_table_v
+    from .viz import render_profile
+    from .workloads.generators import gen_insert_and_scan
+
+    with collecting() as session:
+        gen_insert_and_scan(items=200, rounds=12, label="demo")
+    profile = session.profiles_by_label()["demo"]
+    print(render_profile(profile, width=72, height=12))
+    print()
+    report = UseCaseEngine().analyze_collector(session)
+    print(format_table_v(report, title="DSspy demo"))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .events import read_profiles
+    from .patterns import compare_reports
+    from .usecases import UseCaseEngine
+
+    engine = UseCaseEngine()
+    before = engine.analyze(read_profiles(args.before))
+    after = engine.analyze(read_profiles(args.after))
+    diff = compare_reports(before, after)
+    print(diff.describe())
+    if diff.fully_resolved and diff.resolved:
+        print("all previously detected use cases resolved")
+    return 0 if not diff.introduced else 1
+
+
+def _cmd_quality(args: argparse.Namespace) -> int:
+    from .eval import evaluate_detection_quality
+
+    quality = evaluate_detection_quality()
+    print(quality.describe())
+    return 0 if quality.macro_f1 >= args.min_f1 else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .eval import write_report
+
+    report = write_report(
+        args.output,
+        scale=args.scale,
+        measure_slowdown=not args.no_slowdown,
+    )
+    print(f"report written to {args.output}")
+    print(f"headline reproduction OK: {report.headline_ok}")
+    return 0 if report.headline_ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dsspy",
+        description="DSspy: locate parallelization potential in the runtime "
+        "profiles of object-oriented data structures (IPDPS 2014 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="instrument and analyze a program")
+    analyze.add_argument("file", nargs="?", help="Python source file to instrument")
+    analyze.add_argument("--entry", default=None, help="function to call after import")
+    analyze.add_argument("--dicts", action="store_true", help="also instrument dicts")
+    analyze.add_argument("--charts", action="store_true", help="print profile charts")
+    analyze.add_argument("--save", default=None, help="archive profiles to JSONL")
+    analyze.add_argument("--load", default=None, help="analyze an archived JSONL instead")
+    analyze.set_defaults(fn=_cmd_analyze)
+
+    transform = sub.add_parser(
+        "transform", help="auto-parallelize safe Long-Insert fill loops"
+    )
+    transform.add_argument("file", help="Python source file to transform")
+    transform.add_argument(
+        "--dry-run", action="store_true", help="only report what would change"
+    )
+    transform.add_argument("-o", "--output", default=None, help="write result here")
+    transform.set_defaults(fn=_cmd_transform)
+
+    scan = sub.add_parser("scan", help="static analysis of a file or tree")
+    scan.add_argument("path")
+    scan.set_defaults(fn=_cmd_scan)
+
+    tables = sub.add_parser("tables", help="regenerate the paper's tables")
+    tables.add_argument("names", nargs="*", metavar="NAME", help=f"any of {_TABLE_NAMES}")
+    tables.add_argument("--scale", type=float, default=0.3, help="workload scale")
+    tables.set_defaults(fn=_cmd_tables)
+
+    demo = sub.add_parser("demo", help="end-to-end demo on a synthetic profile")
+    demo.set_defaults(fn=_cmd_demo)
+
+    compare = sub.add_parser(
+        "compare", help="diff two profile archives at the use-case level"
+    )
+    compare.add_argument("before", help="JSONL archive of the old capture")
+    compare.add_argument("after", help="JSONL archive of the new capture")
+    compare.set_defaults(fn=_cmd_compare)
+
+    quality = sub.add_parser(
+        "quality", help="detection precision/recall on the labeled corpus"
+    )
+    quality.add_argument("--min-f1", type=float, default=0.99)
+    quality.set_defaults(fn=_cmd_quality)
+
+    report = sub.add_parser(
+        "report", help="write the full reproduction report (markdown)"
+    )
+    report.add_argument("-o", "--output", default="REPORT.md")
+    report.add_argument("--scale", type=float, default=0.3)
+    report.add_argument(
+        "--no-slowdown", action="store_true", help="skip timing the baselines"
+    )
+    report.set_defaults(fn=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

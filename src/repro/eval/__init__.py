@@ -1,0 +1,65 @@
+"""The evaluation harness (§V): Tables IV–VII."""
+
+from .harness import (
+    EVAL_MACHINE,
+    EvaluationSummary,
+    WorkloadEvaluation,
+    evaluate_all,
+    evaluate_workload,
+)
+from .detection_quality import (
+    DetectionQuality,
+    KindScore,
+    build_labeled_corpus,
+    evaluate_detection_quality,
+)
+from .report import ReproductionReport, build_report, write_report
+from .speedup_eval import (
+    TABLE6_PAPER_ROWS,
+    FractionRow,
+    ProseCase,
+    fractions_explain_speedups,
+    paper_fraction,
+    run_fraction_analysis,
+    run_prose_cases,
+)
+from .tables import (
+    TABLE7_MATRIX,
+    render_figure1,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table6,
+    render_table7,
+)
+
+__all__ = [
+    "DetectionQuality",
+    "EVAL_MACHINE",
+    "KindScore",
+    "build_labeled_corpus",
+    "evaluate_detection_quality",
+    "EvaluationSummary",
+    "FractionRow",
+    "ProseCase",
+    "ReproductionReport",
+    "TABLE6_PAPER_ROWS",
+    "build_report",
+    "write_report",
+    "TABLE7_MATRIX",
+    "WorkloadEvaluation",
+    "evaluate_all",
+    "evaluate_workload",
+    "fractions_explain_speedups",
+    "paper_fraction",
+    "render_figure1",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "render_table6",
+    "render_table7",
+    "run_fraction_analysis",
+    "run_prose_cases",
+]

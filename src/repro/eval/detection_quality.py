@@ -1,0 +1,213 @@
+"""Detection quality: precision AND recall on labeled profiles.
+
+The paper could not report recall — it had no ground truth for the
+structures DSspy did *not* flag (§VII).  Our synthetic profile
+generators come with labels, so this module builds a labeled corpus
+(K positive profiles per use-case kind + N negative noise profiles),
+runs the real engine, and scores per-kind precision, recall and F1 —
+the measurement the paper lists as future work.
+
+Negatives are adversarial, not just random: stack/queue-shaped
+sequential profiles, sub-threshold phases, and irregular noise — the
+shapes most likely to cause false fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..events.collector import collecting
+from ..events.profile import RuntimeProfile
+from ..usecases.engine import UseCaseEngine
+from ..usecases.model import UseCaseKind
+from ..usecases.rules import PARALLEL_RULES
+from ..workloads import generators as gen
+
+#: Kind → generator producing a profile that must fire exactly it.
+_POSITIVE_MAKERS = {
+    UseCaseKind.LONG_INSERT: lambda i: gen.gen_long_insert(
+        400 + 30 * i, label=f"pos_li_{i}"
+    ),
+    UseCaseKind.IMPLEMENT_QUEUE: lambda i: gen.gen_queue_usage(
+        80 + i, label=f"pos_iq_{i}"
+    ),
+    UseCaseKind.SORT_AFTER_INSERT: lambda i: gen.gen_sort_after_insert(
+        200 + 20 * i, label=f"pos_sai_{i}"
+    ),
+    UseCaseKind.FREQUENT_SEARCH: lambda i: gen.gen_frequent_search(
+        1100 + 50 * i, 100, label=f"pos_fs_{i}"
+    ),
+    UseCaseKind.FREQUENT_LONG_READ: lambda i: gen.gen_frequent_long_read(
+        12 + i, 60, label=f"pos_flr_{i}"
+    ),
+}
+
+#: Adversarial negatives: profiles that must fire NO parallel rule.
+_NEGATIVE_MAKERS = (
+    lambda i: gen.gen_irregular(150, 60, seed=100 + i, label=f"neg_noise_{i}"),
+    lambda i: gen.gen_stack_usage(20, 4, label=f"neg_stack_{i}"),
+    lambda i: gen.gen_write_without_read(40, label=f"neg_wwr_{i}"),
+    lambda i: gen.gen_insert_back_read_forward(50, 4, label=f"neg_cycle_{i}"),
+    lambda i: gen.gen_long_insert(60, label=f"neg_short_li_{i}"),  # sub-threshold
+    lambda i: gen.gen_frequent_long_read(6, 60, label=f"neg_few_scans_{i}"),
+    lambda i: gen.gen_frequent_search(300, 100, label=f"neg_few_search_{i}"),
+    # Boundary negatives: just under the published thresholds.
+    lambda i: gen.gen_long_insert(95, label=f"neg_li_95_{i}"),
+    lambda i: gen.gen_frequent_long_read(10, 60, label=f"neg_flr_10_{i}"),
+    lambda i: gen.gen_frequent_search(1000, 100, label=f"neg_fs_1000_{i}"),
+)
+
+#: Boundary positives: just over the published thresholds — these are
+#: what separates a tuned threshold from a sloppy one.
+_BOUNDARY_POSITIVE_MAKERS = {
+    UseCaseKind.LONG_INSERT: lambda i: gen.gen_long_insert(
+        105, label=f"pos_li_105_{i}"
+    ),
+    UseCaseKind.FREQUENT_LONG_READ: lambda i: gen.gen_frequent_long_read(
+        11, 60, label=f"pos_flr_11_{i}"
+    ),
+    UseCaseKind.FREQUENT_SEARCH: lambda i: gen.gen_frequent_search(
+        1001, 100, label=f"pos_fs_1001_{i}"
+    ),
+}
+
+
+@dataclass(frozen=True)
+class KindScore:
+    """Per-kind detection quality."""
+
+    kind: UseCaseKind
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+@dataclass(frozen=True)
+class DetectionQuality:
+    """Scores over the whole labeled corpus."""
+
+    scores: tuple[KindScore, ...]
+    negatives_total: int
+    negatives_clean: int
+
+    def score_for(self, kind: UseCaseKind) -> KindScore:
+        for score in self.scores:
+            if score.kind is kind:
+                return score
+        raise KeyError(kind)
+
+    @property
+    def macro_f1(self) -> float:
+        return sum(s.f1 for s in self.scores) / len(self.scores)
+
+    @property
+    def negative_specificity(self) -> float:
+        """Share of adversarial negatives that stayed unflagged."""
+        if self.negatives_total == 0:
+            return 1.0
+        return self.negatives_clean / self.negatives_total
+
+    def describe(self) -> str:
+        lines = [
+            f"{'kind':<20}{'P':>7}{'R':>7}{'F1':>7}",
+        ]
+        for score in self.scores:
+            lines.append(
+                f"{score.kind.label:<20}{score.precision:>7.2f}"
+                f"{score.recall:>7.2f}{score.f1:>7.2f}"
+            )
+        lines.append(
+            f"macro-F1 {self.macro_f1:.3f}; specificity on adversarial "
+            f"negatives {self.negative_specificity:.2%} "
+            f"({self.negatives_clean}/{self.negatives_total})"
+        )
+        return "\n".join(lines)
+
+
+def build_labeled_corpus(
+    positives_per_kind: int = 5,
+    negatives_per_maker: int = 3,
+    include_boundary: bool = True,
+) -> tuple[list[RuntimeProfile], dict[int, UseCaseKind | None]]:
+    """Profiles + ground-truth labels (None = no parallel use case).
+
+    ``include_boundary`` adds positives *just over* and negatives *just
+    under* the published thresholds, so detection quality actually
+    discriminates between threshold configurations.
+    """
+    labels: dict[int, UseCaseKind | None] = {}
+    with collecting() as session:
+        for kind, maker in _POSITIVE_MAKERS.items():
+            for i in range(positives_per_kind):
+                structure = maker(i)
+                labels[structure.instance_id] = kind
+        if include_boundary:
+            for kind, maker in _BOUNDARY_POSITIVE_MAKERS.items():
+                structure = maker(0)
+                labels[structure.instance_id] = kind
+        for maker in _NEGATIVE_MAKERS:
+            for i in range(negatives_per_maker):
+                structure = maker(i)
+                labels[structure.instance_id] = None
+    return session.profiles(), labels
+
+
+def evaluate_detection_quality(
+    positives_per_kind: int = 5,
+    negatives_per_maker: int = 3,
+    engine: UseCaseEngine | None = None,
+    include_boundary: bool = True,
+) -> DetectionQuality:
+    """Score the engine on the labeled corpus."""
+    engine = engine if engine is not None else UseCaseEngine(rules=PARALLEL_RULES)
+    profiles, labels = build_labeled_corpus(
+        positives_per_kind, negatives_per_maker, include_boundary
+    )
+
+    detected: dict[int, set[UseCaseKind]] = {p.instance_id: set() for p in profiles}
+    for profile in profiles:
+        for use_case in engine.analyze_profile(profile):
+            detected[profile.instance_id].add(use_case.kind)
+
+    scores = []
+    for kind in UseCaseKind.parallel_kinds():
+        tp = fp = fn = 0
+        for instance_id, truth in labels.items():
+            fired = kind in detected[instance_id]
+            if truth is kind and fired:
+                tp += 1
+            elif truth is kind and not fired:
+                fn += 1
+            elif truth is not kind and fired:
+                fp += 1
+        scores.append(
+            KindScore(
+                kind=kind,
+                true_positives=tp,
+                false_positives=fp,
+                false_negatives=fn,
+            )
+        )
+
+    negatives = [iid for iid, truth in labels.items() if truth is None]
+    clean = sum(1 for iid in negatives if not detected[iid])
+    return DetectionQuality(
+        scores=tuple(scores),
+        negatives_total=len(negatives),
+        negatives_clean=clean,
+    )

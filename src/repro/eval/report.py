@@ -1,0 +1,117 @@
+"""One-shot reproduction report builder.
+
+Bundles every study and evaluation stage into a single markdown
+document (tables rendered as fenced text blocks, with paper-vs-measured
+summaries), which the CLI's ``dsspy report`` writes to disk.  This is
+the artifact a reviewer reads to audit the reproduction in one place.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..study.occurrence import run_occurrence_study
+from ..study.regularities import run_regularity_study
+from ..study.usecase_survey import run_usecase_survey
+from .harness import EvaluationSummary, evaluate_all
+from .speedup_eval import fractions_explain_speedups, run_fraction_analysis
+from .tables import (
+    render_figure1,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table6,
+    render_table7,
+)
+
+
+@dataclass(frozen=True)
+class ReproductionReport:
+    """All measured sections plus the headline verdicts."""
+
+    markdown: str
+    evaluation: EvaluationSummary
+    ordering_holds: bool
+
+    @property
+    def headline_ok(self) -> bool:
+        return (
+            self.evaluation.total_instances == 104
+            and self.evaluation.total_use_cases == 24
+            and self.evaluation.total_true_positives == 16
+            and self.ordering_holds
+        )
+
+
+def _block(text: str) -> str:
+    return "```\n" + text + "\n```"
+
+
+def build_report(
+    scale: float = 0.3,
+    loc_scale: float = 0.05,
+    measure_slowdown: bool = True,
+) -> ReproductionReport:
+    """Run everything and assemble the markdown document."""
+    started = time.perf_counter()
+
+    occurrence = run_occurrence_study(loc_scale=loc_scale)
+    regularity = run_regularity_study()
+    survey = run_usecase_survey()
+    evaluation = evaluate_all(scale=scale, measure_slowdown=measure_slowdown)
+    fractions = run_fraction_analysis()
+    ordering = fractions_explain_speedups(fractions)
+
+    sections = [
+        "# DSspy reproduction report",
+        "",
+        f"Workload scale {scale}; corpus LOC scale {loc_scale}; "
+        f"generated in {time.perf_counter() - started:.1f}s.",
+        "",
+        "## Headline",
+        "",
+        f"- instances analyzed: **{evaluation.total_instances}** (paper: 104)",
+        f"- use cases: **{evaluation.total_use_cases}** (paper: 24)",
+        f"- true positives: **{evaluation.total_true_positives}** (paper: 16)",
+        f"- search-space reduction: **{evaluation.total_reduction:.2%}** "
+        "(paper: 76.92%)",
+        f"- precision: **{evaluation.precision:.2%}** (paper: 66.67%)",
+        f"- mean instrumentation slowdown: **{evaluation.mean_slowdown:.1f}x** "
+        "(paper: 47.13x)",
+        f"- sequential fractions order the speedups: **{ordering}**",
+        "",
+        "## Empirical study (§II–III)",
+        "",
+        _block(render_table1(occurrence)),
+        "",
+        _block(render_figure1(occurrence)),
+        "",
+        _block(render_table2(regularity)),
+        "",
+        _block(render_table3(survey)),
+        "",
+        "## Evaluation (§V)",
+        "",
+        _block(render_table4(evaluation)),
+        "",
+        _block(render_table6(fractions)),
+        "",
+        "## Related work (Table VII)",
+        "",
+        _block(render_table7()),
+        "",
+    ]
+    return ReproductionReport(
+        markdown="\n".join(sections),
+        evaluation=evaluation,
+        ordering_holds=ordering,
+    )
+
+
+def write_report(path: str | Path, **kwargs) -> ReproductionReport:
+    report = build_report(**kwargs)
+    Path(path).write_text(report.markdown, encoding="utf-8")
+    return report

@@ -1,0 +1,59 @@
+"""Access-event substrate: events, profiles, channels, collectors.
+
+This package implements the data-collection half of DSspy (§IV of the
+paper): every interaction with an instrumented data structure becomes an
+:class:`AccessEvent`, events stream over a :class:`Channel` to an
+:class:`EventCollector`, and post-mortem assembly yields one
+:class:`RuntimeProfile` per data structure instance.
+"""
+
+from .channel import AsyncChannel, Channel, ProcessChannel, SynchronousChannel
+from .collector import (
+    EventCollector,
+    collecting,
+    get_collector,
+    pop_collector,
+    push_collector,
+    reset_ambient,
+)
+from .event import AccessEvent, materialize
+from .merge import merge_archives, merge_profiles
+from .profile import NO_POSITION, AllocationSite, RuntimeProfile
+from .serialize import (
+    dump_profiles,
+    load_profiles,
+    read_profiles,
+    save_collector,
+    save_profiles,
+)
+from .types import FRONT, AccessKind, OperationKind, StructureKind, end_of
+
+__all__ = [
+    "AccessEvent",
+    "AccessKind",
+    "AllocationSite",
+    "AsyncChannel",
+    "Channel",
+    "EventCollector",
+    "FRONT",
+    "NO_POSITION",
+    "OperationKind",
+    "ProcessChannel",
+    "RuntimeProfile",
+    "StructureKind",
+    "SynchronousChannel",
+    "collecting",
+    "dump_profiles",
+    "end_of",
+    "get_collector",
+    "load_profiles",
+    "materialize",
+    "merge_archives",
+    "merge_profiles",
+    "pop_collector",
+    "push_collector",
+    "read_profiles",
+    "reset_ambient",
+    "save_collector",
+    "save_profiles",
+]

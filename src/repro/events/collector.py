@@ -1,0 +1,217 @@
+"""The event collector: instance registry + event routing.
+
+One :class:`EventCollector` corresponds to one DSspy capture session.
+Tracked structures register themselves on construction (obtaining an
+instance id) and call :meth:`EventCollector.record` on every interface
+method.  After the workload finishes, :meth:`EventCollector.finish`
+drains the channel, stamps logical timestamps in arrival order, and
+routes each event into the :class:`~repro.events.profile.RuntimeProfile`
+of its instance.
+
+A module-level *ambient* collector makes tracked structures usable
+without ceremony; the :func:`collecting` context manager installs a
+fresh collector for deterministic, isolated captures::
+
+    with collecting() as session:
+        xs = TrackedList()
+        xs.append(1)
+    profile = session.profiles_by_label()[""]
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from .channel import AsyncChannel, Channel, SynchronousChannel
+from .event import materialize
+from .profile import AllocationSite, RuntimeProfile
+from .types import AccessKind, OperationKind, StructureKind
+
+
+class EventCollector:
+    """Registry of instrumented instances and their event streams.
+
+    Parameters
+    ----------
+    channel:
+        Event transport; defaults to a :class:`SynchronousChannel`.
+        Pass an :class:`AsyncChannel` to decouple recording from
+        accumulation the way the paper's analysis process does.
+    capture_wall_time:
+        When true, each event also carries ``time.perf_counter()``.
+        Off by default: the analyses need only ordering, and logical
+        time keeps experiments deterministic.
+    """
+
+    def __init__(
+        self,
+        channel: Channel | None = None,
+        capture_wall_time: bool = False,
+    ) -> None:
+        self._channel: Channel = channel if channel is not None else SynchronousChannel()
+        self._capture_wall_time = capture_wall_time
+        self._lock = threading.Lock()
+        self._next_instance_id = 0
+        self._profiles: dict[int, RuntimeProfile] = {}
+        self._thread_ids: dict[int, int] = {}
+        self._finished = False
+        self._assembled = 0
+
+    # -- registration ---------------------------------------------------
+
+    def register_instance(
+        self,
+        kind: StructureKind,
+        site: AllocationSite | None = None,
+        label: str = "",
+    ) -> int:
+        """Assign an instance id and create its (empty) profile."""
+        with self._lock:
+            instance_id = self._next_instance_id
+            self._next_instance_id += 1
+            self._profiles[instance_id] = RuntimeProfile(
+                instance_id, kind=kind, site=site, label=label
+            )
+        return instance_id
+
+    def _dense_thread_id(self) -> int:
+        native = threading.get_ident()
+        tid = self._thread_ids.get(native)
+        if tid is None:
+            with self._lock:
+                tid = self._thread_ids.setdefault(native, len(self._thread_ids))
+        return tid
+
+    # -- hot recording path ----------------------------------------------
+
+    def record(
+        self,
+        instance_id: int,
+        op: OperationKind,
+        kind: AccessKind,
+        position: int | None,
+        size: int,
+    ) -> None:
+        """Record one access event (called by tracked structures)."""
+        wall = time.perf_counter() if self._capture_wall_time else None
+        self._channel.post(
+            (instance_id, int(op), int(kind), position, size, self._dense_thread_id(), wall)
+        )
+
+    # -- post-mortem assembly ---------------------------------------------
+
+    def _assemble(self, raws: list) -> None:
+        for seq in range(self._assembled, len(raws)):
+            event = materialize(seq, raws[seq])
+            profile = self._profiles.get(event.instance_id)
+            if profile is not None:
+                profile.append(event)
+        self._assembled = len(raws)
+
+    def assemble(self) -> dict[int, RuntimeProfile]:
+        """Materialize newly recorded events without closing the channel.
+
+        Lets callers inspect profiles mid-session; recording continues
+        afterwards.  :meth:`finish` performs the terminal drain.
+        """
+        if not self._finished:
+            self._assemble(self._channel.snapshot())
+        return self._profiles
+
+    def finish(self) -> dict[int, RuntimeProfile]:
+        """Drain the channel and assemble all runtime profiles.
+
+        Idempotent: subsequent calls return the already-assembled
+        profiles.
+        """
+        if not self._finished:
+            self._finished = True
+            self._assemble(self._channel.drain())
+        return self._profiles
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    @property
+    def event_count(self) -> int:
+        """Events recorded so far (exact once finished)."""
+        if self._finished:
+            return sum(len(p) for p in self._profiles.values())
+        return self._channel.pending
+
+    @property
+    def instance_count(self) -> int:
+        return len(self._profiles)
+
+    def profiles(self) -> list[RuntimeProfile]:
+        """All profiles, ordered by instance id (assembled up to now;
+        the channel stays open until :meth:`finish`)."""
+        assembled = self.assemble()
+        return [assembled[i] for i in sorted(assembled)]
+
+    def nonempty_profiles(self) -> list[RuntimeProfile]:
+        """Profiles that observed at least one event."""
+        return [p for p in self.profiles() if len(p)]
+
+    def profiles_by_label(self) -> dict[str, RuntimeProfile]:
+        """Label → profile; later registrations win duplicate labels."""
+        return {p.label: p for p in self.profiles()}
+
+    def profile_of(self, instance_id: int) -> RuntimeProfile:
+        return self.assemble()[instance_id]
+
+
+# -- ambient collector ----------------------------------------------------
+
+_ambient = EventCollector()
+_stack: list[EventCollector] = []
+_stack_lock = threading.Lock()
+
+
+def get_collector() -> EventCollector:
+    """The collector new tracked structures attach to."""
+    with _stack_lock:
+        return _stack[-1] if _stack else _ambient
+
+
+def push_collector(collector: EventCollector) -> None:
+    with _stack_lock:
+        _stack.append(collector)
+
+
+def pop_collector() -> EventCollector:
+    with _stack_lock:
+        return _stack.pop()
+
+
+def reset_ambient() -> EventCollector:
+    """Replace the ambient collector (test isolation helper)."""
+    global _ambient
+    _ambient = EventCollector()
+    return _ambient
+
+
+@contextmanager
+def collecting(
+    channel: Channel | None = None,
+    capture_wall_time: bool = False,
+    asynchronous: bool = False,
+) -> Iterator[EventCollector]:
+    """Install a fresh collector for the duration of the block.
+
+    The collector is finished (channel drained, profiles assembled) on
+    exit, so profiles are ready for analysis immediately afterwards.
+    """
+    if channel is None and asynchronous:
+        channel = AsyncChannel()
+    collector = EventCollector(channel=channel, capture_wall_time=capture_wall_time)
+    push_collector(collector)
+    try:
+        yield collector
+    finally:
+        pop_collector()
+        collector.finish()

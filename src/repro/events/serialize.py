@@ -1,0 +1,145 @@
+"""Profile persistence: JSON-lines export/import.
+
+DSspy analyzes profiles post-mortem (§IV); persisting them decouples
+capture from analysis entirely — capture on one machine, mine on
+another, or archive a profile corpus for regression runs.  The format
+is one JSON object per line: a header line per profile followed by its
+events, so arbitrarily large captures stream without loading whole
+files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from .collector import EventCollector
+from .event import AccessEvent
+from .profile import AllocationSite, RuntimeProfile
+from .types import AccessKind, OperationKind, StructureKind
+
+FORMAT_VERSION = 1
+
+
+def _profile_header(profile: RuntimeProfile) -> dict:
+    header: dict = {
+        "type": "profile",
+        "version": FORMAT_VERSION,
+        "instance_id": profile.instance_id,
+        "kind": profile.kind.value,
+        "label": profile.label,
+        "events": len(profile),
+    }
+    if profile.site is not None:
+        header["site"] = {
+            "filename": profile.site.filename,
+            "lineno": profile.site.lineno,
+            "function": profile.site.function,
+            "variable": profile.site.variable,
+        }
+    return header
+
+
+def _event_record(event: AccessEvent) -> list:
+    """Compact positional encoding: [seq, op, kind, position, size, thread]."""
+    return [
+        event.seq,
+        int(event.op),
+        int(event.kind),
+        event.position,
+        event.size,
+        event.thread_id,
+    ]
+
+
+def dump_profiles(profiles: Iterable[RuntimeProfile], fh: TextIO) -> int:
+    """Write profiles as JSON lines; returns the profile count."""
+    count = 0
+    for profile in profiles:
+        fh.write(json.dumps(_profile_header(profile)) + "\n")
+        for event in profile:
+            fh.write(json.dumps(_event_record(event)) + "\n")
+        count += 1
+    return count
+
+
+def save_profiles(
+    profiles: Iterable[RuntimeProfile], path: str | Path
+) -> Path:
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        dump_profiles(profiles, fh)
+    return path
+
+
+def save_collector(collector: EventCollector, path: str | Path) -> Path:
+    """Persist everything a (finished) collector captured."""
+    return save_profiles(collector.profiles(), path)
+
+
+def _parse_site(raw: dict | None) -> AllocationSite | None:
+    if raw is None:
+        return None
+    return AllocationSite(
+        filename=raw["filename"],
+        lineno=raw["lineno"],
+        function=raw.get("function", "<module>"),
+        variable=raw.get("variable", ""),
+    )
+
+
+def load_profiles(fh: TextIO) -> Iterator[RuntimeProfile]:
+    """Stream profiles back from a JSON-lines file."""
+    current: RuntimeProfile | None = None
+    remaining = 0
+    for lineno, line in enumerate(fh, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if isinstance(record, dict):
+            if record.get("type") != "profile":
+                raise ValueError(f"line {lineno}: unexpected header {record!r}")
+            if record.get("version") != FORMAT_VERSION:
+                raise ValueError(
+                    f"line {lineno}: unsupported version {record.get('version')!r}"
+                )
+            if current is not None:
+                if remaining:
+                    raise ValueError("truncated profile: missing events")
+                yield current
+            current = RuntimeProfile(
+                record["instance_id"],
+                kind=StructureKind(record["kind"]),
+                site=_parse_site(record.get("site")),
+                label=record.get("label", ""),
+            )
+            remaining = record["events"]
+        else:
+            if current is None:
+                raise ValueError(f"line {lineno}: event before any header")
+            if remaining <= 0:
+                raise ValueError(f"line {lineno}: more events than declared")
+            seq, op, kind, position, size, thread_id = record
+            current.append(
+                AccessEvent(
+                    seq=seq,
+                    kind=AccessKind(kind),
+                    op=OperationKind(op),
+                    position=position,
+                    size=size,
+                    thread_id=thread_id,
+                    instance_id=current.instance_id,
+                )
+            )
+            remaining -= 1
+    if current is not None:
+        if remaining:
+            raise ValueError("truncated profile: missing events")
+        yield current
+
+
+def read_profiles(path: str | Path) -> list[RuntimeProfile]:
+    with Path(path).open("r", encoding="utf-8") as fh:
+        return list(load_profiles(fh))

@@ -1,0 +1,69 @@
+"""Static analysis, AST instrumentation and instrumented execution.
+
+The Python analog of DSspy's Roslyn pipeline: find container
+instantiation sites, rewrite them to tracked proxies, compile and run
+the instrumented copy, and scan whole corpora for the empirical study.
+"""
+
+from .autotransform import (
+    TransformReport,
+    suggest_transforms,
+    transform_source,
+)
+from .decorators import analyze_function, instrumented
+from .import_hook import (
+    InstrumentingFinder,
+    instrument_imports,
+    reimport_instrumented,
+)
+from .corpus import (
+    DYNAMIC_KINDS,
+    CorpusStats,
+    ProgramStats,
+    count_loc,
+    scan_corpus,
+    scan_program,
+)
+from .rewriter import RewriteConfig, RewriteResult, rewrite_source
+from .runner import (
+    InstrumentedRun,
+    SlowdownResult,
+    measure_slowdown,
+    run_instrumented,
+    run_instrumented_file,
+)
+from .static_analysis import (
+    InstantiationSite,
+    count_by_kind,
+    find_sites,
+    find_sites_in_file,
+)
+
+__all__ = [
+    "CorpusStats",
+    "DYNAMIC_KINDS",
+    "InstantiationSite",
+    "InstrumentedRun",
+    "ProgramStats",
+    "RewriteConfig",
+    "RewriteResult",
+    "SlowdownResult",
+    "TransformReport",
+    "InstrumentingFinder",
+    "analyze_function",
+    "instrument_imports",
+    "reimport_instrumented",
+    "instrumented",
+    "count_by_kind",
+    "count_loc",
+    "find_sites",
+    "find_sites_in_file",
+    "measure_slowdown",
+    "rewrite_source",
+    "run_instrumented",
+    "run_instrumented_file",
+    "scan_corpus",
+    "scan_program",
+    "suggest_transforms",
+    "transform_source",
+]

@@ -1,0 +1,131 @@
+"""Function-level instrumentation decorator.
+
+Ergonomic sugar over the rewriting pipeline: decorate a function and
+every container *it* creates becomes tracked, without touching the rest
+of the program — the per-function flavour of the paper's selective
+profiler mode.
+
+::
+
+    @instrumented
+    def build_index(lines):
+        index = []                  # becomes a TrackedList
+        for line in lines:
+            index.append(line.lower())
+        return index
+
+    build_index(data)
+    report = analyze_function(build_index)
+
+Implementation: grab the function's source, re-parse, apply the same
+AST rewriter used for whole modules, recompile in the function's own
+globals.  Closures over nonlocal variables cannot be recompiled this
+way and are rejected with a clear error.
+"""
+
+from __future__ import annotations
+
+import ast
+import functools
+import inspect
+import textwrap
+from typing import Any, Callable, TypeVar
+
+from ..events.collector import EventCollector, collecting, get_collector
+from ..usecases.engine import UseCaseEngine, UseCaseReport
+from .rewriter import RewriteConfig, _Rewriter, _import_header
+
+F = TypeVar("F", bound=Callable)
+
+
+def _recompiled(fn: Callable, config: RewriteConfig) -> Callable:
+    if fn.__closure__:
+        raise ValueError(
+            f"@instrumented cannot rewrite {fn.__name__!r}: it closes over "
+            "nonlocal variables; instrument the enclosing scope instead"
+        )
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+    except (OSError, TypeError) as exc:
+        raise ValueError(
+            f"@instrumented needs source access for {fn.__name__!r}"
+        ) from exc
+
+    tree = ast.parse(source)
+    fn_def = tree.body[0]
+    if not isinstance(fn_def, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        raise ValueError("@instrumented expects a plain function")
+    # Drop our own decorator (and leave others; they re-apply on exec).
+    fn_def.decorator_list = [
+        d
+        for d in fn_def.decorator_list
+        if not (isinstance(d, ast.Name) and d.id in ("instrumented",))
+        and not (
+            isinstance(d, ast.Call)
+            and isinstance(d.func, ast.Name)
+            and d.func.id == "instrumented"
+        )
+    ]
+
+    rewriter = _Rewriter(config)
+    tree = rewriter.visit(tree)
+    tree.body = _import_header() + tree.body
+    ast.fix_missing_locations(tree)
+
+    namespace: dict[str, Any] = dict(fn.__globals__)
+    code = compile(tree, f"<instrumented {fn.__name__}>", "exec")
+    exec(code, namespace)
+    rebuilt = namespace[fn.__name__]
+    rebuilt.__dsspy_rewrites__ = rewriter.rewrites
+    return rebuilt
+
+
+def instrumented(
+    fn: F | None = None, *, dicts: bool = False
+) -> F | Callable[[F], F]:
+    """Decorator: containers created inside the function are tracked.
+
+    Each call records into the *active* collector (ambient or the
+    enclosing :func:`~repro.events.collecting` block).  The wrapper
+    keeps a reference to the collectors it recorded into, so
+    :func:`analyze_function` works without plumbing.
+    """
+
+    def wrap(inner: F) -> F:
+        config = RewriteConfig(dicts=dicts)
+        rebuilt = _recompiled(inner, config)
+
+        @functools.wraps(inner)
+        def wrapper(*args, **kwargs):
+            collector = get_collector()
+            wrapper.__dsspy_collectors__.append(collector)
+            return rebuilt(*args, **kwargs)
+
+        wrapper.__dsspy_collectors__ = []  # type: ignore[attr-defined]
+        wrapper.__dsspy_rewrites__ = rebuilt.__dsspy_rewrites__  # type: ignore[attr-defined]
+        wrapper.__wrapped_instrumented__ = rebuilt  # type: ignore[attr-defined]
+        return wrapper  # type: ignore[return-value]
+
+    if fn is not None:
+        return wrap(fn)
+    return wrap
+
+
+def analyze_function(
+    fn: Callable, engine: UseCaseEngine | None = None
+) -> UseCaseReport:
+    """Use-case report over every capture an ``@instrumented`` function
+    recorded (most recent collector wins for duplicates)."""
+    collectors: list[EventCollector] = list(
+        dict.fromkeys(getattr(fn, "__dsspy_collectors__", []))
+    )
+    if not collectors:
+        raise ValueError(
+            f"{getattr(fn, '__name__', fn)!r} has not recorded anything; "
+            "is it decorated with @instrumented and has it been called?"
+        )
+    engine = engine if engine is not None else UseCaseEngine()
+    profiles = []
+    for collector in collectors:
+        profiles.extend(collector.profiles())
+    return engine.analyze(profiles)

@@ -1,0 +1,131 @@
+"""Import-time instrumentation of whole packages.
+
+DSspy instruments "a full source code copy" of the analyzed project
+(§IV).  For Python programs the natural equivalent is a meta-path
+import hook: while installed, every module whose name matches the
+configured prefixes is rewritten (containers → tracked proxies) as it
+is imported — no copies on disk, the original files untouched.
+
+::
+
+    with instrument_imports("myapp"):
+        import myapp.engine          # imported instrumented
+        myapp.engine.run()
+    report = UseCaseEngine().analyze_collector(collector)
+
+Already-imported modules are not re-instrumented (Python caches them);
+use :func:`reimport_instrumented` for those.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.abc
+import importlib.machinery
+import importlib.util
+import sys
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from .rewriter import RewriteConfig, rewrite_source
+
+
+class _InstrumentingLoader(importlib.abc.SourceLoader):
+    """Source loader that rewrites module code before compilation."""
+
+    def __init__(self, fullname: str, path: str, config: RewriteConfig) -> None:
+        self._fullname = fullname
+        self._path = path
+        self._config = config
+        self.rewrites = 0
+
+    def get_filename(self, fullname: str) -> str:
+        return self._path
+
+    def get_data(self, path: str) -> bytes:
+        source = Path(path).read_text(encoding="utf-8")
+        result = rewrite_source(source, config=self._config, filename=path)
+        self.rewrites = result.rewrites
+        return result.source.encode("utf-8")
+
+    # Rewritten source must never be satisfied from stale bytecode.
+    def path_stats(self, path: str):  # pragma: no cover - importlib detail
+        raise OSError("no bytecode caching for instrumented modules")
+
+
+class InstrumentingFinder(importlib.abc.MetaPathFinder):
+    """Meta-path finder dispatching matching modules to the rewriter."""
+
+    def __init__(
+        self, prefixes: Sequence[str], config: RewriteConfig | None = None
+    ) -> None:
+        self.prefixes = tuple(prefixes)
+        self.config = config if config is not None else RewriteConfig()
+        self.instrumented_modules: dict[str, int] = {}
+
+    def _matches(self, fullname: str) -> bool:
+        return any(
+            fullname == p or fullname.startswith(p + ".") for p in self.prefixes
+        )
+
+    def find_spec(self, fullname, path, target=None):
+        if not self._matches(fullname):
+            return None
+        # Locate the plain source spec with this finder masked out, to
+        # avoid infinite recursion.
+        finders = [f for f in sys.meta_path if f is not self]
+        spec = None
+        for finder in finders:
+            try:
+                spec = finder.find_spec(fullname, path, target)
+            except (AttributeError, ImportError):
+                continue
+            if spec is not None:
+                break
+        if spec is None or not spec.origin or not spec.origin.endswith(".py"):
+            return spec
+        loader = _InstrumentingLoader(fullname, spec.origin, self.config)
+        new_spec = importlib.util.spec_from_file_location(
+            fullname,
+            spec.origin,
+            loader=loader,
+            submodule_search_locations=spec.submodule_search_locations,
+        )
+        self.instrumented_modules[fullname] = -1  # filled after exec
+        return new_spec
+
+
+@contextmanager
+def instrument_imports(
+    *prefixes: str, config: RewriteConfig | None = None
+) -> Iterator[InstrumentingFinder]:
+    """Install the instrumenting finder for the duration of the block.
+
+    Modules imported inside whose dotted names match a prefix are
+    rewritten.  On exit the finder is removed and any instrumented
+    modules are evicted from ``sys.modules`` so later imports get the
+    original code.
+    """
+    if not prefixes:
+        raise ValueError("at least one package prefix is required")
+    finder = InstrumentingFinder(prefixes, config)
+    sys.meta_path.insert(0, finder)
+    try:
+        yield finder
+    finally:
+        sys.meta_path.remove(finder)
+        for name in list(sys.modules):
+            if finder._matches(name):
+                del sys.modules[name]
+
+
+def reimport_instrumented(
+    module_name: str, config: RewriteConfig | None = None
+):
+    """Import (or re-import) one module instrumented, returning it."""
+    sys.modules.pop(module_name, None)
+    with instrument_imports(module_name.split(".")[0], config=config):
+        module = importlib.import_module(module_name)
+    # The context evicted it from sys.modules; the object stays usable.
+    return module

@@ -1,0 +1,176 @@
+"""AST rewriting: plain containers → tracked proxies.
+
+DSspy "directly manipulate[s] the source code and add[s] instrumentation
+statements" to a full copy of the project (§IV).  The Python analog is
+an ``ast.NodeTransformer`` that replaces container construction in
+assignment position with the equivalent ``Tracked*`` constructor,
+carrying the assigned variable name as the profile label.
+
+Rewritten forms (assignment values only, so call arguments and interim
+expressions keep native semantics):
+
+====================  ==========================================
+``xs = [...]``        ``xs = TrackedList([...], label="xs")``
+``xs = [c] * n``      ``xs = TrackedArray(n, fill=c, label="xs")``
+``xs = list(e)``      ``xs = TrackedList(list(e), label="xs")``
+``d = {...}``         ``d = TrackedDict({...}, label="d")``
+``d = dict(...)``     ``d = TrackedDict(dict(...), label="d")``
+``xs = [f(i) for i]`` ``xs = TrackedList([...], label="xs")``
+====================  ==========================================
+
+The tracked constructors are imported under collision-proof aliases at
+the top of the instrumented module.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+_ALIASES = {
+    "TrackedList": "_dsspy_TrackedList",
+    "TrackedArray": "_dsspy_TrackedArray",
+    "TrackedDict": "_dsspy_TrackedDict",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class RewriteConfig:
+    """Which container species to instrument.
+
+    DSspy's automatic mode covers lists and arrays; dictionaries are the
+    opt-in extension the proxy design makes cheap.
+    """
+
+    lists: bool = True
+    arrays: bool = True
+    dicts: bool = False
+
+
+class _Rewriter(ast.NodeTransformer):
+    def __init__(self, config: RewriteConfig) -> None:
+        self.config = config
+        self.rewrites = 0
+
+    # -- assignment interception -------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> ast.Assign:
+        self.generic_visit(node)
+        label = ""
+        if len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                label = target.id
+            elif isinstance(target, ast.Attribute):
+                label = target.attr
+        node.value = self._maybe_wrap(node.value, label)
+        return node
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> ast.AnnAssign:
+        self.generic_visit(node)
+        if node.value is not None:
+            label = node.target.id if isinstance(node.target, ast.Name) else ""
+            node.value = self._maybe_wrap(node.value, label)
+        return node
+
+    # -- wrapping --------------------------------------------------------------
+
+    def _tracked_call(self, alias: str, args: list[ast.expr], label: str) -> ast.Call:
+        self.rewrites += 1
+        keywords = []
+        if label:
+            keywords.append(ast.keyword(arg="label", value=ast.Constant(label)))
+        return ast.Call(func=ast.Name(id=alias, ctx=ast.Load()), args=args, keywords=keywords)
+
+    def _maybe_wrap(self, value: ast.expr, label: str) -> ast.expr:
+        cfg = self.config
+        # Fixed-size allocation [c] * n or n * [c]  →  TrackedArray.
+        if cfg.arrays and isinstance(value, ast.BinOp) and isinstance(value.op, ast.Mult):
+            lst, length = None, None
+            if isinstance(value.left, ast.List):
+                lst, length = value.left, value.right
+            elif isinstance(value.right, ast.List):
+                lst, length = value.right, value.left
+            if lst is not None and len(lst.elts) == 1:
+                self.rewrites += 1
+                keywords = [ast.keyword(arg="fill", value=lst.elts[0])]
+                if label:
+                    keywords.append(
+                        ast.keyword(arg="label", value=ast.Constant(label))
+                    )
+                return ast.Call(
+                    func=ast.Name(id=_ALIASES["TrackedArray"], ctx=ast.Load()),
+                    args=[length],
+                    keywords=keywords,
+                )
+        if cfg.lists:
+            if isinstance(value, (ast.List, ast.ListComp)):
+                return self._tracked_call(_ALIASES["TrackedList"], [value], label)
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id == "list"
+            ):
+                return self._tracked_call(_ALIASES["TrackedList"], [value], label)
+        if cfg.dicts:
+            if isinstance(value, (ast.Dict, ast.DictComp)):
+                return self._tracked_call(_ALIASES["TrackedDict"], [value], label)
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id == "dict"
+            ):
+                return self._tracked_call(_ALIASES["TrackedDict"], [value], label)
+        return value
+
+
+def _import_header() -> list[ast.stmt]:
+    return [
+        ast.ImportFrom(
+            module="repro.structures",
+            names=[
+                ast.alias(name=original, asname=alias)
+                for original, alias in _ALIASES.items()
+            ],
+            level=0,
+        )
+    ]
+
+
+@dataclass(frozen=True, slots=True)
+class RewriteResult:
+    """Instrumented source plus bookkeeping."""
+
+    source: str
+    rewrites: int
+    original: str
+
+
+def rewrite_source(
+    source: str,
+    config: RewriteConfig | None = None,
+    filename: str = "<instrumented>",
+) -> RewriteResult:
+    """Instrument ``source``; returns the new source and rewrite count.
+
+    The instrumented module is behaviourally equivalent (tracked proxies
+    implement the native interfaces) but reports every container
+    interaction to the active collector.
+    """
+    cfg = config if config is not None else RewriteConfig()
+    tree = ast.parse(source, filename=filename)
+    rewriter = _Rewriter(cfg)
+    tree = rewriter.visit(tree)
+
+    # Insert imports after a module docstring, if any.
+    body = tree.body
+    insert_at = 0
+    if body and isinstance(body[0], ast.Expr) and isinstance(
+        body[0].value, ast.Constant
+    ) and isinstance(body[0].value.value, str):
+        insert_at = 1
+    tree.body = body[:insert_at] + _import_header() + body[insert_at:]
+    ast.fix_missing_locations(tree)
+    return RewriteResult(
+        source=ast.unparse(tree), rewrites=rewriter.rewrites, original=source
+    )

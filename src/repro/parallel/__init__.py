@@ -1,0 +1,54 @@
+"""Parallel substrate: simulated multicore machine, real thread
+executors, parallel containers, and recommendation transforms."""
+
+from .contention import (
+    PAPER_CONTENDED_MACHINE,
+    ContendedMachine,
+    ContentionConfig,
+    speedup_under_contention,
+)
+from .executor import ParallelExecutor, chunk_ranges, default_workers
+from .machine import (
+    PAPER_MACHINE,
+    MachineConfig,
+    ParallelRegion,
+    SimulatedMachine,
+    WorkDecomposition,
+    amdahl,
+)
+from .parallel_list import ParallelList, ParallelQueue, parallel_sorted
+from .validate import ValidationPoint, measure_point, validate_machine_model
+from .transforms import (
+    SPEEDUP_SUCCESS_THRESHOLD,
+    TransformOutcome,
+    apply_all,
+    apply_recommendation,
+    estimate_region,
+)
+
+__all__ = [
+    "ContendedMachine",
+    "ContentionConfig",
+    "MachineConfig",
+    "PAPER_CONTENDED_MACHINE",
+    "PAPER_MACHINE",
+    "speedup_under_contention",
+    "ParallelExecutor",
+    "ParallelList",
+    "ParallelQueue",
+    "ParallelRegion",
+    "SPEEDUP_SUCCESS_THRESHOLD",
+    "SimulatedMachine",
+    "TransformOutcome",
+    "ValidationPoint",
+    "measure_point",
+    "validate_machine_model",
+    "WorkDecomposition",
+    "amdahl",
+    "apply_all",
+    "apply_recommendation",
+    "chunk_ranges",
+    "default_workers",
+    "estimate_region",
+    "parallel_sorted",
+]

@@ -1,0 +1,104 @@
+"""Memory-bandwidth contention extension of the machine model.
+
+The plain :class:`~repro.parallel.machine.SimulatedMachine` assumes
+cores never contend, so large data-parallel regions approach their
+Amdahl limits — which is why our simulated GPdotNET/Mandelbrot speedups
+(≈5–8×) overshoot the paper's measured ≈3× on a real 8-core AMD FX
+(one shared memory interface, two cores per module on that chip).
+
+:class:`ContendedMachine` adds a single parameter: each task's work is
+split into a compute fraction (scales freely) and a memory fraction
+(serialized onto a shared-bandwidth budget of ``memory_lanes``
+concurrent streams).  The effective parallel time of a region becomes::
+
+    compute_part / cores  +  memory_part / min(cores, memory_lanes)
+
+plus the usual overheads.  With ``memory_intensity≈0.45`` and
+``memory_lanes=2`` the evaluation workloads land in the paper's 2–3×
+regime (see ``benchmarks/test_ablation.py`` / EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .machine import MachineConfig, ParallelRegion, SimulatedMachine, WorkDecomposition
+
+
+@dataclass(frozen=True, slots=True)
+class ContentionConfig:
+    """Bandwidth-contention parameters on top of a machine config.
+
+    Attributes
+    ----------
+    memory_intensity:
+        Fraction of every task's work that is memory-bound (0 = pure
+        compute, 1 = pure streaming).  Container-operation-heavy
+        workloads — exactly what DSspy profiles — sit near 0.4–0.6.
+    memory_lanes:
+        How many memory streams the socket sustains concurrently; 2
+        approximates the paper's AMD FX 8120 (shared FPU/memory per
+        module).
+    """
+
+    machine: MachineConfig = MachineConfig()
+    memory_intensity: float = 0.45
+    memory_lanes: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.memory_intensity <= 1.0:
+            raise ValueError("memory_intensity must be in [0, 1]")
+        if self.memory_lanes < 1:
+            raise ValueError("memory_lanes must be >= 1")
+
+
+class ContendedMachine(SimulatedMachine):
+    """Simulated machine with a shared memory-bandwidth ceiling."""
+
+    def __init__(self, config: ContentionConfig | None = None) -> None:
+        self.contention = config if config is not None else ContentionConfig()
+        super().__init__(self.contention.machine)
+
+    def parallel_time(self, costs) -> float:
+        """Cores execute their full task costs; additionally the
+        memory-bound share of the region's total work must stream
+        through at most ``memory_lanes`` concurrent channels, so the
+        region cannot finish faster than that shared pipe allows."""
+        if not costs:
+            return 0.0
+        cfg = self.config
+        overheaded = [c + cfg.task_overhead for c in costs]
+        compute_span = self.makespan(overheaded)
+        memory_work = sum(costs) * self.contention.memory_intensity
+        memory_span = memory_work / min(self.cores, self.contention.memory_lanes)
+        return cfg.fork_join_overhead + max(compute_span, memory_span)
+
+    def effective_parallelism(self, region_work: float) -> float:
+        """Asymptotic speedup of an infinitely divisible region."""
+        if region_work <= 0:
+            return 1.0
+        return region_work / max(
+            self.parallel_time(self.chunk_work(region_work))
+            - self.config.fork_join_overhead,
+            1e-12,
+        )
+
+
+#: Contention model tuned to the paper's test system: with it, the
+#: evaluation workloads' total speedups land in the published 1.2–3.0
+#: band (see the contention ablation bench).
+PAPER_CONTENDED_MACHINE = ContendedMachine(
+    ContentionConfig(
+        machine=MachineConfig(cores=8),
+        memory_intensity=0.45,
+        memory_lanes=2,
+    )
+)
+
+
+def speedup_under_contention(
+    decomposition: WorkDecomposition,
+    machine: ContendedMachine = PAPER_CONTENDED_MACHINE,
+) -> float:
+    """End-to-end speedup of a decomposition on the contended machine."""
+    return decomposition.speedup(machine)

@@ -1,0 +1,190 @@
+"""Deterministic simulated multicore machine.
+
+The paper measures speedups on an 8-core AMD FX 8120; this container has
+a single core, so wall-clock threading cannot reproduce those numbers
+(see DESIGN.md §2).  :class:`SimulatedMachine` is the substitution: a
+work/span cost model with an LPT (longest-processing-time-first) greedy
+scheduler, per-task spawn overhead and per-region fork/join overhead.
+Speedup *shapes* — who wins, Amdahl ceilings, where parallelization
+stops paying — are properties of this model, and they are what
+EXPERIMENTS.md compares against the paper.
+
+Costs are abstract work units; only ratios matter.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class MachineConfig:
+    """Cost-model parameters.
+
+    Attributes
+    ----------
+    cores:
+        Worker count; 8 matches the paper's test system.
+    task_overhead:
+        Work units added per spawned task (scheduling, closure setup).
+    fork_join_overhead:
+        Fixed work units per parallel region (thread wake-up, barrier).
+        This is what makes tiny regions not worth parallelizing — the
+        mechanism behind the paper's false positives ("initializations
+        without speedup").
+    """
+
+    cores: int = 8
+    task_overhead: float = 1.0
+    fork_join_overhead: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+        if self.task_overhead < 0 or self.fork_join_overhead < 0:
+            raise ValueError("overheads must be >= 0")
+
+
+#: The paper's evaluation machine.
+PAPER_MACHINE = MachineConfig(cores=8)
+
+
+def amdahl(sequential_fraction: float, cores: int) -> float:
+    """Amdahl's-law speedup ceiling for a given sequential fraction."""
+    if not 0.0 <= sequential_fraction <= 1.0:
+        raise ValueError("sequential_fraction must be in [0, 1]")
+    if cores < 1:
+        raise ValueError("cores must be >= 1")
+    return 1.0 / (sequential_fraction + (1.0 - sequential_fraction) / cores)
+
+
+class SimulatedMachine:
+    """Schedules abstract task costs onto ``cores`` workers."""
+
+    def __init__(self, config: MachineConfig | None = None) -> None:
+        self.config = config if config is not None else MachineConfig()
+
+    @property
+    def cores(self) -> int:
+        return self.config.cores
+
+    # -- scheduling ----------------------------------------------------
+
+    def makespan(self, costs: Sequence[float]) -> float:
+        """LPT-greedy makespan of the given task costs (no overheads)."""
+        if not costs:
+            return 0.0
+        loads = [0.0] * min(self.cores, len(costs))
+        heapq.heapify(loads)
+        for cost in sorted(costs, reverse=True):
+            load = heapq.heappop(loads)
+            heapq.heappush(loads, load + cost)
+        return max(loads)
+
+    def parallel_time(self, costs: Sequence[float]) -> float:
+        """Wall-time of one parallel region executing ``costs``."""
+        if not costs:
+            return 0.0
+        cfg = self.config
+        overheaded = [c + cfg.task_overhead for c in costs]
+        return cfg.fork_join_overhead + self.makespan(overheaded)
+
+    @staticmethod
+    def sequential_time(costs: Sequence[float]) -> float:
+        return float(sum(costs))
+
+    def region_speedup(self, costs: Sequence[float]) -> float:
+        """Speedup of parallelizing one region vs running it inline."""
+        seq = self.sequential_time(costs)
+        if seq <= 0:
+            return 1.0
+        return seq / self.parallel_time(costs)
+
+    # -- convenience: evenly divisible work ------------------------------
+
+    def chunk_work(self, total_work: float, chunks: int | None = None) -> list[float]:
+        """Split ``total_work`` into equal chunks (default: one per core)."""
+        n = chunks if chunks is not None else self.cores
+        n = max(int(n), 1)
+        return [total_work / n] * n
+
+    def data_parallel_speedup(
+        self, total_work: float, chunks: int | None = None
+    ) -> float:
+        """Speedup of a perfectly divisible region of ``total_work``."""
+        if total_work <= 0:
+            return 1.0
+        return self.region_speedup(self.chunk_work(total_work, chunks))
+
+
+@dataclass(frozen=True, slots=True)
+class ParallelRegion:
+    """One parallelizable phase of a program.
+
+    ``work`` is the region's total cost; ``max_parallelism`` caps how
+    many ways it can split (e.g. a producer/consumer queue overlaps at
+    most 2-way regardless of core count).
+    """
+
+    work: float
+    max_parallelism: int | None = None
+    name: str = ""
+
+    def chunks(self, machine: SimulatedMachine) -> list[float]:
+        ways = machine.cores
+        if self.max_parallelism is not None:
+            ways = min(ways, self.max_parallelism)
+        ways = max(ways, 1)
+        return [self.work / ways] * ways
+
+
+@dataclass(frozen=True)
+class WorkDecomposition:
+    """A program as sequential work plus parallelizable regions.
+
+    This is what each workload module declares (measured from its actual
+    operation counts) and what Table VI's sequential-fraction analysis
+    consumes.
+    """
+
+    sequential_work: float
+    regions: tuple[ParallelRegion, ...] = ()
+    name: str = ""
+
+    @property
+    def parallel_work(self) -> float:
+        return sum(r.work for r in self.regions)
+
+    @property
+    def total_work(self) -> float:
+        return self.sequential_work + self.parallel_work
+
+    @property
+    def sequential_fraction(self) -> float:
+        """Table VI's metric: share of runtime that must stay sequential."""
+        total = self.total_work
+        if total <= 0:
+            return 1.0
+        return self.sequential_work / total
+
+    def sequential_time(self) -> float:
+        return self.total_work
+
+    def parallel_time(self, machine: SimulatedMachine) -> float:
+        time = self.sequential_work
+        for region in self.regions:
+            time += machine.parallel_time(region.chunks(machine))
+        return time
+
+    def speedup(self, machine: SimulatedMachine) -> float:
+        """End-to-end program speedup after parallelizing all regions."""
+        par = self.parallel_time(machine)
+        if par <= 0:
+            return 1.0
+        return self.sequential_time() / par
+
+    def amdahl_limit(self, cores: int | None = None) -> float:
+        """Ideal ceiling ignoring overheads (for reporting)."""
+        return amdahl(self.sequential_fraction, cores or 8)

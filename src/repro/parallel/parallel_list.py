@@ -1,0 +1,200 @@
+"""Parallel data containers — the recommendation targets.
+
+When DSspy recommends "employ a parallel queue" or "parallelize the
+search operation", these are the classes the engineer migrates to.
+:class:`ParallelList` offers thread-safe mutation plus chunked parallel
+queries; :class:`ParallelQueue` is the thread-safe FIFO the
+Implement-Queue rule points at (the TPL/PPL/TBB concurrent-container
+analog from the paper's related work).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable, Iterable, Iterator, Sequence, TypeVar
+
+from .executor import ParallelExecutor
+
+T = TypeVar("T")
+
+
+class ParallelList:
+    """Thread-safe list with parallel bulk operations.
+
+    Mutations take an internal lock; parallel queries snapshot the
+    backing storage and fan out over a :class:`ParallelExecutor`.
+    """
+
+    def __init__(
+        self,
+        iterable: Iterable[Any] | None = None,
+        executor: ParallelExecutor | None = None,
+    ) -> None:
+        self._data: list[Any] = list(iterable) if iterable is not None else []
+        self._lock = threading.RLock()
+        self._executor = executor if executor is not None else ParallelExecutor()
+
+    # -- sequential interface (thread-safe) -------------------------------
+
+    def append(self, value) -> None:
+        with self._lock:
+            self._data.append(value)
+
+    def extend(self, iterable: Iterable[Any]) -> None:
+        with self._lock:
+            self._data.extend(iterable)
+
+    def __getitem__(self, i):
+        with self._lock:
+            return self._data[i]
+
+    def __setitem__(self, i, value) -> None:
+        with self._lock:
+            self._data[i] = value
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.snapshot())
+
+    def __contains__(self, value) -> bool:
+        return self.parallel_contains(value)
+
+    def snapshot(self) -> list[Any]:
+        """Consistent copy of the contents."""
+        with self._lock:
+            return list(self._data)
+
+    def sort(self, **kwargs) -> None:
+        with self._lock:
+            self._data.sort(**kwargs)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    # -- parallel bulk operations ------------------------------------------
+
+    def parallel_fill(self, fn: Callable[[int], Any], n: int) -> None:
+        """Replace contents with ``[fn(0), ..., fn(n-1)]`` built in
+        parallel — the Long-Insert transform."""
+        values = self._executor.parallel_fill(fn, n)
+        with self._lock:
+            self._data = values
+
+    def parallel_extend(self, fn: Callable[[int], Any], n: int) -> None:
+        """Append ``n`` generated elements, generation parallelized."""
+        values = self._executor.parallel_fill(fn, n)
+        with self._lock:
+            self._data.extend(values)
+
+    def parallel_search(self, predicate: Callable[[Any], bool]) -> int | None:
+        """Chunked parallel linear search (lowest matching index)."""
+        return self._executor.parallel_search(self.snapshot(), predicate)
+
+    def parallel_index(self, value) -> int:
+        hit = self.parallel_search(lambda x: x == value)
+        if hit is None:
+            raise ValueError(f"{value!r} is not in list")
+        return hit
+
+    def parallel_contains(self, value) -> bool:
+        return self.parallel_search(lambda x: x == value) is not None
+
+    def parallel_map(self, fn: Callable[[Any], Any]) -> list[Any]:
+        return self._executor.parallel_map(fn, self.snapshot())
+
+    def parallel_max(self, key: Callable[[Any], Any] = lambda x: x):
+        """Parallel maximum — the Frequent-Long-Read transform for the
+        priority-queue-as-list case the paper describes (speedup 2.30
+        at 100k elements)."""
+        data = self.snapshot()
+        if not data:
+            raise ValueError("parallel_max on empty list")
+        sentinel = object()
+
+        def fold(acc, item):
+            if acc is sentinel or key(item) > key(acc):
+                return item
+            return acc
+
+        def combine(a, b):
+            if a is sentinel:
+                return b
+            if b is sentinel:
+                return a
+            return a if key(a) >= key(b) else b
+
+        result = self._executor.parallel_reduce(data, fold, combine, sentinel)
+        return result
+
+
+class ParallelQueue:
+    """Thread-safe FIFO queue (the Implement-Queue recommendation).
+
+    Backed by a ``deque`` with a condition variable; ``dequeue`` can
+    optionally block until an element arrives, enabling the
+    producer/consumer overlap that makes the queue-as-list use case
+    profit from parallelization.
+    """
+
+    def __init__(self, iterable: Iterable[Any] | None = None) -> None:
+        self._data: deque = deque(iterable) if iterable is not None else deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+
+    def enqueue(self, value) -> None:
+        with self._not_empty:
+            self._data.append(value)
+            self._not_empty.notify()
+
+    def dequeue(self, block: bool = False, timeout: float | None = None):
+        with self._not_empty:
+            if block:
+                if not self._not_empty.wait_for(lambda: self._data, timeout=timeout):
+                    raise TimeoutError("dequeue timed out")
+            if not self._data:
+                raise IndexError("dequeue from empty queue")
+            return self._data.popleft()
+
+    def peek(self):
+        with self._lock:
+            if not self._data:
+                raise IndexError("peek on empty queue")
+            return self._data[0]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def snapshot(self) -> list[Any]:
+        with self._lock:
+            return list(self._data)
+
+
+def parallel_sorted(
+    items: Sequence[Any],
+    executor: ParallelExecutor | None = None,
+    key=None,
+) -> list[Any]:
+    """Parallel merge sort (Sort-After-Insert transform): chunks sorted
+    concurrently, then merged.  Stable, like ``sorted``."""
+    import heapq
+
+    executor = executor if executor is not None else ParallelExecutor()
+    data = list(items)
+    if len(data) < 2:
+        return data
+    from .executor import chunk_ranges
+
+    ranges = chunk_ranges(len(data), executor.workers)
+    chunks = executor.parallel_map(
+        lambda r: sorted(data[r.start : r.stop], key=key), ranges
+    )
+    return list(heapq.merge(*chunks, key=key))

@@ -1,0 +1,154 @@
+"""Applying recommended actions: estimated transform outcomes.
+
+Given a detected :class:`~repro.usecases.model.UseCase`, this module
+estimates the work that the recommended transform parallelizes (from the
+use case's own evidence and profile) and evaluates it on a
+:class:`~repro.parallel.machine.SimulatedMachine`.  The result mirrors
+the paper's evaluation procedure: "we manually looked through all 24 use
+cases and followed the recommended actions ... and classified the use
+cases in true and false positives" — a use case is a *true positive*
+when following its recommendation yields a speedup.
+
+Work units are access events (one event ≈ one element operation), which
+is exactly the granularity the profiles record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..events.types import OperationKind
+from ..usecases.model import UseCase, UseCaseKind
+from .machine import ParallelRegion, SimulatedMachine
+
+#: A transform must beat this to count as a successful parallelization.
+SPEEDUP_SUCCESS_THRESHOLD = 1.1
+
+
+@dataclass(frozen=True, slots=True)
+class TransformOutcome:
+    """Result of (virtually) applying one recommendation."""
+
+    use_case: UseCase
+    region: ParallelRegion
+    sequential_time: float
+    parallel_time: float
+
+    @property
+    def speedup(self) -> float:
+        if self.parallel_time <= 0:
+            return 1.0
+        return self.sequential_time / self.parallel_time
+
+    @property
+    def is_true_positive(self) -> bool:
+        """Did following the recommendation pay off?"""
+        return self.speedup > SPEEDUP_SUCCESS_THRESHOLD
+
+    def describe(self) -> str:
+        verdict = "true positive" if self.is_true_positive else "false positive"
+        return (
+            f"{self.use_case.kind.label}: work={self.region.work:.0f}, "
+            f"speedup={self.speedup:.2f} ({verdict})"
+        )
+
+
+def estimate_region(use_case: UseCase) -> ParallelRegion:
+    """Parallelizable work implied by a use case's evidence.
+
+    - Long-Insert: the events inside insertion phases.
+    - Implement-Queue: end-operations overlap producer/consumer style,
+      so at most 2-way parallelism.
+    - Sort-After-Insert: insert phase plus the sort's n·log n work.
+    - Frequent-Search: each explicit search costs half a scan of the
+      structure on average.
+    - Frequent-Long-Read: the events inside the long read patterns.
+    """
+    kind = use_case.kind
+    profile = use_case.profile
+    analysis = use_case.analysis
+    evidence = use_case.evidence
+
+    if kind is UseCaseKind.LONG_INSERT:
+        work = analysis.events_in(lambda p: p.pattern_type.is_insert)
+        return ParallelRegion(work=float(work), name="insert phases")
+
+    if kind is UseCaseKind.IMPLEMENT_QUEUE:
+        work = profile.count(OperationKind.INSERT) + profile.count(
+            OperationKind.DELETE
+        )
+        return ParallelRegion(
+            work=float(work), max_parallelism=2, name="queue end operations"
+        )
+
+    if kind is UseCaseKind.SORT_AFTER_INSERT:
+        import math
+
+        insert_work = analysis.events_in(lambda p: p.pattern_type.is_insert)
+        n = max(profile.max_size, 2)
+        sort_work = n * math.log2(n)
+        return ParallelRegion(
+            work=float(insert_work + sort_work), name="insert + sort"
+        )
+
+    if kind is UseCaseKind.FREQUENT_SEARCH:
+        # Granularity matters: each search is its own fork/join region
+        # (one scan of half the structure on average), so thousands of
+        # tiny searches do NOT aggregate into one big parallel region.
+        avg_scan = max(profile.max_size, 1) / 2
+        return ParallelRegion(work=float(avg_scan), name="single search scan")
+
+    if kind is UseCaseKind.FREQUENT_LONG_READ:
+        work = analysis.events_in(lambda p: p.pattern_type.is_read)
+        return ParallelRegion(work=float(work), name="long read patterns")
+
+    # Sequential-optimization kinds carry no parallel region.
+    return ParallelRegion(work=0.0, max_parallelism=1, name="sequential advice")
+
+
+def estimate_operations(use_case: UseCase) -> int:
+    """How many times the region executes (fork/join paid per run).
+
+    One for the phase-shaped use cases; the number of explicit searches
+    for Frequent-Search, whose region is a single scan.
+    """
+    if use_case.kind is UseCaseKind.FREQUENT_SEARCH:
+        return int(
+            use_case.evidence.get(
+                "search_ops", use_case.profile.count(OperationKind.SEARCH)
+            )
+        )
+    return 1
+
+
+def apply_recommendation(
+    use_case: UseCase, machine: SimulatedMachine
+) -> TransformOutcome:
+    """Virtually apply the recommendation and measure on ``machine``."""
+    region = estimate_region(use_case)
+    operations = estimate_operations(use_case)
+    sequential = region.work * operations
+    if sequential <= 0:
+        return TransformOutcome(
+            use_case=use_case,
+            region=region,
+            sequential_time=0.0,
+            parallel_time=0.0,
+        )
+    parallel = operations * machine.parallel_time(region.chunks(machine))
+    return TransformOutcome(
+        use_case=use_case,
+        region=region,
+        sequential_time=sequential,
+        parallel_time=parallel,
+    )
+
+
+def apply_all(
+    use_cases: list[UseCase], machine: SimulatedMachine
+) -> list[TransformOutcome]:
+    """Outcomes for every *parallel* use case (sequential advice is
+    excluded, as in Table IV's true-positive accounting)."""
+    return [
+        apply_recommendation(u, machine) for u in use_cases if u.kind.parallel
+    ]

@@ -1,0 +1,103 @@
+"""Validating the machine model against real concurrency.
+
+The evaluation speedups come from :class:`SimulatedMachine` because the
+host has one CPU core.  One class of work *does* genuinely overlap on a
+single core: blocking waits (I/O, sleeps) release the GIL, so a thread
+pool achieves real wall-clock speedup on wait-bound tasks.  This module
+runs such a workload both ways — measured with real threads, predicted
+by the machine model — giving an end-to-end calibration check that the
+model's *shape* (near-linear scaling until task count < workers, sharp
+overhead penalty for tiny tasks) matches reality where reality is
+observable.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from .machine import MachineConfig, SimulatedMachine
+
+
+@dataclass(frozen=True, slots=True)
+class ValidationPoint:
+    """One (task count, task duration) measurement."""
+
+    tasks: int
+    task_seconds: float
+    workers: int
+    measured_sequential: float
+    measured_parallel: float
+    predicted_speedup: float
+
+    @property
+    def measured_speedup(self) -> float:
+        if self.measured_parallel <= 0:
+            return 1.0
+        return self.measured_sequential / self.measured_parallel
+
+    @property
+    def relative_error(self) -> float:
+        """|measured − predicted| / measured."""
+        measured = self.measured_speedup
+        if measured <= 0:
+            return float("inf")
+        return abs(measured - self.predicted_speedup) / measured
+
+
+def _wait_task(seconds: float) -> None:
+    time.sleep(seconds)
+
+
+def measure_point(
+    tasks: int,
+    task_seconds: float,
+    workers: int,
+    spawn_overhead_seconds: float = 0.0005,
+) -> ValidationPoint:
+    """Run ``tasks`` wait-bound tasks sequentially and pooled, and
+    predict the pooled time with a machine model whose cost unit is one
+    second and whose overheads reflect thread-pool reality."""
+    start = time.perf_counter()
+    for _ in range(tasks):
+        _wait_task(task_seconds)
+    sequential = time.perf_counter() - start
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(_wait_task, task_seconds) for _ in range(tasks)]
+        for future in futures:
+            future.result()
+    parallel = time.perf_counter() - start
+
+    machine = SimulatedMachine(
+        MachineConfig(
+            cores=workers,
+            task_overhead=spawn_overhead_seconds,
+            fork_join_overhead=spawn_overhead_seconds * workers,
+        )
+    )
+    predicted = machine.region_speedup([task_seconds] * tasks)
+
+    return ValidationPoint(
+        tasks=tasks,
+        task_seconds=task_seconds,
+        workers=workers,
+        measured_sequential=sequential,
+        measured_parallel=parallel,
+        predicted_speedup=predicted,
+    )
+
+
+def validate_machine_model(
+    workers: int = 4,
+    task_seconds: float = 0.01,
+    task_counts: tuple[int, ...] = (1, 4, 8, 16),
+) -> list[ValidationPoint]:
+    """Calibration sweep: the model should track measured speedups of a
+    wait-bound workload within tens of percent, and reproduce the shape
+    (speedup grows with task count, saturates at ``workers``)."""
+    return [
+        measure_point(n, task_seconds, workers) for n in task_counts
+    ]

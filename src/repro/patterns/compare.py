@@ -1,0 +1,128 @@
+"""Profile comparison: did a code change remove the smell?
+
+The DSspy workflow ends with the engineer transforming code; this
+module closes the loop by diffing two captures of the same program —
+before and after a migration — at the pattern and use-case level.
+``compare_profiles`` answers "what changed in this structure's
+behaviour", ``compare_reports`` answers "which diagnoses disappeared,
+persisted, or appeared".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..events.profile import RuntimeProfile
+from .detector import PatternDetector
+from .model import PatternType
+from .statistics import ProfileStats, compute_stats
+
+
+@dataclass(frozen=True)
+class ProfileDiff:
+    """Pattern-level and statistics-level delta between two profiles."""
+
+    before: RuntimeProfile
+    after: RuntimeProfile
+    pattern_delta: dict[PatternType, int]
+    stats_before: ProfileStats
+    stats_after: ProfileStats
+
+    @property
+    def event_delta(self) -> int:
+        return len(self.after) - len(self.before)
+
+    @property
+    def read_share_delta(self) -> float:
+        return self.stats_after.read_share - self.stats_before.read_share
+
+    def removed_types(self) -> list[PatternType]:
+        return [t for t, d in self.pattern_delta.items() if d < 0]
+
+    def added_types(self) -> list[PatternType]:
+        return [t for t, d in self.pattern_delta.items() if d > 0]
+
+    def describe(self) -> str:
+        lines = [
+            f"events {len(self.before)} -> {len(self.after)} "
+            f"({self.event_delta:+d})"
+        ]
+        for pattern_type, delta in sorted(
+            self.pattern_delta.items(), key=lambda kv: kv[0].value
+        ):
+            if delta:
+                lines.append(f"  {pattern_type.value}: {delta:+d} patterns")
+        if not any(self.pattern_delta.values()):
+            lines.append("  (pattern mix unchanged)")
+        return "\n".join(lines)
+
+
+def compare_profiles(
+    before: RuntimeProfile,
+    after: RuntimeProfile,
+    detector: PatternDetector | None = None,
+) -> ProfileDiff:
+    """Diff two profiles of (conceptually) the same structure."""
+    detector = detector if detector is not None else PatternDetector()
+    hist_before = detector.detect(before).histogram()
+    hist_after = detector.detect(after).histogram()
+    delta = {
+        t: hist_after.get(t, 0) - hist_before.get(t, 0)
+        for t in set(hist_before) | set(hist_after)
+    }
+    return ProfileDiff(
+        before=before,
+        after=after,
+        pattern_delta=delta,
+        stats_before=compute_stats(before),
+        stats_after=compute_stats(after),
+    )
+
+
+@dataclass(frozen=True)
+class ReportDiff:
+    """Use-case-level delta between two capture sessions.
+
+    Diagnoses are keyed by (label-or-instance, use-case kind), so the
+    comparison survives instance-id renumbering across runs as long as
+    structures are labelled (or created in the same order).
+    """
+
+    resolved: tuple[tuple[str, str], ...]
+    persisting: tuple[tuple[str, str], ...]
+    introduced: tuple[tuple[str, str], ...]
+
+    @property
+    def fully_resolved(self) -> bool:
+        return not self.persisting and not self.introduced
+
+    def describe(self) -> str:
+        lines = []
+        for title, entries in (
+            ("resolved", self.resolved),
+            ("persisting", self.persisting),
+            ("introduced", self.introduced),
+        ):
+            lines.append(f"{title}: {len(entries)}")
+            for label, kind in entries:
+                lines.append(f"  {kind} on {label}")
+        return "\n".join(lines)
+
+
+def _keys(report) -> set[tuple[str, str]]:
+    out = set()
+    for use_case in report.use_cases:
+        label = use_case.profile.label or f"#{use_case.instance_id}"
+        out.add((label, use_case.kind.label))
+    return out
+
+
+def compare_reports(before, after) -> ReportDiff:
+    """Diff two :class:`~repro.usecases.engine.UseCaseReport` objects."""
+    keys_before = _keys(before)
+    keys_after = _keys(after)
+    return ReportDiff(
+        resolved=tuple(sorted(keys_before - keys_after)),
+        persisting=tuple(sorted(keys_before & keys_after)),
+        introduced=tuple(sorted(keys_after - keys_before)),
+    )

@@ -1,0 +1,108 @@
+"""Regularity classification of runtime profiles.
+
+The empirical study's first mining step (§III-A) marked each profile
+"contains regularity" or "contains no regularity" before drilling into
+the source.  A profile is *regular* when it exhibits recurring access
+patterns: either the same pattern type repeats, or a single long pattern
+dominates the profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..events.profile import RuntimeProfile
+from .detector import DetectorConfig, PatternDetector
+from .model import PatternAnalysis, PatternType
+
+
+@dataclass(frozen=True, slots=True)
+class RegularityConfig:
+    """Thresholds for calling a profile regular.
+
+    ``repeat_threshold``
+        A pattern type occurring at least this many times counts as a
+        recurring regularity.
+    ``dominance_fraction``
+        Alternatively, one classified pattern covering at least this
+        share of the profile's events counts (a single long scan or
+        insertion phase is a regularity even if it happens once).
+    ``min_events``
+        Profiles shorter than this are never regular -- too little
+        signal to call anything recurring.
+    """
+
+    repeat_threshold: int = 3
+    dominance_fraction: float = 0.3
+    min_events: int = 10
+
+
+@dataclass(frozen=True, slots=True)
+class RegularityVerdict:
+    """Outcome of the regularity check for one profile."""
+
+    profile: RuntimeProfile
+    analysis: PatternAnalysis
+    is_regular: bool
+    recurring_types: tuple[PatternType, ...]
+    dominant_type: PatternType | None
+
+    def describe(self) -> str:
+        if not self.is_regular:
+            return "contains no regularity"
+        parts = [t.value for t in self.recurring_types]
+        if self.dominant_type and self.dominant_type not in self.recurring_types:
+            parts.append(f"dominant {self.dominant_type.value}")
+        return "contains regularity: " + ", ".join(parts) if parts else "contains regularity"
+
+
+class RegularityClassifier:
+    """Applies :class:`RegularityConfig` on top of pattern detection."""
+
+    def __init__(
+        self,
+        config: RegularityConfig | None = None,
+        detector: PatternDetector | None = None,
+    ) -> None:
+        self.config = config if config is not None else RegularityConfig()
+        self.detector = detector if detector is not None else PatternDetector(
+            DetectorConfig()
+        )
+
+    def classify(self, profile: RuntimeProfile) -> RegularityVerdict:
+        analysis = self.detector.detect(profile)
+        cfg = self.config
+
+        recurring: list[PatternType] = []
+        dominant: PatternType | None = None
+
+        if len(profile) >= cfg.min_events:
+            histogram = analysis.histogram()
+            recurring = [
+                t
+                for t, n in sorted(histogram.items(), key=lambda kv: -kv[1])
+                if t is not PatternType.UNCLASSIFIED and n >= cfg.repeat_threshold
+            ]
+            total = len(profile)
+            best_share = 0.0
+            for p in analysis.patterns:
+                if p.pattern_type is PatternType.UNCLASSIFIED:
+                    continue
+                share = p.length / total
+                if share > best_share:
+                    best_share = share
+                    if share >= cfg.dominance_fraction:
+                        dominant = p.pattern_type
+
+        return RegularityVerdict(
+            profile=profile,
+            analysis=analysis,
+            is_regular=bool(recurring) or dominant is not None,
+            recurring_types=tuple(recurring),
+            dominant_type=dominant,
+        )
+
+    def count_regular(self, profiles: list[RuntimeProfile]) -> int:
+        """Number of profiles marked regular (Table II's per-program
+        'Recurring Regularities' column counts these locations)."""
+        return sum(1 for p in profiles if self.classify(p).is_regular)

@@ -1,0 +1,31 @@
+"""Instrumented (proxy) data structures.
+
+Every container here proxies a native Python container and reports each
+interface interaction to the active
+:class:`~repro.events.collector.EventCollector`, yielding the runtime
+profiles DSspy analyzes (§IV of the paper).
+"""
+
+from .base import TrackedBase, capture_site
+from .registry import TRACKED_CLASSES, as_tracked, tracked_class
+from .tracked_array import TrackedArray
+from .tracked_dict import TrackedDict
+from .tracked_extra import TrackedLinkedList, TrackedSet, TrackedSortedList
+from .tracked_list import TrackedList
+from .tracked_stack import TrackedQueue, TrackedStack
+
+__all__ = [
+    "TRACKED_CLASSES",
+    "TrackedArray",
+    "TrackedBase",
+    "TrackedDict",
+    "TrackedLinkedList",
+    "TrackedList",
+    "TrackedQueue",
+    "TrackedSet",
+    "TrackedSortedList",
+    "TrackedStack",
+    "as_tracked",
+    "capture_site",
+    "tracked_class",
+]

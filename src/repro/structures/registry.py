@@ -1,0 +1,58 @@
+"""Factory registry mapping structure species to proxy classes.
+
+Used by the AST rewriter (``repro.instrument.rewriter``) to replace
+plain constructor calls with tracked equivalents, and by user code that
+wants to wrap an existing container::
+
+    tracked = as_tracked([1, 2, 3], label="scores")
+"""
+
+from __future__ import annotations
+
+from typing import Any, Type
+
+from ..events.types import StructureKind
+from .base import TrackedBase
+from .tracked_array import TrackedArray
+from .tracked_dict import TrackedDict
+from .tracked_extra import TrackedLinkedList, TrackedSet, TrackedSortedList
+from .tracked_list import TrackedList
+from .tracked_stack import TrackedQueue, TrackedStack
+
+#: Species → proxy class.
+TRACKED_CLASSES: dict[StructureKind, Type[TrackedBase]] = {
+    StructureKind.LIST: TrackedList,
+    StructureKind.ARRAY: TrackedArray,
+    StructureKind.DICTIONARY: TrackedDict,
+    StructureKind.STACK: TrackedStack,
+    StructureKind.QUEUE: TrackedQueue,
+    StructureKind.HASH_SET: TrackedSet,
+    StructureKind.SORTED_LIST: TrackedSortedList,
+    StructureKind.LINKED_LIST: TrackedLinkedList,
+}
+
+
+def tracked_class(kind: StructureKind) -> Type[TrackedBase]:
+    """The proxy class for ``kind``; raises ``KeyError`` if untracked."""
+    return TRACKED_CLASSES[kind]
+
+
+def as_tracked(value: Any, label: str = "", collector=None) -> TrackedBase:
+    """Wrap a plain container in the matching tracked proxy.
+
+    Lists become :class:`TrackedList`, dicts :class:`TrackedDict`,
+    tuples :class:`TrackedArray` (fixed size).  Already-tracked values
+    pass through unchanged so instrumented code can be re-instrumented
+    harmlessly.
+    """
+    if isinstance(value, TrackedBase):
+        return value
+    if isinstance(value, list):
+        return TrackedList(value, label=label, collector=collector)
+    if isinstance(value, dict):
+        return TrackedDict(value, label=label, collector=collector)
+    if isinstance(value, tuple):
+        return TrackedArray(value, label=label, collector=collector)
+    if isinstance(value, (set, frozenset)):
+        return TrackedSet(value, label=label, collector=collector)
+    raise TypeError(f"no tracked proxy for {type(value).__name__}")

@@ -1,0 +1,180 @@
+"""Instrumented fixed-size array.
+
+Arrays account for 785 of the instances in the empirical study and are
+the second target of DSspy's automatic analysis.  The distinguishing
+behaviour the paper exploits (the Insert/Delete-Front use case) is that
+arrays are *fixed size*: inserting or deleting means allocating a new
+array and copying every element across.  :class:`TrackedArray`
+reproduces that cost model and emits ``Resize`` + ``Copy`` events so the
+IDF rule can observe the churn.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Any
+
+from ..events.collector import EventCollector
+from ..events.profile import AllocationSite
+from ..events.types import AccessKind, OperationKind, StructureKind
+from .base import TrackedBase
+
+_READ = AccessKind.READ
+_WRITE = AccessKind.WRITE
+_OP = OperationKind
+
+
+class TrackedArray(TrackedBase):
+    """Fixed-size array proxy.
+
+    Construct either with a ``length`` (zero/None-filled) or from an
+    ``iterable`` whose elements become the initial contents.  Unlike
+    :class:`~repro.structures.tracked_list.TrackedList`, constructing
+    from a length emits a single ``Init`` event, not per-element
+    inserts -- allocating an array is one operation.
+    """
+
+    KIND = StructureKind.ARRAY
+
+    __slots__ = ("_data",)
+
+    def __init__(
+        self,
+        length_or_iterable: int | Iterable[Any] = 0,
+        fill: Any = 0,
+        label: str = "",
+        collector: EventCollector | None = None,
+        site: AllocationSite | None = None,
+    ) -> None:
+        super().__init__(label=label, collector=collector, site=site)
+        if isinstance(length_or_iterable, int):
+            self._data: list[Any] = [fill] * length_or_iterable
+        else:
+            self._data = list(length_or_iterable)
+        self._record(_OP.INIT, _WRITE, None, len(self._data))
+
+    # -- element access ---------------------------------------------------
+
+    def _index(self, i: int) -> int:
+        return i + len(self._data) if i < 0 else i
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            indices = range(*i.indices(len(self._data)))
+            self._record(_OP.COPY, _READ, None, len(self._data))
+            for j in indices:
+                self._record(_OP.READ, _READ, j, len(self._data))
+            return [self._data[j] for j in indices]
+        value = self._data[i]
+        self._record(_OP.READ, _READ, self._index(i), len(self._data))
+        return value
+
+    def __setitem__(self, i, value) -> None:
+        if isinstance(i, slice):
+            indices = range(*i.indices(len(self._data)))
+            values = list(value)
+            if len(indices) != len(values):
+                raise ValueError("array slice assignment must preserve length")
+            for j, v in zip(indices, values):
+                self._data[j] = v
+                self._record(_OP.WRITE, _WRITE, j, len(self._data))
+            return
+        self._data[i] = value
+        self._record(_OP.WRITE, _WRITE, self._index(i), len(self._data))
+
+    def __iter__(self) -> Iterator[Any]:
+        self._record(_OP.FORALL, _READ, None, len(self._data))
+        for j in range(len(self._data)):
+            self._record(_OP.READ, _READ, j, len(self._data))
+            yield self._data[j]
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __bool__(self) -> bool:
+        return bool(self._data)
+
+    def __contains__(self, value) -> bool:
+        try:
+            pos: int | None = self._data.index(value)
+        except ValueError:
+            pos = None
+        self._record(_OP.SEARCH, _READ, pos, len(self._data))
+        return pos is not None
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, TrackedArray):
+            return self._data == other._data
+        return self._data == other
+
+    def __ne__(self, other) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self):
+        raise TypeError("unhashable type: 'TrackedArray'")
+
+    def __repr__(self) -> str:
+        return f"TrackedArray({self._data!r})"
+
+    # -- fixed-size churn operations ------------------------------------
+
+    def _reallocate(self, new_data: list[Any]) -> None:
+        """Model the allocate-new + copy-all cost of resizing an array."""
+        self._data = new_data
+        self._record(_OP.RESIZE, _WRITE, None, len(self._data))
+        self._record(_OP.COPY, _WRITE, None, len(self._data))
+
+    def resize(self, new_length: int, fill: Any = 0) -> None:
+        """Grow or shrink, .NET ``Array.Resize`` style."""
+        old = self._data
+        if new_length >= len(old):
+            self._reallocate(old + [fill] * (new_length - len(old)))
+        else:
+            self._reallocate(old[:new_length])
+
+    def insert(self, index: int, value) -> None:
+        """Insertion forces a reallocation and full copy (IDF churn)."""
+        pos = min(max(self._index(index), 0), len(self._data))
+        new_data = self._data[:pos] + [value] + self._data[pos:]
+        self._reallocate(new_data)
+        self._record(_OP.INSERT, _WRITE, pos, len(self._data))
+
+    def delete(self, index: int) -> None:
+        """Deletion forces a reallocation and full copy (IDF churn)."""
+        pos = self._index(index)
+        if not 0 <= pos < len(self._data):
+            raise IndexError("array delete index out of range")
+        new_data = self._data[:pos] + self._data[pos + 1 :]
+        self._reallocate(new_data)
+        self._record(_OP.DELETE, _WRITE, pos, len(self._data))
+
+    # -- queries ----------------------------------------------------------
+
+    def index(self, value) -> int:
+        pos = self._data.index(value)
+        self._record(_OP.SEARCH, _READ, pos, len(self._data))
+        return pos
+
+    index_of = index
+
+    def fill_all(self, value) -> None:
+        """Set every slot (records one write per slot, front to back)."""
+        for j in range(len(self._data)):
+            self._data[j] = value
+            self._record(_OP.WRITE, _WRITE, j, len(self._data))
+
+    def sort(self, *, key=None, reverse: bool = False) -> None:
+        self._data.sort(key=key, reverse=reverse)
+        self._record(_OP.SORT, _WRITE, None, len(self._data))
+
+    def reverse(self) -> None:
+        self._data.reverse()
+        self._record(_OP.REVERSE, _WRITE, None, len(self._data))
+
+    def copy(self) -> list:
+        self._record(_OP.COPY, _READ, None, len(self._data))
+        return self._data.copy()
+
+    def raw(self) -> list:
+        """Underlying storage, event-free (see ``TrackedList.raw``)."""
+        return self._data

@@ -1,0 +1,142 @@
+"""Instrumented dictionary.
+
+``dictionary`` is the second most frequent dynamic data structure in the
+empirical study (16.53% of instances).  The pattern analysis of the
+paper targets *linear* structures, so dictionary events carry no
+positional information (``position=None``); the profile still feeds the
+occurrence study, the visualizer's event-density views and the
+Write-Without-Read rule.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from typing import Any
+
+from ..events.collector import EventCollector
+from ..events.profile import AllocationSite
+from ..events.types import AccessKind, OperationKind, StructureKind
+from .base import TrackedBase
+
+_READ = AccessKind.READ
+_WRITE = AccessKind.WRITE
+_OP = OperationKind
+
+_MISSING = object()
+
+
+class TrackedDict(TrackedBase):
+    """Dict proxy emitting positionless access events."""
+
+    KIND = StructureKind.DICTIONARY
+
+    __slots__ = ("_data",)
+
+    def __init__(
+        self,
+        mapping: Mapping | Iterable[tuple[Any, Any]] | None = None,
+        label: str = "",
+        collector: EventCollector | None = None,
+        site: AllocationSite | None = None,
+    ) -> None:
+        super().__init__(label=label, collector=collector, site=site)
+        self._data: dict = {}
+        self._record(_OP.INIT, _WRITE, None, 0)
+        if mapping is not None:
+            items = mapping.items() if isinstance(mapping, Mapping) else mapping
+            for key, value in items:
+                self[key] = value
+
+    def __getitem__(self, key):
+        value = self._data[key]
+        self._record(_OP.READ, _READ, None, len(self._data))
+        return value
+
+    def __setitem__(self, key, value) -> None:
+        inserting = key not in self._data
+        self._data[key] = value
+        self._record(
+            _OP.INSERT if inserting else _OP.WRITE, _WRITE, None, len(self._data)
+        )
+
+    def __delitem__(self, key) -> None:
+        del self._data[key]
+        self._record(_OP.DELETE, _WRITE, None, len(self._data))
+
+    def __contains__(self, key) -> bool:
+        self._record(_OP.SEARCH, _READ, None, len(self._data))
+        return key in self._data
+
+    def __iter__(self) -> Iterator:
+        self._record(_OP.FORALL, _READ, None, len(self._data))
+        return iter(list(self._data))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __bool__(self) -> bool:
+        return bool(self._data)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, TrackedDict):
+            return self._data == other._data
+        return self._data == other
+
+    def __ne__(self, other) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self):
+        raise TypeError("unhashable type: 'TrackedDict'")
+
+    def __repr__(self) -> str:
+        return f"TrackedDict({self._data!r})"
+
+    def get(self, key, default=None):
+        self._record(_OP.READ, _READ, None, len(self._data))
+        return self._data.get(key, default)
+
+    def setdefault(self, key, default=None):
+        if key not in self._data:
+            self[key] = default
+            return default
+        return self[key]
+
+    def pop(self, key, default=_MISSING):
+        if default is _MISSING:
+            value = self._data.pop(key)
+        else:
+            if key not in self._data:
+                self._record(_OP.SEARCH, _READ, None, len(self._data))
+                return default
+            value = self._data.pop(key)
+        self._record(_OP.DELETE, _WRITE, None, len(self._data))
+        return value
+
+    def update(self, other: Mapping | Iterable[tuple[Any, Any]]) -> None:
+        items = other.items() if isinstance(other, Mapping) else other
+        for key, value in items:
+            self[key] = value
+
+    def clear(self) -> None:
+        self._data.clear()
+        self._record(_OP.CLEAR, _WRITE, None, 0)
+
+    def keys(self):
+        self._record(_OP.FORALL, _READ, None, len(self._data))
+        return self._data.keys()
+
+    def values(self):
+        self._record(_OP.FORALL, _READ, None, len(self._data))
+        return self._data.values()
+
+    def items(self):
+        self._record(_OP.FORALL, _READ, None, len(self._data))
+        return self._data.items()
+
+    def copy(self) -> dict:
+        self._record(_OP.COPY, _READ, None, len(self._data))
+        return self._data.copy()
+
+    def raw(self) -> dict:
+        """Underlying dict, event-free."""
+        return self._data

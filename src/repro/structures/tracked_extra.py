@@ -1,0 +1,306 @@
+"""Additional instrumented structures: set, sorted list, linked list.
+
+The paper's profiler "is easily extensible to runtime profiles of other
+data structures" thanks to the proxy pattern (§IV); these three cover
+the next species of the occurrence study (hashSet 1.94%, sortedList
+1.02%, linkedList 0.15%) and demonstrate the extension seam: subclass
+:class:`~repro.structures.base.TrackedBase`, declare a ``KIND``, record
+events from every interface method.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterable, Iterator
+from typing import Any
+
+from ..events.collector import EventCollector
+from ..events.profile import AllocationSite
+from ..events.types import AccessKind, OperationKind, StructureKind
+from .base import TrackedBase
+
+_READ = AccessKind.READ
+_WRITE = AccessKind.WRITE
+_OP = OperationKind
+
+
+class TrackedSet(TrackedBase):
+    """Hash-set proxy: positionless events, like the dictionary."""
+
+    KIND = StructureKind.HASH_SET
+
+    __slots__ = ("_data",)
+
+    def __init__(
+        self,
+        iterable: Iterable[Any] | None = None,
+        label: str = "",
+        collector: EventCollector | None = None,
+        site: AllocationSite | None = None,
+    ) -> None:
+        super().__init__(label=label, collector=collector, site=site)
+        self._data: set = set()
+        self._record(_OP.INIT, _WRITE, None, 0)
+        if iterable is not None:
+            for item in iterable:
+                self.add(item)
+
+    def add(self, value) -> None:
+        self._data.add(value)
+        self._record(_OP.INSERT, _WRITE, None, len(self._data))
+
+    def discard(self, value) -> None:
+        self._data.discard(value)
+        self._record(_OP.DELETE, _WRITE, None, len(self._data))
+
+    def remove(self, value) -> None:
+        self._data.remove(value)
+        self._record(_OP.DELETE, _WRITE, None, len(self._data))
+
+    def __contains__(self, value) -> bool:
+        self._record(_OP.SEARCH, _READ, None, len(self._data))
+        return value in self._data
+
+    def __iter__(self) -> Iterator:
+        self._record(_OP.FORALL, _READ, None, len(self._data))
+        return iter(list(self._data))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __bool__(self) -> bool:
+        return bool(self._data)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, TrackedSet):
+            return self._data == other._data
+        return self._data == other
+
+    def __ne__(self, other) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self):
+        raise TypeError("unhashable type: 'TrackedSet'")
+
+    def __repr__(self) -> str:
+        return f"TrackedSet({self._data!r})"
+
+    def clear(self) -> None:
+        self._data.clear()
+        self._record(_OP.CLEAR, _WRITE, None, 0)
+
+    def union(self, other) -> set:
+        self._record(_OP.COPY, _READ, None, len(self._data))
+        return self._data.union(other)
+
+    def raw(self) -> set:
+        return self._data
+
+
+class TrackedSortedList(TrackedBase):
+    """Sorted list proxy: ordered inserts via bisect, binary search.
+
+    The interesting profile property: inserts land at *data-dependent*
+    positions (where the value sorts), so a sorted list under random
+    input shows no Insert-Back pattern — exactly why the Sort-After-
+    Insert recommendation ("order doesn't matter, parallelize") only
+    applies to plain lists.
+    """
+
+    KIND = StructureKind.SORTED_LIST
+
+    __slots__ = ("_data",)
+
+    def __init__(
+        self,
+        iterable: Iterable[Any] | None = None,
+        label: str = "",
+        collector: EventCollector | None = None,
+        site: AllocationSite | None = None,
+    ) -> None:
+        super().__init__(label=label, collector=collector, site=site)
+        self._data: list[Any] = []
+        self._record(_OP.INIT, _WRITE, None, 0)
+        if iterable is not None:
+            for item in iterable:
+                self.add(item)
+
+    def add(self, value) -> None:
+        pos = bisect.bisect_right(self._data, value)
+        self._data.insert(pos, value)
+        self._record(_OP.INSERT, _WRITE, pos, len(self._data))
+
+    def __getitem__(self, i):
+        value = self._data[i]
+        pos = i + len(self._data) if i < 0 else i
+        self._record(_OP.READ, _READ, pos, len(self._data))
+        return value
+
+    def __delitem__(self, i) -> None:
+        pos = i + len(self._data) if i < 0 else i
+        del self._data[i]
+        self._record(_OP.DELETE, _WRITE, pos, len(self._data))
+
+    def remove(self, value) -> None:
+        pos = self.index(value)
+        del self._data[pos]
+        self._record(_OP.DELETE, _WRITE, pos, len(self._data))
+
+    def index(self, value) -> int:
+        """Binary search: one Search event, logarithmic real cost."""
+        pos = bisect.bisect_left(self._data, value)
+        if pos >= len(self._data) or self._data[pos] != value:
+            self._record(_OP.SEARCH, _READ, None, len(self._data))
+            raise ValueError(f"{value!r} is not in sorted list")
+        self._record(_OP.SEARCH, _READ, pos, len(self._data))
+        return pos
+
+    def __contains__(self, value) -> bool:
+        try:
+            self.index(value)
+            return True
+        except ValueError:
+            return False
+
+    def __iter__(self) -> Iterator:
+        self._record(_OP.FORALL, _READ, None, len(self._data))
+        for j in range(len(self._data)):
+            self._record(_OP.READ, _READ, j, len(self._data))
+            yield self._data[j]
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __bool__(self) -> bool:
+        return bool(self._data)
+
+    def __repr__(self) -> str:
+        return f"TrackedSortedList({self._data!r})"
+
+    def clear(self) -> None:
+        self._data.clear()
+        self._record(_OP.CLEAR, _WRITE, None, 0)
+
+    def raw(self) -> list:
+        return self._data
+
+
+class _Node:
+    __slots__ = ("value", "next")
+
+    def __init__(self, value, next=None) -> None:
+        self.value = value
+        self.next = next
+
+
+class TrackedLinkedList(TrackedBase):
+    """Singly linked list proxy.
+
+    Positions are logical indices (head = 0), so front/back operations
+    profile identically to their array-list counterparts — a linked
+    list used as a queue still shows the Implement-Queue shape, while
+    positional reads show the true O(n) traversal cost in real time.
+    """
+
+    KIND = StructureKind.LINKED_LIST
+
+    __slots__ = ("_head", "_tail", "_size")
+
+    def __init__(
+        self,
+        iterable: Iterable[Any] | None = None,
+        label: str = "",
+        collector: EventCollector | None = None,
+        site: AllocationSite | None = None,
+    ) -> None:
+        super().__init__(label=label, collector=collector, site=site)
+        self._head: _Node | None = None
+        self._tail: _Node | None = None
+        self._size = 0
+        self._record(_OP.INIT, _WRITE, None, 0)
+        if iterable is not None:
+            for item in iterable:
+                self.append(item)
+
+    def append(self, value) -> None:
+        node = _Node(value)
+        if self._tail is None:
+            self._head = self._tail = node
+        else:
+            self._tail.next = node
+            self._tail = node
+        self._size += 1
+        self._record(_OP.INSERT, _WRITE, self._size - 1, self._size)
+
+    def append_left(self, value) -> None:
+        self._head = _Node(value, self._head)
+        if self._tail is None:
+            self._tail = self._head
+        self._size += 1
+        self._record(_OP.INSERT, _WRITE, 0, self._size)
+
+    def pop_left(self):
+        if self._head is None:
+            raise IndexError("pop from empty linked list")
+        node = self._head
+        self._head = node.next
+        if self._head is None:
+            self._tail = None
+        self._size -= 1
+        self._record(_OP.DELETE, _WRITE, 0, self._size)
+        return node.value
+
+    def __getitem__(self, index: int):
+        pos = index + self._size if index < 0 else index
+        if not 0 <= pos < self._size:
+            raise IndexError("linked list index out of range")
+        node = self._head
+        for _ in range(pos):
+            node = node.next  # the O(n) walk a list hides
+        self._record(_OP.READ, _READ, pos, self._size)
+        return node.value
+
+    def __iter__(self) -> Iterator:
+        self._record(_OP.FORALL, _READ, None, self._size)
+        node = self._head
+        pos = 0
+        while node is not None:
+            self._record(_OP.READ, _READ, pos, self._size)
+            yield node.value
+            node = node.next
+            pos += 1
+
+    def __contains__(self, value) -> bool:
+        node = self._head
+        pos = 0
+        while node is not None:
+            if node.value == value:
+                self._record(_OP.SEARCH, _READ, pos, self._size)
+                return True
+            node = node.next
+            pos += 1
+        self._record(_OP.SEARCH, _READ, None, self._size)
+        return False
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __repr__(self) -> str:
+        return f"TrackedLinkedList({list(self.raw())!r})"
+
+    def clear(self) -> None:
+        self._head = self._tail = None
+        self._size = 0
+        self._record(_OP.CLEAR, _WRITE, None, 0)
+
+    def raw(self) -> list:
+        """Contents as a plain list, event-free."""
+        out = []
+        node = self._head
+        while node is not None:
+            out.append(node.value)
+            node = node.next
+        return out

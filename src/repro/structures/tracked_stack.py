@@ -1,0 +1,165 @@
+"""Instrumented stack and queue.
+
+These exist for two reasons: the occurrence study counts them as
+first-class species (Figure 1 shows ``Stack`` and ``Queue`` columns),
+and the Stack-Implementation / Implement-Queue rules recommend *moving*
+to them -- so the library must actually provide the recommended targets.
+Their access events use the same positional vocabulary as lists (stack
+ops touch the back; queue inserts touch the back, removals the front),
+which lets the detectors confirm that a migrated structure no longer
+triggers the rule.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Any
+
+from ..events.collector import EventCollector
+from ..events.profile import AllocationSite
+from ..events.types import AccessKind, OperationKind, StructureKind
+from .base import TrackedBase
+
+_READ = AccessKind.READ
+_WRITE = AccessKind.WRITE
+_OP = OperationKind
+
+
+class TrackedStack(TrackedBase):
+    """LIFO stack proxy: push/pop/peek at the back."""
+
+    KIND = StructureKind.STACK
+
+    __slots__ = ("_data",)
+
+    def __init__(
+        self,
+        iterable: Iterable[Any] | None = None,
+        label: str = "",
+        collector: EventCollector | None = None,
+        site: AllocationSite | None = None,
+    ) -> None:
+        super().__init__(label=label, collector=collector, site=site)
+        self._data: list[Any] = []
+        self._record(_OP.INIT, _WRITE, None, 0)
+        if iterable is not None:
+            for item in iterable:
+                self.push(item)
+
+    def push(self, value) -> None:
+        self._data.append(value)
+        self._record(_OP.INSERT, _WRITE, len(self._data) - 1, len(self._data))
+
+    def pop(self):
+        if not self._data:
+            raise IndexError("pop from empty stack")
+        pos = len(self._data) - 1
+        value = self._data.pop()
+        self._record(_OP.DELETE, _WRITE, pos, len(self._data))
+        return value
+
+    def peek(self):
+        if not self._data:
+            raise IndexError("peek on empty stack")
+        self._record(_OP.READ, _READ, len(self._data) - 1, len(self._data))
+        return self._data[-1]
+
+    def clear(self) -> None:
+        self._data.clear()
+        self._record(_OP.CLEAR, _WRITE, None, 0)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __bool__(self) -> bool:
+        return bool(self._data)
+
+    def __contains__(self, value) -> bool:
+        try:
+            pos: int | None = self._data.index(value)
+        except ValueError:
+            pos = None
+        self._record(_OP.SEARCH, _READ, pos, len(self._data))
+        return pos is not None
+
+    def __iter__(self) -> Iterator[Any]:
+        """Top-to-bottom iteration, like .NET ``Stack<T>``."""
+        self._record(_OP.FORALL, _READ, None, len(self._data))
+        for j in range(len(self._data) - 1, -1, -1):
+            self._record(_OP.READ, _READ, j, len(self._data))
+            yield self._data[j]
+
+    def __repr__(self) -> str:
+        return f"TrackedStack({self._data!r})"
+
+    def raw(self) -> list:
+        return self._data
+
+
+class TrackedQueue(TrackedBase):
+    """FIFO queue proxy: enqueue at the back, dequeue from the front."""
+
+    KIND = StructureKind.QUEUE
+
+    __slots__ = ("_data",)
+
+    def __init__(
+        self,
+        iterable: Iterable[Any] | None = None,
+        label: str = "",
+        collector: EventCollector | None = None,
+        site: AllocationSite | None = None,
+    ) -> None:
+        super().__init__(label=label, collector=collector, site=site)
+        self._data: list[Any] = []
+        self._record(_OP.INIT, _WRITE, None, 0)
+        if iterable is not None:
+            for item in iterable:
+                self.enqueue(item)
+
+    def enqueue(self, value) -> None:
+        self._data.append(value)
+        self._record(_OP.INSERT, _WRITE, len(self._data) - 1, len(self._data))
+
+    def dequeue(self):
+        if not self._data:
+            raise IndexError("dequeue from empty queue")
+        value = self._data.pop(0)
+        self._record(_OP.DELETE, _WRITE, 0, len(self._data))
+        return value
+
+    def peek(self):
+        if not self._data:
+            raise IndexError("peek on empty queue")
+        self._record(_OP.READ, _READ, 0, len(self._data))
+        return self._data[0]
+
+    def clear(self) -> None:
+        self._data.clear()
+        self._record(_OP.CLEAR, _WRITE, None, 0)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __bool__(self) -> bool:
+        return bool(self._data)
+
+    def __contains__(self, value) -> bool:
+        try:
+            pos: int | None = self._data.index(value)
+        except ValueError:
+            pos = None
+        self._record(_OP.SEARCH, _READ, pos, len(self._data))
+        return pos is not None
+
+    def __iter__(self) -> Iterator[Any]:
+        self._record(_OP.FORALL, _READ, None, len(self._data))
+        for j in range(len(self._data)):
+            self._record(_OP.READ, _READ, j, len(self._data))
+            yield self._data[j]
+
+    def __repr__(self) -> str:
+        return f"TrackedQueue({self._data!r})"
+
+    def raw(self) -> list:
+        return self._data

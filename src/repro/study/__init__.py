@@ -1,0 +1,66 @@
+"""The empirical study (§II–III): Tables I–III and Figure 1."""
+
+from .domains import (
+    FIG1_PROGRAMS,
+    KIND_TOTALS,
+    TABLE1_DOMAINS,
+    TABLE2_PROGRAMS,
+    TABLE2_TOTAL_PARALLEL_USE_CASES,
+    TABLE2_TOTAL_REGULARITIES,
+    TABLE3_PROGRAMS,
+    TABLE3_TOTAL_USE_CASES,
+    TABLE3_TOTALS,
+    TOTAL_ARRAY_INSTANCES,
+    TOTAL_DYNAMIC_INSTANCES,
+    TOTAL_LOC,
+    ProgramDescriptor,
+    RegularityRow,
+    SurveyRow,
+)
+from .consistency import ConsistencyIssue, verify_study_data
+from .figures import figure1_svg, save_figure1
+from .occurrence import OccurrenceStudy, run_occurrence_study
+from .regularities import (
+    MinedProgram,
+    RegularityStudy,
+    build_program_suite,
+    run_regularity_study,
+)
+from .usecase_survey import (
+    SurveyedProgram,
+    UseCaseSurvey,
+    build_survey_suite,
+    run_usecase_survey,
+)
+
+__all__ = [
+    "FIG1_PROGRAMS",
+    "KIND_TOTALS",
+    "MinedProgram",
+    "OccurrenceStudy",
+    "ProgramDescriptor",
+    "RegularityRow",
+    "RegularityStudy",
+    "SurveyRow",
+    "SurveyedProgram",
+    "TABLE1_DOMAINS",
+    "TABLE2_PROGRAMS",
+    "TABLE2_TOTAL_PARALLEL_USE_CASES",
+    "TABLE2_TOTAL_REGULARITIES",
+    "TABLE3_PROGRAMS",
+    "TABLE3_TOTALS",
+    "TABLE3_TOTAL_USE_CASES",
+    "TOTAL_ARRAY_INSTANCES",
+    "TOTAL_DYNAMIC_INSTANCES",
+    "TOTAL_LOC",
+    "UseCaseSurvey",
+    "ConsistencyIssue",
+    "build_program_suite",
+    "figure1_svg",
+    "save_figure1",
+    "verify_study_data",
+    "build_survey_suite",
+    "run_occurrence_study",
+    "run_regularity_study",
+    "run_usecase_survey",
+]

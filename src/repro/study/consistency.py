@@ -1,0 +1,153 @@
+"""Cross-table consistency checks on the transcribed study data.
+
+The ground truth in :mod:`repro.study.domains` was recovered from a
+scan of the paper; these checks encode every internal relationship the
+published numbers must satisfy, so a transcription error cannot slip in
+silently.  They run in the test suite and are callable as a library
+(``verify_study_data()``) for anyone editing the tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..events.types import StructureKind
+from .domains import (
+    FIG1_PROGRAMS,
+    KIND_TOTALS,
+    TABLE1_DOMAINS,
+    TABLE2_PROGRAMS,
+    TABLE3_PROGRAMS,
+    TABLE3_TOTALS,
+    TOTAL_ARRAY_INSTANCES,
+    TOTAL_DYNAMIC_INSTANCES,
+    TOTAL_LOC,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ConsistencyIssue:
+    check: str
+    detail: str
+
+
+def verify_study_data() -> list[ConsistencyIssue]:
+    """All violated relationships (empty = consistent)."""
+    issues: list[ConsistencyIssue] = []
+
+    def check(condition: bool, name: str, detail: str) -> None:
+        if not condition:
+            issues.append(ConsistencyIssue(check=name, detail=detail))
+
+    # Figure 1 totals vs Table I.
+    fig1_total = sum(p.instances for p in FIG1_PROGRAMS)
+    check(
+        fig1_total == TOTAL_DYNAMIC_INSTANCES,
+        "fig1-total",
+        f"Figure 1 programs sum to {fig1_total}, expected "
+        f"{TOTAL_DYNAMIC_INSTANCES}",
+    )
+    per_domain: dict[str, int] = {}
+    for program in FIG1_PROGRAMS:
+        per_domain[program.domain] = (
+            per_domain.get(program.domain, 0) + program.instances
+        )
+    for domain, (instances, _loc) in TABLE1_DOMAINS.items():
+        check(
+            per_domain.get(domain, 0) == instances,
+            "domain-sum",
+            f"{domain}: Figure 1 gives {per_domain.get(domain, 0)}, "
+            f"Table I says {instances}",
+        )
+    check(
+        len(FIG1_PROGRAMS) == 37,
+        "program-count",
+        f"{len(FIG1_PROGRAMS)} programs, expected 37",
+    )
+    check(
+        len({p.name for p in FIG1_PROGRAMS}) == len(FIG1_PROGRAMS),
+        "program-names-unique",
+        "duplicate program names in Figure 1",
+    )
+
+    # Kind totals.
+    kind_sum = sum(KIND_TOTALS.values())
+    check(
+        kind_sum == TOTAL_DYNAMIC_INSTANCES,
+        "kind-total",
+        f"kind totals sum to {kind_sum}",
+    )
+    list_share = KIND_TOTALS[StructureKind.LIST] / TOTAL_DYNAMIC_INSTANCES
+    check(
+        abs(list_share - 0.6505) < 0.0005,
+        "list-share",
+        f"list share {list_share:.4f}, paper says 65.05%",
+    )
+    lists_arrays = (
+        KIND_TOTALS[StructureKind.LIST] + TOTAL_ARRAY_INSTANCES
+    ) / (TOTAL_DYNAMIC_INSTANCES + TOTAL_ARRAY_INSTANCES)
+    check(
+        lists_arrays > 0.75,
+        "lists-arrays-share",
+        f"lists+arrays share {lists_arrays:.4f}, paper says >75%",
+    )
+
+    # Table I LOC.
+    loc_sum = sum(loc for _, loc in TABLE1_DOMAINS.values())
+    check(loc_sum == TOTAL_LOC, "table1-loc", f"LOC sum {loc_sum}")
+
+    # Table II.
+    check(
+        sum(r.regularities for r in TABLE2_PROGRAMS) == 81,
+        "table2-regularities",
+        "regularity total != 81",
+    )
+    check(
+        sum(r.parallel_use_cases for r in TABLE2_PROGRAMS) == 41,
+        "table2-use-cases",
+        "parallel use-case total != 41",
+    )
+    for row in TABLE2_PROGRAMS:
+        check(
+            row.parallel_use_cases <= 2 * row.regularities,
+            "table2-row-bound",
+            f"{row.name}: {row.parallel_use_cases} use cases exceed twice "
+            f"its {row.regularities} regularities",
+        )
+
+    # Table III.
+    check(
+        sum(r.total for r in TABLE3_PROGRAMS) == 66,
+        "table3-total",
+        "use-case total != 66",
+    )
+    for abbrev, column in (
+        ("LI", lambda r: r.li),
+        ("IQ", lambda r: r.iq),
+        ("SAI", lambda r: r.sai),
+        ("FS", lambda r: r.fs),
+        ("FLR", lambda r: r.flr),
+    ):
+        total = sum(column(r) for r in TABLE3_PROGRAMS)
+        check(
+            total == TABLE3_TOTALS[abbrev],
+            "table3-column",
+            f"{abbrev} column sums to {total}, expected "
+            f"{TABLE3_TOTALS[abbrev]}",
+        )
+
+    # Cross-table: Table II programs drawn "from the same sample" must
+    # exist in the 37-program corpus where they overlap by name.
+    fig1_names = {p.name.lower() for p in FIG1_PROGRAMS}
+    overlap = [
+        r.name
+        for r in TABLE2_PROGRAMS
+        if r.name.lower() in fig1_names
+    ]
+    check(
+        len(overlap) >= 8,
+        "table2-overlap",
+        f"only {len(overlap)} Table II programs found in Figure 1",
+    )
+
+    return issues

@@ -1,0 +1,199 @@
+"""The empirical-study ground truth recovered from the paper.
+
+Three data sets, all transcribed from the published tables/figures:
+
+- :data:`FIG1_PROGRAMS` — the 37 benchmark programs with their domain
+  and total dynamic-instance count (Figure 1's x-axis; the per-domain
+  sums reproduce Table I's instance column exactly).
+- :data:`TABLE1_DOMAINS` — Table I's per-domain LOC and instance totals.
+- :data:`KIND_TOTALS` — the corpus-wide frequency of each dynamic
+  structure kind (Figure 1 legend plus the <2% species enumerated in
+  §II-A), 1,960 instances total, plus 785 arrays.
+- :data:`TABLE2_PROGRAMS` — the 15 mined programs with their LOC,
+  recurring-regularity and parallel-use-case counts (Table II).
+- :data:`TABLE3_PROGRAMS` — the use-case survey rows (Table III):
+  per-program counts by category, column sums LI 49 / IQ 3 / SAI 1 /
+  FS 3 / FLR 10, total 66.  (The published table prints 24 rows though
+  the text says 23 programs; we keep the rows, whose marginals check
+  out.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..events.types import StructureKind
+
+
+@dataclass(frozen=True, slots=True)
+class ProgramDescriptor:
+    """One Figure 1 program: name, domain, dynamic instance count."""
+
+    name: str
+    domain: str
+    instances: int
+
+
+#: Figure 1, x-axis order (programs sorted ascending within domain).
+FIG1_PROGRAMS: tuple[ProgramDescriptor, ...] = (
+    ProgramDescriptor("7zip", "Comp", 2),
+    ProgramDescriptor("dsa", "DS lib", 10),
+    ProgramDescriptor("compgeo", "DS lib", 13),
+    ProgramDescriptor("SequenceViz", "Vis", 57),
+    ProgramDescriptor("dotspatial", "DS lib", 663),
+    ProgramDescriptor("orazio1", "DS lib", 32),
+    ProgramDescriptor("Contentfinder", "Srch", 11),
+    ProgramDescriptor("rrrsroguelike", "Game", 5),
+    ProgramDescriptor("sharpener", "Opt", 16),
+    ProgramDescriptor("ittycoon.net", "Game", 27),
+    ProgramDescriptor("ManicDigger2011", "Game", 153),
+    ProgramDescriptor("theAirline", "Game", 130),
+    ProgramDescriptor("zedgraph", "Graph lib", 2),
+    ProgramDescriptor("TreeLayoutHelper", "Graph lib", 22),
+    ProgramDescriptor("cognitionmaster", "Img lib", 60),
+    ProgramDescriptor("graphsharp", "Graph lib", 160),
+    ProgramDescriptor("ProcessHacker", "Office software", 4),
+    ProgramDescriptor("TerraBIB", "Office software", 13),
+    ProgramDescriptor("BeHappy", "Office software", 7),
+    ProgramDescriptor("metaclip", "Office software", 14),
+    ProgramDescriptor("clipper", "Office software", 20),
+    ProgramDescriptor("waveletstudio", "Office software", 28),
+    ProgramDescriptor("netinfotrace", "Office software", 30),
+    ProgramDescriptor("dddpds", "Office software", 34),
+    ProgramDescriptor("greatmaps", "Office software", 77),
+    ProgramDescriptor("OsmExplorer", "Office software", 169),
+    ProgramDescriptor("csparser", "Parser", 51),
+    ProgramDescriptor("starsystemsimulator", "Simulation", 1),
+    ProgramDescriptor("Net_With_UI", "Simulation", 1),
+    ProgramDescriptor("twodsphsim", "Simulation", 8),
+    ProgramDescriptor("Arcanum", "Simulation", 2),
+    ProgramDescriptor("rushHour", "Simulation", 8),
+    ProgramDescriptor("fire", "Simulation", 8),
+    ProgramDescriptor("borys-MeshRouting", "Simulation", 19),
+    ProgramDescriptor("evo", "Simulation", 31),
+    ProgramDescriptor("dotqcf", "Simulation", 35),
+    ProgramDescriptor("gpdotnet", "Simulation", 37),
+)
+
+#: Table I: domain → (instance count, LOC).
+TABLE1_DOMAINS: dict[str, tuple[int, int]] = {
+    "Srch": (11, 1_046),
+    "Opt": (16, 2_048),
+    "Comp": (2, 4_342),
+    "Vis": (57, 10_712),
+    "Parser": (51, 17_836),
+    "Img lib": (60, 41_456),
+    "Game": (315, 45_512),
+    "Simulation": (150, 63_548),
+    "Graph lib": (184, 69_472),
+    "Office software": (396, 151_220),
+    "DS lib": (718, 529_164),
+}
+
+TOTAL_DYNAMIC_INSTANCES = 1_960
+TOTAL_ARRAY_INSTANCES = 785
+TOTAL_LOC = 936_356
+
+#: Corpus-wide dynamic-structure frequency (Figure 1 legend + §II-A).
+KIND_TOTALS: dict[StructureKind, int] = {
+    StructureKind.LIST: 1_275,
+    StructureKind.DICTIONARY: 324,
+    StructureKind.ARRAY_LIST: 192,
+    StructureKind.STACK: 49,
+    StructureKind.QUEUE: 41,
+    StructureKind.HASH_SET: 38,
+    StructureKind.SORTED_LIST: 20,
+    StructureKind.SORTED_SET: 10,
+    StructureKind.SORTED_DICTIONARY: 8,
+    StructureKind.LINKED_LIST: 3,
+    StructureKind.HASHTABLE: 0,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class RegularityRow:
+    """One Table II row."""
+
+    name: str
+    domain: str
+    loc: int
+    regularities: int
+    parallel_use_cases: int
+
+
+#: Table II: recurring regularities in 15 programs (72,613 LOC total).
+TABLE2_PROGRAMS: tuple[RegularityRow, ...] = (
+    RegularityRow("TerraBIB", "Office", 10_309, 1, 0),
+    RegularityRow("rrrsroguelike", "Game", 659, 1, 1),
+    RegularityRow("fire", "Simulation", 2_137, 1, 2),
+    RegularityRow("dotqcf", "Simulation", 27_170, 2, 0),
+    RegularityRow("Contentfinder", "Search", 1_046, 2, 2),
+    RegularityRow("astrogrep", "Computation", 846, 2, 3),
+    RegularityRow("borys-MeshRouting", "Simulation", 6_429, 3, 3),
+    RegularityRow("csparser", "Parser", 17_836, 5, 5),
+    RegularityRow("dsa", "DS lib", 4_099, 5, 0),
+    RegularityRow("TreeLayoutHelper", "Graph lib", 4_673, 6, 0),
+    RegularityRow("ManicDigger2011", "Game", 24_970, 6, 6),
+    RegularityRow("clipper", "Office", 3_270, 9, 5),
+    RegularityRow("Net_With_UI", "Simulation", 1_034, 11, 2),
+    RegularityRow("netinfotrace", "Office", 7_311, 13, 5),
+    RegularityRow("MidiSheetMusic", "Office", 4_792, 14, 7),
+)
+
+TABLE2_TOTAL_LOC = 72_613
+TABLE2_TOTAL_REGULARITIES = 81
+TABLE2_TOTAL_PARALLEL_USE_CASES = 41
+
+
+@dataclass(frozen=True, slots=True)
+class SurveyRow:
+    """One Table III row: use cases by category for one program.
+
+    A regularity can carry at most one *parallel-use-case* count per
+    category; where the published scan is ambiguous the assignment is a
+    reconstruction constrained by the row and column sums (documented
+    in EXPERIMENTS.md).
+    """
+
+    name: str
+    li: int = 0
+    iq: int = 0
+    sai: int = 0
+    fs: int = 0
+    flr: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.li + self.iq + self.sai + self.fs + self.flr
+
+
+#: Table III: 66 use cases by category.
+TABLE3_PROGRAMS: tuple[SurveyRow, ...] = (
+    SurveyRow("QIT", li=6, iq=1, sai=1),
+    SurveyRow("ManicDigger2011", li=3, iq=1, fs=1, flr=1),
+    SurveyRow("csparser", li=5),
+    SurveyRow("clipper", li=4, flr=1),
+    SurveyRow("gpdotnet", li=4, flr=1),
+    SurveyRow("netlinwhetcpu", li=3, fs=1, flr=1),
+    SurveyRow("Mandelbrot", li=3),
+    SurveyRow("quickgraph", li=3),
+    SurveyRow("astrogrep", li=2, flr=1),
+    SurveyRow("borys-MeshRouting", li=3),
+    SurveyRow("Contentfinder", li=1, flr=1),
+    SurveyRow("DambachMulti", li=2),
+    SurveyRow("LinearAlgebra", li=2),
+    SurveyRow("MathNetIridium", li=1, flr=1),
+    SurveyRow("Net_With_UI", li=2),
+    SurveyRow("fire", li=1, flr=1),
+    SurveyRow("DesktopSuche", li=1),
+    SurveyRow("FIPL", li=1),
+    SurveyRow("FreeFlowSPH", li=1),
+    SurveyRow("networkminer", iq=1),
+    SurveyRow("rrrsroguelike", li=1),
+    SurveyRow("WordWheelSolver", fs=1),
+    SurveyRow("wordSorter", flr=1),
+    SurveyRow("Algorithmia", flr=1),
+)
+
+TABLE3_TOTALS = {"LI": 49, "IQ": 3, "SAI": 1, "FS": 3, "FLR": 10}
+TABLE3_TOTAL_USE_CASES = 66

@@ -1,0 +1,120 @@
+"""Figure 1 as an SVG chart.
+
+The published Figure 1 is a stacked/grouped bar chart of data structure
+occurrence per program.  This module renders the measured equivalent
+as a standalone SVG — stacked bars per program in the published x-axis
+order, one color per major structure kind, domains separated by gaps.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..events.types import StructureKind
+from .domains import FIG1_PROGRAMS
+from .occurrence import OccurrenceStudy
+
+_KIND_COLORS: dict[StructureKind, str] = {
+    StructureKind.LIST: "#4878cf",
+    StructureKind.DICTIONARY: "#ee854a",
+    StructureKind.ARRAY_LIST: "#6acc64",
+    StructureKind.STACK: "#d65f5f",
+    StructureKind.QUEUE: "#956cb4",
+    StructureKind.OTHER: "#8c8c8c",
+}
+
+
+def figure1_svg(
+    study: OccurrenceStudy,
+    width: int = 1200,
+    height: int = 420,
+    log_hint: bool = False,
+) -> str:
+    """Render the per-program stacked occurrence chart."""
+    names, series = study.figure1_series()
+    kinds = [k for k in _KIND_COLORS if k in series]
+
+    margin_left, margin_bottom, margin_top = 48, 120, 28
+    plot_w = width - margin_left - 16
+    plot_h = height - margin_bottom - margin_top
+
+    totals = [sum(series[k][i] for k in kinds) for i in range(len(names))]
+    peak = max(totals) if totals else 1
+
+    domains = {p.name: p.domain for p in FIG1_PROGRAMS}
+    bar_w = plot_w / max(len(names), 1) * 0.8
+    step = plot_w / max(len(names), 1)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{margin_left}" y="18" font-family="sans-serif" '
+        f'font-size="14">Figure 1 — data structure occurrence per program '
+        f'(Σ = {sum(totals)})</text>',
+    ]
+
+    def y_of(value: float) -> float:
+        return margin_top + plot_h * (1 - value / peak)
+
+    previous_domain = None
+    for i, name in enumerate(names):
+        x = margin_left + i * step
+        # Domain separator.
+        if domains.get(name) != previous_domain and previous_domain is not None:
+            parts.append(
+                f'<line x1="{x - step * 0.1:.1f}" y1="{margin_top}" '
+                f'x2="{x - step * 0.1:.1f}" y2="{margin_top + plot_h}" '
+                f'stroke="#dddddd"/>'
+            )
+        previous_domain = domains.get(name)
+
+        running = 0
+        for kind in kinds:
+            value = series[kind][i]
+            if value == 0:
+                continue
+            top = y_of(running + value)
+            bottom = y_of(running)
+            parts.append(
+                f'<rect x="{x:.1f}" y="{top:.1f}" width="{bar_w:.1f}" '
+                f'height="{bottom - top:.1f}" fill="{_KIND_COLORS[kind]}"/>'
+            )
+            running += value
+        # Rotated program label.
+        label_x = x + bar_w / 2
+        label_y = margin_top + plot_h + 8
+        parts.append(
+            f'<text x="{label_x:.1f}" y="{label_y:.1f}" font-family="sans-serif" '
+            f'font-size="9" text-anchor="end" '
+            f'transform="rotate(-60 {label_x:.1f} {label_y:.1f})">'
+            f"{name} (Σ:{totals[i]})</text>"
+        )
+
+    # Legend.
+    legend_x = margin_left
+    legend_y = height - 14
+    for kind in kinds:
+        parts.append(
+            f'<rect x="{legend_x}" y="{legend_y - 10}" width="10" height="10" '
+            f'fill="{_KIND_COLORS[kind]}"/>'
+        )
+        label = "Rest" if kind is StructureKind.OTHER else kind.value
+        parts.append(
+            f'<text x="{legend_x + 14}" y="{legend_y}" font-family="sans-serif" '
+            f'font-size="11">{label} (Σ:{sum(series[kind])})</text>'
+        )
+        legend_x += 150
+
+    parts.append(
+        f'<line x1="{margin_left}" y1="{margin_top + plot_h}" '
+        f'x2="{margin_left + plot_w}" y2="{margin_top + plot_h}" stroke="black"/>'
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_figure1(study: OccurrenceStudy, path: str | Path, **kwargs) -> Path:
+    path = Path(path)
+    path.write_text(figure1_svg(study, **kwargs), encoding="utf-8")
+    return path

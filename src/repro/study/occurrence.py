@@ -1,0 +1,140 @@
+"""Data-structure occurrence study (§II-A: Table I and Figure 1).
+
+Generates the synthetic corpus (published marginals by construction),
+scans it with the real static-analysis pipeline, and aggregates the
+results into the paper's two presentations: the per-domain Table I and
+the per-program Figure 1 distribution.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..events.types import StructureKind
+from ..instrument.corpus import CorpusStats, scan_corpus
+from ..workloads.corpus_gen import corpus_domains, write_corpus
+from .domains import (
+    FIG1_PROGRAMS,
+    KIND_TOTALS,
+    TABLE1_DOMAINS,
+    TOTAL_DYNAMIC_INSTANCES,
+)
+
+#: Domain presentation order of Table I (ascending LOC).
+TABLE1_ORDER = list(TABLE1_DOMAINS)
+
+
+@dataclass(frozen=True)
+class OccurrenceStudy:
+    """Scan results plus the paper-facing aggregations."""
+
+    corpus: CorpusStats
+
+    # -- Table I ---------------------------------------------------------
+
+    def table1_rows(self) -> list[tuple[str, int, int]]:
+        """(domain, #instances, LOC) rows in Table I order."""
+        totals = self.corpus.domain_totals()
+        return [
+            (domain, *totals.get(domain, (0, 0)))
+            for domain in TABLE1_ORDER
+        ]
+
+    @property
+    def total_instances(self) -> int:
+        return self.corpus.total_dynamic_instances
+
+    @property
+    def total_loc(self) -> int:
+        return self.corpus.total_loc
+
+    # -- Figure 1 -----------------------------------------------------------
+
+    def figure1_series(
+        self, min_share: float = 0.02
+    ) -> tuple[list[str], dict[StructureKind, list[int]]]:
+        """Per-program counts by kind, Figure 1 style.
+
+        Returns the program names (Figure 1 x-axis order) and one count
+        series per kind whose corpus-wide share is at least
+        ``min_share``; rarer kinds aggregate into the ``OTHER`` series
+        ("Rest"), exactly as the published figure cuts at 2%.
+        """
+        by_name = {p.name: p for p in self.corpus.programs}
+        names = [d.name for d in FIG1_PROGRAMS if d.name in by_name]
+
+        total = max(self.total_instances, 1)
+        kind_totals = self.corpus.counts_by_kind()
+        major = [
+            kind
+            for kind in KIND_TOTALS
+            if kind_totals.get(kind, 0) / total >= min_share
+        ]
+
+        series: dict[StructureKind, list[int]] = {k: [] for k in major}
+        series[StructureKind.OTHER] = []
+        for name in names:
+            counts = by_name[name].counts
+            rest = 0
+            for kind in KIND_TOTALS:
+                value = counts.get(kind, 0)
+                if kind in series:
+                    series[kind].append(value)
+                else:
+                    rest += value
+            series[StructureKind.OTHER].append(rest)
+        return names, series
+
+    # -- headline shares --------------------------------------------------------
+
+    def share(self, kind: StructureKind) -> float:
+        return self.corpus.kind_share(kind)
+
+    @property
+    def list_share(self) -> float:
+        """The paper's headline: 65.05% of dynamic instances are lists."""
+        return self.share(StructureKind.LIST)
+
+    @property
+    def list_to_dictionary_ratio(self) -> float:
+        """The paper's 3.94x list-vs-dictionary ratio."""
+        counts = self.corpus.counts_by_kind()
+        dictionary = counts.get(StructureKind.DICTIONARY, 0)
+        if dictionary == 0:
+            return float("inf")
+        return counts.get(StructureKind.LIST, 0) / dictionary
+
+    @property
+    def lists_and_arrays_share(self) -> float:
+        """Lists + arrays over all instances (paper: >75%)."""
+        counts = self.corpus.counts_by_kind()
+        lists = counts.get(StructureKind.LIST, 0)
+        arrays = self.corpus.total_array_instances
+        total = self.total_instances + arrays
+        if total == 0:
+            return 0.0
+        return (lists + arrays) / total
+
+
+def run_occurrence_study(
+    corpus_root: str | Path | None = None,
+    loc_scale: float = 0.1,
+    seed: int = 2014,
+) -> OccurrenceStudy:
+    """Generate (or reuse) the corpus and scan it.
+
+    Pass ``corpus_root`` to materialize the corpus at a stable path
+    (benchmarks cache it); otherwise a temporary directory is used and
+    cleaned up after the scan.
+    """
+    domains = corpus_domains()
+    if corpus_root is not None:
+        root = Path(corpus_root)
+        if not any(root.glob("*/main.py")):
+            write_corpus(root, loc_scale=loc_scale, seed=seed)
+        return OccurrenceStudy(corpus=scan_corpus(root, domains=domains))
+    with tempfile.TemporaryDirectory() as tmp:
+        write_corpus(tmp, loc_scale=loc_scale, seed=seed)
+        return OccurrenceStudy(corpus=scan_corpus(tmp, domains=domains))

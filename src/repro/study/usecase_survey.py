@@ -1,0 +1,124 @@
+"""Use-case survey (§III-B: Table III).
+
+The paper evaluated the five parallel-potential use cases on 23
+benchmark programs and found 66 use cases: Long-Insert 49,
+Implement-Queue 3, Sort-After-Insert 1, Frequent-Search 3,
+Frequent-Long-Read 10.  As with Table II, each program is represented
+by a synthesized profile suite carrying its published per-category
+counts; the suites run through the real use-case engine and the
+benchmark asserts the measured distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..events.collector import collecting
+from ..events.profile import RuntimeProfile
+from ..usecases.engine import UseCaseEngine
+from ..usecases.model import UseCaseKind
+from ..usecases.rules import PARALLEL_RULES
+from ..workloads import generators as gen
+from .domains import TABLE3_PROGRAMS, SurveyRow
+
+
+def build_survey_suite(row: SurveyRow) -> list[RuntimeProfile]:
+    """Synthesize one program's profile suite for the survey.
+
+    One profile per published use case (sized above the firing
+    thresholds), plus two innocuous filler profiles so the engine sees
+    unflagged instances too.
+    """
+    with collecting() as session:
+        for i in range(row.li):
+            gen.gen_long_insert(300 + 50 * i, label=f"{row.name}_li{i}")
+        for i in range(row.iq):
+            gen.gen_queue_usage(90, label=f"{row.name}_iq{i}")
+        for i in range(row.sai):
+            gen.gen_sort_after_insert(250, label=f"{row.name}_sai{i}")
+        for i in range(row.fs):
+            gen.gen_frequent_search(1200, 120, label=f"{row.name}_fs{i}")
+        for i in range(row.flr):
+            gen.gen_frequent_long_read(14, 80, label=f"{row.name}_flr{i}")
+        gen.gen_irregular(100, 40, seed=abs(hash(row.name)) % 9999)
+        gen.gen_stack_usage(15, 3, label=f"{row.name}_filler")
+    return session.profiles()
+
+
+@dataclass(frozen=True)
+class SurveyedProgram:
+    """Measured survey result for one program."""
+
+    row: SurveyRow
+    counts: dict[UseCaseKind, int]
+
+    @property
+    def total_found(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def matches_paper(self) -> bool:
+        expected = {
+            UseCaseKind.LONG_INSERT: self.row.li,
+            UseCaseKind.IMPLEMENT_QUEUE: self.row.iq,
+            UseCaseKind.SORT_AFTER_INSERT: self.row.sai,
+            UseCaseKind.FREQUENT_SEARCH: self.row.fs,
+            UseCaseKind.FREQUENT_LONG_READ: self.row.flr,
+        }
+        return all(
+            self.counts.get(kind, 0) == value for kind, value in expected.items()
+        )
+
+
+@dataclass(frozen=True)
+class UseCaseSurvey:
+    """The full Table III reproduction."""
+
+    programs: tuple[SurveyedProgram, ...]
+
+    def totals(self) -> dict[UseCaseKind, int]:
+        out: dict[UseCaseKind, int] = {}
+        for program in self.programs:
+            for kind, count in program.counts.items():
+                out[kind] = out.get(kind, 0) + count
+        return out
+
+    @property
+    def total_use_cases(self) -> int:
+        return sum(self.totals().values())
+
+    @property
+    def all_match(self) -> bool:
+        return all(p.matches_paper for p in self.programs)
+
+    def rows(self) -> list[tuple[str, int, int, int, int, int, int]]:
+        """(name, LI, IQ, SAI, FS, FLR, Σ) — Table III rows."""
+        out = []
+        for program in self.programs:
+            counts = program.counts
+            out.append(
+                (
+                    program.row.name,
+                    counts.get(UseCaseKind.LONG_INSERT, 0),
+                    counts.get(UseCaseKind.IMPLEMENT_QUEUE, 0),
+                    counts.get(UseCaseKind.SORT_AFTER_INSERT, 0),
+                    counts.get(UseCaseKind.FREQUENT_SEARCH, 0),
+                    counts.get(UseCaseKind.FREQUENT_LONG_READ, 0),
+                    program.total_found,
+                )
+            )
+        return out
+
+
+def run_usecase_survey(engine: UseCaseEngine | None = None) -> UseCaseSurvey:
+    """Survey every Table III program suite through the real engine."""
+    engine = engine if engine is not None else UseCaseEngine(rules=PARALLEL_RULES)
+    surveyed = []
+    for row in TABLE3_PROGRAMS:
+        profiles = build_survey_suite(row)
+        report = engine.analyze(profiles)
+        counts: dict[UseCaseKind, int] = {}
+        for use_case in report.use_cases:
+            counts[use_case.kind] = counts.get(use_case.kind, 0) + 1
+        surveyed.append(SurveyedProgram(row=row, counts=counts))
+    return UseCaseSurvey(programs=tuple(surveyed))

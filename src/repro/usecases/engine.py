@@ -1,0 +1,143 @@
+"""The use-case engine: profiles → patterns → use cases → advice.
+
+This is DSspy's final pipeline stage (§IV): "the specified use cases and
+parameters are loaded and applied to the access patterns", and the
+result set — use cases plus recommended actions — is what the engineer
+reviews.  :class:`UseCaseReport` additionally computes the search-space
+reduction the evaluation quantifies (Table IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..events.collector import EventCollector
+from ..events.profile import RuntimeProfile
+from ..patterns.detector import DetectorConfig, PatternDetector
+from .model import UseCase, UseCaseKind
+from .rules import ALL_RULES, Rule
+from .thresholds import PAPER_THRESHOLDS, Thresholds
+
+
+@dataclass(frozen=True)
+class UseCaseReport:
+    """All use cases found in one capture session.
+
+    Attributes
+    ----------
+    use_cases:
+        Every detected use case, in (instance, rule) order.
+    instances_analyzed:
+        Number of data structure instances in the session — the
+        denominator of the search-space reduction.
+    """
+
+    use_cases: tuple[UseCase, ...]
+    instances_analyzed: int
+
+    # -- search-space metrics (Table IV) --------------------------------
+
+    @property
+    def instances_flagged(self) -> int:
+        """Distinct instances referenced by at least one use case."""
+        return len({u.instance_id for u in self.use_cases})
+
+    @property
+    def search_space_reduction(self) -> float:
+        """1 − flagged/analyzed: the share of instances an engineer no
+        longer needs to look at (76.92% across the paper's benchmark)."""
+        if self.instances_analyzed == 0:
+            return 0.0
+        return 1.0 - self.instances_flagged / self.instances_analyzed
+
+    # -- convenience selectors --------------------------------------------
+
+    @property
+    def parallel_use_cases(self) -> list[UseCase]:
+        return [u for u in self.use_cases if u.parallel]
+
+    @property
+    def sequential_use_cases(self) -> list[UseCase]:
+        return [u for u in self.use_cases if not u.parallel]
+
+    def of_kind(self, kind: UseCaseKind) -> list[UseCase]:
+        return [u for u in self.use_cases if u.kind is kind]
+
+    def count_by_kind(self) -> dict[UseCaseKind, int]:
+        out: dict[UseCaseKind, int] = {}
+        for u in self.use_cases:
+            out[u.kind] = out.get(u.kind, 0) + 1
+        return out
+
+    def for_instance(self, instance_id: int) -> list[UseCase]:
+        return [u for u in self.use_cases if u.instance_id == instance_id]
+
+
+@dataclass
+class UseCaseEngine:
+    """Configured analysis pipeline.
+
+    Parameters
+    ----------
+    thresholds:
+        Rule thresholds; defaults to the paper's published values.
+    detector:
+        Pattern detector; defaults to strict adjacency (max_gap=1) and
+        2-event minimum runs.
+    rules:
+        The rule set to apply; defaults to all eight.  Restricting to
+        :data:`~repro.usecases.rules.PARALLEL_RULES` reproduces the
+        evaluation sections, which only count the five parallel kinds.
+    """
+
+    thresholds: Thresholds = PAPER_THRESHOLDS
+    detector: PatternDetector = field(
+        default_factory=lambda: PatternDetector(DetectorConfig())
+    )
+    rules: tuple[Rule, ...] = ALL_RULES
+
+    def analyze_profile(self, profile: RuntimeProfile) -> list[UseCase]:
+        """Apply every rule to one profile.
+
+        Categories are exclusive where one subsumes another:
+        Sort-After-Insert implies a long insertion phase, so when SAI
+        fires, the plain Long-Insert diagnosis is suppressed (its
+        recommendation — parallelize the insert — is contained in
+        SAI's).
+        """
+        analysis = self.detector.detect(profile)
+        found: list[UseCase] = []
+        for rule in self.rules:
+            evidence = rule.evaluate(analysis, self.thresholds)
+            if evidence is None:
+                continue
+            found.append(
+                UseCase(
+                    kind=rule.kind,
+                    profile=profile,
+                    analysis=analysis,
+                    recommendation=rule.recommend(evidence),
+                    evidence=evidence,
+                )
+            )
+        if any(u.kind is UseCaseKind.SORT_AFTER_INSERT for u in found):
+            found = [u for u in found if u.kind is not UseCaseKind.LONG_INSERT]
+        return found
+
+    def analyze(self, profiles: list[RuntimeProfile]) -> UseCaseReport:
+        """Analyze a batch of profiles into a report.
+
+        Instances whose profile recorded no events still count toward
+        the analyzed total — they are part of the search space the
+        engineer would otherwise inspect.
+        """
+        use_cases: list[UseCase] = []
+        for profile in profiles:
+            use_cases.extend(self.analyze_profile(profile))
+        return UseCaseReport(
+            use_cases=tuple(use_cases), instances_analyzed=len(profiles)
+        )
+
+    def analyze_collector(self, collector: EventCollector) -> UseCaseReport:
+        """Analyze everything a collector captured."""
+        return self.analyze(collector.profiles())

@@ -1,0 +1,175 @@
+"""Explanation engine: *why* a use case fired (or did not).
+
+The paper's trust argument (§I): the tool must "detect relevant
+locations, provide reasons, give parallelization recommendations and
+visualize the runtime profiles".  This module produces the reasons — a
+structured comparison of every threshold a rule consulted against the
+measured value, for fired *and* non-fired rules, so an engineer can see
+how close a structure came to each diagnosis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..events.profile import RuntimeProfile
+from ..patterns.detector import PatternDetector
+from ..patterns.statistics import compute_stats
+from .engine import UseCaseEngine
+from .model import UseCase, UseCaseKind
+from .rules import ALL_RULES
+from .thresholds import Thresholds
+
+
+@dataclass(frozen=True, slots=True)
+class Criterion:
+    """One threshold comparison inside a rule."""
+
+    name: str
+    measured: float
+    threshold: float
+    satisfied: bool
+    higher_is_satisfied: bool = True
+
+    def describe(self) -> str:
+        relation = ">=" if self.higher_is_satisfied else "<="
+        mark = "✓" if self.satisfied else "✗"
+        return (
+            f"{mark} {self.name}: measured {self.measured:g} "
+            f"{relation} threshold {self.threshold:g}"
+        )
+
+
+@dataclass(frozen=True)
+class RuleExplanation:
+    """All criteria of one rule against one profile."""
+
+    kind: UseCaseKind
+    fired: bool
+    criteria: tuple[Criterion, ...]
+
+    @property
+    def failed_criteria(self) -> list[Criterion]:
+        return [c for c in self.criteria if not c.satisfied]
+
+    def describe(self) -> str:
+        head = f"{self.kind.label}: {'FIRED' if self.fired else 'not fired'}"
+        return "\n".join([head] + [f"  {c.describe()}" for c in self.criteria])
+
+
+def _criteria_for(
+    kind: UseCaseKind, profile: RuntimeProfile, analysis, th: Thresholds
+) -> tuple[Criterion, ...]:
+    """Measured-vs-threshold pairs for the five parallel rules."""
+    from ..events.types import OperationKind
+    from ..patterns.model import PatternType
+
+    if kind is UseCaseKind.LONG_INSERT:
+        inserts = [p for p in analysis.patterns if p.pattern_type.is_insert]
+        fraction = analysis.fraction_in(lambda p: p.pattern_type.is_insert)
+        longest = max((p.length for p in inserts), default=0)
+        return (
+            Criterion("insert runtime share", fraction, th.li_insert_fraction,
+                      fraction > th.li_insert_fraction),
+            Criterion("longest insertion phase", longest, th.li_long_phase,
+                      longest >= th.li_long_phase),
+        )
+    if kind is UseCaseKind.FREQUENT_LONG_READ:
+        long_reads = [
+            p
+            for p in analysis.patterns
+            if p.pattern_type.is_read
+            and p.coverage >= th.flr_min_coverage
+            and p.length >= th.flr_min_pattern_length
+        ]
+        return (
+            Criterion("long read patterns", len(long_reads), th.flr_min_patterns,
+                      len(long_reads) > th.flr_min_patterns),
+            Criterion("read share", profile.read_fraction, th.flr_read_fraction,
+                      profile.read_fraction >= th.flr_read_fraction),
+        )
+    if kind is UseCaseKind.FREQUENT_SEARCH:
+        searches = profile.count(OperationKind.SEARCH)
+        return (
+            Criterion("explicit searches", searches, th.fs_min_search_ops,
+                      searches > th.fs_min_search_ops),
+        )
+    if kind is UseCaseKind.SORT_AFTER_INSERT:
+        sorts = profile.count(OperationKind.SORT)
+        inserts = [p for p in analysis.patterns if p.pattern_type.is_insert]
+        longest = max((p.length for p in inserts), default=0)
+        return (
+            Criterion("sort operations", sorts, 1, sorts >= 1),
+            Criterion("longest insertion phase", longest, th.sai_long_phase,
+                      longest >= th.sai_long_phase),
+        )
+    if kind is UseCaseKind.IMPLEMENT_QUEUE:
+        stats = compute_stats(profile)
+        return (
+            Criterion("end-affinity share", stats.end_affinity.ends_total,
+                      th.iq_rw_fraction,
+                      stats.end_affinity.ends_total > th.iq_rw_fraction),
+        )
+    return ()
+
+
+def explain_profile(
+    profile: RuntimeProfile,
+    engine: UseCaseEngine | None = None,
+) -> list[RuleExplanation]:
+    """Explain every parallel rule's verdict on one profile."""
+    engine = engine if engine is not None else UseCaseEngine()
+    analysis = engine.detector.detect(profile)
+    fired_kinds = {u.kind for u in engine.analyze_profile(profile)}
+    out = []
+    for kind in UseCaseKind.parallel_kinds():
+        criteria = _criteria_for(kind, profile, analysis, engine.thresholds)
+        out.append(
+            RuleExplanation(
+                kind=kind,
+                fired=kind in fired_kinds,
+                criteria=criteria,
+            )
+        )
+    return out
+
+
+def explain_use_case(use_case: UseCase) -> str:
+    """Full narrative for one detected use case: recommendation,
+    evidence, profile statistics."""
+    stats = compute_stats(use_case.profile)
+    lines = [
+        use_case.describe(),
+        f"  advice:   {use_case.recommendation.describe()}",
+        f"  evidence: "
+        + ", ".join(f"{k}={v:g}" if isinstance(v, (int, float)) else f"{k}={v}"
+                    for k, v in use_case.evidence.items()),
+        f"  profile:  {stats.describe()}",
+    ]
+    return "\n".join(lines)
+
+
+def near_misses(
+    profile: RuntimeProfile,
+    engine: UseCaseEngine | None = None,
+    tolerance: float = 0.5,
+) -> list[RuleExplanation]:
+    """Rules that did NOT fire but failed on exactly one criterion whose
+    measured value is within ``tolerance`` (relative) of the threshold —
+    the structures an engineer may still want to glance at."""
+    out = []
+    for explanation in explain_profile(profile, engine):
+        if explanation.fired:
+            continue
+        failed = explanation.failed_criteria
+        if len(failed) != 1:
+            continue
+        criterion = failed[0]
+        if criterion.threshold == 0:
+            continue
+        gap = abs(criterion.measured - criterion.threshold) / abs(
+            criterion.threshold
+        )
+        if gap <= tolerance:
+            out.append(explanation)
+    return out

@@ -1,0 +1,63 @@
+"""Textual rendering of use-case reports.
+
+``format_table_v`` reproduces the layout of the paper's Table V (the
+DSspy output for GPdotNET): one block per use case with class/method/
+position, the data structure, and the use-case kind.  ``format_summary``
+gives the per-session aggregate the evaluation tables consume.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .engine import UseCaseReport
+from .model import UseCase
+
+
+def _site_lines(use_case: UseCase) -> list[str]:
+    site = use_case.site
+    if site is None:
+        return ["  Location:       <unknown>"]
+    return [
+        f"  Class/Module:   {os.path.basename(site.filename)}",
+        f"  Method:         {site.function}",
+        f"  Position:       {site.lineno}",
+    ]
+
+
+def format_use_case(use_case: UseCase, index: int | None = None) -> str:
+    """One Table-V-style block for a single use case."""
+    header = f"Use Case {index}" if index is not None else "Use Case"
+    kind = use_case.profile.kind.value.capitalize()
+    label = f" ({use_case.profile.label})" if use_case.profile.label else ""
+    lines = [header] + _site_lines(use_case)
+    lines.append(f"  Data structure: {kind}#{use_case.instance_id}{label}")
+    lines.append(f"  Use Case:       {use_case.kind.label}")
+    lines.append(f"  Recommendation: {use_case.recommendation.describe()}")
+    return "\n".join(lines)
+
+
+def format_table_v(report: UseCaseReport, title: str = "DSspy use cases") -> str:
+    """All use cases of a session in Table V layout."""
+    blocks = [title, "=" * len(title)]
+    if not report.use_cases:
+        blocks.append("(no use cases detected)")
+    for i, use_case in enumerate(report.use_cases, start=1):
+        blocks.append(format_use_case(use_case, i))
+    return "\n\n".join(blocks)
+
+
+def format_summary(report: UseCaseReport, name: str = "session") -> str:
+    """One-paragraph aggregate: counts by kind plus reduction."""
+    by_kind = report.count_by_kind()
+    kind_parts = [
+        f"{kind.abbreviation}={count}"
+        for kind, count in sorted(by_kind.items(), key=lambda kv: kv[0].label)
+    ]
+    kinds = ", ".join(kind_parts) if kind_parts else "none"
+    return (
+        f"{name}: {len(report.use_cases)} use cases on "
+        f"{report.instances_flagged} of {report.instances_analyzed} instances "
+        f"({kinds}); search space reduction "
+        f"{report.search_space_reduction:.2%}"
+    )

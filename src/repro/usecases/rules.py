@@ -1,0 +1,459 @@
+"""The eight use-case rules.
+
+Each rule inspects a :class:`~repro.patterns.model.PatternAnalysis` and
+either returns an *evidence* dictionary (the measured quantities that
+crossed the thresholds) or ``None``.  Rule definitions follow §III-B of
+the paper verbatim; where the paper is qualitative (IDF, SI, WWR) the
+operationalization is documented inline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol
+
+import numpy as np
+
+from ..events.profile import NO_POSITION
+from ..events.types import AccessKind, OperationKind, StructureKind
+from ..patterns.model import AccessPattern, PatternAnalysis, PatternType
+from .model import Recommendation, UseCaseKind
+from .thresholds import Thresholds
+
+Evidence = dict[str, Any]
+
+
+class Rule(Protocol):
+    kind: UseCaseKind
+
+    def evaluate(self, analysis: PatternAnalysis, th: Thresholds) -> Evidence | None:
+        """Evidence dict when the rule fires, else ``None``."""
+
+
+# -- shared helpers ---------------------------------------------------------
+
+
+def _positional_masks(analysis: PatternAnalysis):
+    """(has_position, at_front, at_back) boolean masks over all events."""
+    profile = analysis.profile
+    positions = profile.positions
+    sizes = profile.sizes
+    has_pos = positions != NO_POSITION
+    at_front = has_pos & (positions == 0)
+    at_back = has_pos & (positions >= sizes - 1)
+    return has_pos, at_front, at_back
+
+
+def _end_purity(ops: np.ndarray, mask_op, at_front, at_back) -> tuple[str | None, float, int]:
+    """Which end an operation targets and how consistently.
+
+    Returns ``(end, purity, count)`` where ``end`` is ``"front"`` /
+    ``"back"`` / ``None`` and purity is the share of the operation's
+    events that hit that end.
+    """
+    count = int(np.count_nonzero(mask_op))
+    if count == 0:
+        return None, 0.0, 0
+    front = int(np.count_nonzero(mask_op & at_front))
+    back = int(np.count_nonzero(mask_op & at_back))
+    if front >= back:
+        return "front", front / count, count
+    return "back", back / count, count
+
+
+def _insert_patterns(analysis: PatternAnalysis) -> list[AccessPattern]:
+    return [p for p in analysis.patterns if p.pattern_type.is_insert]
+
+
+def _read_patterns(analysis: PatternAnalysis) -> list[AccessPattern]:
+    return [p for p in analysis.patterns if p.pattern_type.is_read]
+
+
+def _is_linear(analysis: PatternAnalysis) -> bool:
+    return analysis.profile.kind.is_linear
+
+
+# -- the five parallel-potential rules ------------------------------------------
+
+
+class LongInsertRule:
+    """LI: an insertion pattern from either end inserting more than one
+    element, with frequent insertion phases (>30% of runtime) of which
+    at least one is long (≥100 consecutive access events)."""
+
+    kind = UseCaseKind.LONG_INSERT
+
+    def evaluate(self, analysis: PatternAnalysis, th: Thresholds) -> Evidence | None:
+        if not _is_linear(analysis):
+            return None
+        inserts = _insert_patterns(analysis)
+        if not inserts:
+            return None
+        insert_fraction = analysis.fraction_in(lambda p: p.pattern_type.is_insert)
+        if insert_fraction <= th.li_insert_fraction:
+            return None
+        longest = max(p.length for p in inserts)
+        if longest < th.li_long_phase:
+            return None
+        return {
+            "insert_fraction": insert_fraction,
+            "longest_phase": longest,
+            "phase_count": len(inserts),
+        }
+
+    def recommend(self, evidence: Evidence) -> Recommendation:
+        return Recommendation(
+            hint=self.kind.hint,
+            parallel=True,
+            rationale=(
+                f"insertion phases cover {evidence['insert_fraction']:.0%} of the "
+                f"runtime profile; longest phase has {evidence['longest_phase']} "
+                "consecutive insertions"
+            ),
+        )
+
+
+class ImplementQueueRule:
+    """IQ: the structure is used like a queue but implemented as a list
+    -- a high amount of reads and writes (>60% in sum) affect two
+    *different* ends."""
+
+    kind = UseCaseKind.IMPLEMENT_QUEUE
+
+    def evaluate(self, analysis: PatternAnalysis, th: Thresholds) -> Evidence | None:
+        profile = analysis.profile
+        if profile.kind not in (StructureKind.LIST, StructureKind.ARRAY_LIST):
+            return None
+        if not len(profile):
+            return None
+        has_pos, at_front, at_back = _positional_masks(analysis)
+        ops = profile.ops
+
+        insert_end, insert_purity, insert_count = _end_purity(
+            ops, ops == OperationKind.INSERT, at_front, at_back
+        )
+        removal_mask = (ops == OperationKind.DELETE) | (ops == OperationKind.READ)
+        removal_end, removal_purity, removal_count = _end_purity(
+            ops, removal_mask, at_front, at_back
+        )
+        if insert_end is None or removal_end is None or insert_end == removal_end:
+            return None
+        if insert_count < th.iq_min_ops_per_end or removal_count < th.iq_min_ops_per_end:
+            return None
+        if insert_purity < th.iq_end_purity or removal_purity < th.iq_end_purity:
+            return None
+        end_fraction = int(np.count_nonzero(at_front | at_back)) / len(profile)
+        if end_fraction <= th.iq_rw_fraction:
+            return None
+        return {
+            "insert_end": insert_end,
+            "removal_end": removal_end,
+            "insert_purity": insert_purity,
+            "removal_purity": removal_purity,
+            "end_fraction": end_fraction,
+        }
+
+    def recommend(self, evidence: Evidence) -> Recommendation:
+        return Recommendation(
+            hint=self.kind.hint,
+            parallel=True,
+            rationale=(
+                f"{evidence['end_fraction']:.0%} of accesses hit the two ends: "
+                f"inserts at the {evidence['insert_end']} "
+                f"({evidence['insert_purity']:.0%}), removals at the "
+                f"{evidence['removal_end']} ({evidence['removal_purity']:.0%}) — "
+                "queue-like usage of a list"
+            ),
+        )
+
+
+class SortAfterInsertRule:
+    """SAI: the structure is sorted after a long insertion phase (>30%
+    of runtime, >100 consecutive events); insertion order is obviously
+    unimportant, so both insert and search phases can be parallelized."""
+
+    kind = UseCaseKind.SORT_AFTER_INSERT
+
+    def evaluate(self, analysis: PatternAnalysis, th: Thresholds) -> Evidence | None:
+        if not _is_linear(analysis):
+            return None
+        profile = analysis.profile
+        sort_indices = np.flatnonzero(profile.ops == OperationKind.SORT)
+        if sort_indices.size == 0:
+            return None
+        insert_fraction = analysis.fraction_in(lambda p: p.pattern_type.is_insert)
+        if insert_fraction <= th.sai_insert_fraction:
+            return None
+        qualifying = [
+            p
+            for p in _insert_patterns(analysis)
+            if p.length >= th.sai_long_phase
+            and any(int(s) >= p.stop for s in sort_indices)
+        ]
+        if not qualifying:
+            return None
+        longest = max(p.length for p in qualifying)
+        return {
+            "insert_fraction": insert_fraction,
+            "longest_phase": longest,
+            "sort_count": int(sort_indices.size),
+        }
+
+    def recommend(self, evidence: Evidence) -> Recommendation:
+        return Recommendation(
+            hint=self.kind.hint,
+            parallel=True,
+            rationale=(
+                f"a sort follows an insertion phase of "
+                f"{evidence['longest_phase']} consecutive events "
+                f"({evidence['insert_fraction']:.0%} of runtime) — insertion "
+                "order is irrelevant"
+            ),
+        )
+
+
+class FrequentSearchRule:
+    """FS: the program often searches a linear structure (>1000 search
+    operations); searches are *frequent* when at least 2% of all access
+    events belong to Read-Forward/Backward patterns or explicit
+    searches."""
+
+    kind = UseCaseKind.FREQUENT_SEARCH
+
+    def evaluate(self, analysis: PatternAnalysis, th: Thresholds) -> Evidence | None:
+        if not _is_linear(analysis):
+            return None
+        profile = analysis.profile
+        if not len(profile):
+            return None
+        search_ops = profile.count(OperationKind.SEARCH)
+        if search_ops <= th.fs_min_search_ops:
+            return None
+        read_pattern_events = analysis.events_in(lambda p: p.pattern_type.is_read)
+        frequency = (search_ops + read_pattern_events) / len(profile)
+        if frequency < th.fs_pattern_fraction:
+            return None
+        return {
+            "search_ops": search_ops,
+            "read_pattern_events": read_pattern_events,
+            "frequency": frequency,
+        }
+
+    def recommend(self, evidence: Evidence) -> Recommendation:
+        return Recommendation(
+            hint=self.kind.hint,
+            parallel=True,
+            rationale=(
+                f"{evidence['search_ops']} explicit search operations "
+                f"({evidence['frequency']:.1%} of all events are search-like) on "
+                "a linear structure"
+            ),
+        )
+
+
+class FrequentLongReadRule:
+    """FLR: more than 10 sequential read patterns recur, ≥50% of all
+    access types are Read or Search, and each pattern reads at least
+    50% of the data structure — a disguised search."""
+
+    kind = UseCaseKind.FREQUENT_LONG_READ
+
+    def evaluate(self, analysis: PatternAnalysis, th: Thresholds) -> Evidence | None:
+        if not _is_linear(analysis):
+            return None
+        profile = analysis.profile
+        if not len(profile):
+            return None
+        long_reads = [
+            p
+            for p in _read_patterns(analysis)
+            if p.coverage >= th.flr_min_coverage
+            and p.length >= th.flr_min_pattern_length
+        ]
+        if len(long_reads) <= th.flr_min_patterns:
+            return None
+        if profile.read_fraction < th.flr_read_fraction:
+            return None
+        return {
+            "long_read_patterns": len(long_reads),
+            "read_fraction": profile.read_fraction,
+            "mean_coverage": float(np.mean([p.coverage for p in long_reads])),
+        }
+
+    def recommend(self, evidence: Evidence) -> Recommendation:
+        return Recommendation(
+            hint=self.kind.hint,
+            parallel=True,
+            rationale=(
+                f"{evidence['long_read_patterns']} sequential read patterns, each "
+                f"covering {evidence['mean_coverage']:.0%} of the structure on "
+                f"average ({evidence['read_fraction']:.0%} of accesses are reads) "
+                "— likely a hand-rolled search"
+            ),
+        )
+
+
+# -- the three sequential-optimization rules ------------------------------------
+
+
+class InsertDeleteFrontRule:
+    """IDF: insert/delete churn on a fixed-size array causes repeated
+    reallocate+copy overhead; a dynamic structure fits better.
+
+    Operationalization: the profile belongs to an array, carries at
+    least ``idf_min_churn_ops`` combined insert+delete operations with
+    both species present, and at least ``idf_min_resizes`` reallocation
+    events."""
+
+    kind = UseCaseKind.INSERT_DELETE_FRONT
+
+    def evaluate(self, analysis: PatternAnalysis, th: Thresholds) -> Evidence | None:
+        profile = analysis.profile
+        if profile.kind is not StructureKind.ARRAY:
+            return None
+        inserts = profile.count(OperationKind.INSERT)
+        deletes = profile.count(OperationKind.DELETE)
+        resizes = profile.count(OperationKind.RESIZE)
+        if inserts == 0 or deletes == 0:
+            return None
+        if inserts + deletes < th.idf_min_churn_ops or resizes < th.idf_min_resizes:
+            return None
+        return {"inserts": inserts, "deletes": deletes, "resizes": resizes}
+
+    def recommend(self, evidence: Evidence) -> Recommendation:
+        return Recommendation(
+            hint=self.kind.hint,
+            parallel=False,
+            rationale=(
+                f"{evidence['inserts']} inserts and {evidence['deletes']} deletes "
+                f"forced {evidence['resizes']} full reallocations of a fixed-size "
+                "array"
+            ),
+        )
+
+
+class StackImplementationRule:
+    """SI: insert and delete operations always access a common end of a
+    list — the list implements a stack.
+
+    Operationalization: at least ``si_min_inserts``/``si_min_deletes``
+    operations, with ≥``si_end_purity`` of each hitting the *same* end."""
+
+    kind = UseCaseKind.STACK_IMPLEMENTATION
+
+    def evaluate(self, analysis: PatternAnalysis, th: Thresholds) -> Evidence | None:
+        profile = analysis.profile
+        if profile.kind not in (StructureKind.LIST, StructureKind.ARRAY_LIST):
+            return None
+        if not len(profile):
+            return None
+        has_pos, at_front, at_back = _positional_masks(analysis)
+        ops = profile.ops
+        insert_end, insert_purity, insert_count = _end_purity(
+            ops, ops == OperationKind.INSERT, at_front, at_back
+        )
+        delete_end, delete_purity, delete_count = _end_purity(
+            ops, ops == OperationKind.DELETE, at_front, at_back
+        )
+        if insert_count < th.si_min_inserts or delete_count < th.si_min_deletes:
+            return None
+        if insert_end is None or insert_end != delete_end:
+            return None
+        if insert_purity < th.si_end_purity or delete_purity < th.si_end_purity:
+            return None
+        return {
+            "end": insert_end,
+            "inserts": insert_count,
+            "deletes": delete_count,
+            "insert_purity": insert_purity,
+            "delete_purity": delete_purity,
+        }
+
+    def recommend(self, evidence: Evidence) -> Recommendation:
+        return Recommendation(
+            hint=self.kind.hint,
+            parallel=False,
+            rationale=(
+                f"{evidence['inserts']} inserts and {evidence['deletes']} deletes "
+                f"all access the {evidence['end']} of the list — LIFO usage"
+            ),
+        )
+
+
+class WriteWithoutReadRule:
+    """WWR: the profile ends with write accesses whose results are never
+    read — cleanup work better left to deallocation.
+
+    Operationalization: after the last read-kind event there are at
+    least ``wwr_min_trailing_writes`` write events, and they either
+    include a ``Clear`` or cover ≥``wwr_min_coverage`` of the structure."""
+
+    kind = UseCaseKind.WRITE_WITHOUT_READ
+
+    def evaluate(self, analysis: PatternAnalysis, th: Thresholds) -> Evidence | None:
+        profile = analysis.profile
+        n = len(profile)
+        if n == 0:
+            return None
+        kinds = profile.kinds
+        reads = np.flatnonzero(kinds == AccessKind.READ)
+        first_trailing = int(reads[-1]) + 1 if reads.size else 0
+        ops = profile.ops
+        # The Init event is construction, not cleanup.
+        trailing = [
+            i
+            for i in range(first_trailing, n)
+            if OperationKind(int(ops[i])) is not OperationKind.INIT
+        ]
+        if len(trailing) < th.wwr_min_trailing_writes:
+            return None
+        trailing_ops = {OperationKind(int(ops[i])) for i in trailing}
+        # Cleanup means overwriting or clearing; trailing inserts/sorts
+        # are a build phase, not a write-without-read.
+        if not trailing_ops <= {OperationKind.WRITE, OperationKind.CLEAR}:
+            return None
+        positions = profile.positions
+        distinct = {int(positions[i]) for i in trailing if positions[i] != NO_POSITION}
+        base_size = max(int(profile.sizes[i]) for i in trailing)
+        coverage = len(distinct) / base_size if base_size else 0.0
+        if OperationKind.CLEAR not in trailing_ops and coverage < th.wwr_min_coverage:
+            return None
+        return {
+            "trailing_writes": len(trailing),
+            "coverage": coverage,
+            "includes_clear": OperationKind.CLEAR in trailing_ops,
+        }
+
+    def recommend(self, evidence: Evidence) -> Recommendation:
+        return Recommendation(
+            hint=self.kind.hint,
+            parallel=False,
+            rationale=(
+                f"the profile ends with {evidence['trailing_writes']} write "
+                "accesses that are never read — cleanup resembling garbage "
+                "collection"
+            ),
+        )
+
+
+#: All rules in paper order (parallel first).
+ALL_RULES: tuple[Rule, ...] = (
+    LongInsertRule(),
+    ImplementQueueRule(),
+    SortAfterInsertRule(),
+    FrequentSearchRule(),
+    FrequentLongReadRule(),
+    InsertDeleteFrontRule(),
+    StackImplementationRule(),
+    WriteWithoutReadRule(),
+)
+
+PARALLEL_RULES: tuple[Rule, ...] = tuple(r for r in ALL_RULES if r.kind.parallel)
+SEQUENTIAL_RULES: tuple[Rule, ...] = tuple(r for r in ALL_RULES if not r.kind.parallel)
+
+
+def rule_for(kind: UseCaseKind) -> Rule:
+    """The rule instance implementing ``kind``."""
+    for rule in ALL_RULES:
+        if rule.kind is kind:
+            return rule
+    raise KeyError(kind)

@@ -1,0 +1,119 @@
+"""Threshold parameters of the eight use-case rules.
+
+All defaults are the values published in §III-B of the paper (tuned by
+the authors on 23 benchmark programs).  They are grouped in a single
+frozen dataclass so experiments can sweep them (the ablation benchmarks
+do) without touching rule code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True, slots=True)
+class Thresholds:
+    """Tuning knobs for all use-case rules (paper defaults).
+
+    Long-Insert (LI)
+        ``li_insert_fraction``: insertion phases must cover >30% of
+        runtime.  ``li_long_phase``: a phase is *long* from 100
+        consecutive access events.
+
+    Implement-Queue (IQ)
+        ``iq_rw_fraction``: reads+writes affecting the two ends must sum
+        to >60% of all events.  ``iq_end_purity``: share of inserts
+        (resp. removals) that must target a single end for the usage to
+        count as queue-like.
+
+    Sort-After-Insert (SAI)
+        Same phase thresholds as LI (the paper reuses ">30% of runtime,
+        >100 consecutive access events") plus a sort following the
+        insertion phase.
+
+    Frequent-Search (FS)
+        ``fs_min_search_ops``: >1000 explicit search operations.
+        ``fs_pattern_fraction``: searches are *frequent* when at least
+        2% of all access events belong to Read-Forward/Backward
+        patterns or explicit searches.
+
+    Frequent-Long-Read (FLR)
+        ``flr_min_patterns``: >10 sequential read patterns.
+        ``flr_read_fraction``: ≥50% of access types must be Read or
+        Search.  ``flr_min_coverage``: each pattern must read ≥50% of
+        the data structure.
+
+    Insert/Delete-Front (IDF), Stack-Implementation (SI),
+    Write-Without-Read (WWR)
+        The paper gives qualitative definitions; the quantitative knobs
+        here operationalize them and are documented at each rule.
+    """
+
+    # Long-Insert
+    li_insert_fraction: float = 0.30
+    li_long_phase: int = 100
+
+    # Implement-Queue
+    iq_rw_fraction: float = 0.60
+    iq_end_purity: float = 0.80
+    iq_min_ops_per_end: int = 10
+
+    # Sort-After-Insert
+    sai_insert_fraction: float = 0.30
+    sai_long_phase: int = 100
+
+    # Frequent-Search
+    fs_min_search_ops: int = 1000
+    fs_pattern_fraction: float = 0.02
+
+    # Frequent-Long-Read
+    flr_min_patterns: int = 10
+    flr_read_fraction: float = 0.50
+    flr_min_coverage: float = 0.50
+    #: Operational addition: a qualifying read pattern must span at
+    #: least this many events.  The paper's FLR examples are scans over
+    #: substantial lists; without a floor, tiny fixed-size working sets
+    #: (e.g. a 4-slot Whetstone array read in full every cycle) would
+    #: drown the result set in unparallelizable "long" reads.
+    flr_min_pattern_length: int = 8
+
+    # Insert/Delete-Front (sequential)
+    idf_min_churn_ops: int = 8
+    idf_min_resizes: int = 4
+
+    # Stack-Implementation (sequential)
+    si_min_inserts: int = 10
+    si_min_deletes: int = 10
+    si_end_purity: float = 0.90
+
+    # Write-Without-Read (sequential)
+    wwr_min_trailing_writes: int = 5
+    wwr_min_coverage: float = 0.30
+
+    def scaled(self, factor: float) -> "Thresholds":
+        """Thresholds with all *count* knobs scaled by ``factor``.
+
+        Small test workloads can't reach >1000 searches or 100-event
+        phases; scaling preserves the rules' relative geometry.  Only
+        absolute counts scale -- fractions are size-free.
+        """
+        return replace(
+            self,
+            li_long_phase=max(int(self.li_long_phase * factor), 2),
+            sai_long_phase=max(int(self.sai_long_phase * factor), 2),
+            fs_min_search_ops=max(int(self.fs_min_search_ops * factor), 1),
+            flr_min_patterns=max(int(self.flr_min_patterns * factor), 1),
+            flr_min_pattern_length=max(
+                int(self.flr_min_pattern_length * factor), 2
+            ),
+            idf_min_churn_ops=max(int(self.idf_min_churn_ops * factor), 1),
+            idf_min_resizes=max(int(self.idf_min_resizes * factor), 1),
+            si_min_inserts=max(int(self.si_min_inserts * factor), 1),
+            si_min_deletes=max(int(self.si_min_deletes * factor), 1),
+            iq_min_ops_per_end=max(int(self.iq_min_ops_per_end * factor), 1),
+            wwr_min_trailing_writes=max(int(self.wwr_min_trailing_writes * factor), 1),
+        )
+
+
+#: The paper's published configuration.
+PAPER_THRESHOLDS = Thresholds()

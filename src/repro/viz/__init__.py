@@ -1,0 +1,18 @@
+"""Runtime-profile visualization (ASCII terminal charts + SVG export)."""
+
+from .ascii_chart import render_op_histogram, render_patterns, render_profile
+from .density import density_grid, render_density
+from .svg import profile_to_svg, save_svg
+from .thread_lanes import render_thread_lanes, thread_interleaving_ratio
+
+__all__ = [
+    "profile_to_svg",
+    "render_op_histogram",
+    "render_patterns",
+    "density_grid",
+    "render_density",
+    "render_profile",
+    "render_thread_lanes",
+    "save_svg",
+    "thread_interleaving_ratio",
+]

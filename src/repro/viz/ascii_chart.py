@@ -1,0 +1,136 @@
+"""Terminal rendering of runtime profiles (Figures 2 and 3).
+
+The paper visualizes a profile as a bar per access event on a
+chronological x-axis: the bar's height is the target index, its color
+the access kind (green = read, red = write), with a grey background bar
+showing the structure's size at that moment.  This module renders the
+same picture in a terminal: ``#``/``r`` marks for writes/reads on a
+column per event, ``.`` for the size envelope, with optional ANSI color.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..events.profile import NO_POSITION, RuntimeProfile
+from ..events.types import AccessKind
+from ..patterns.model import PatternAnalysis
+
+_ANSI = {"read": "\x1b[32m", "write": "\x1b[31m", "size": "\x1b[90m", "reset": "\x1b[0m"}
+
+
+def _downsample(n_events: int, width: int) -> list[int]:
+    """Indices of the events shown when there are more events than
+    columns (uniform stride; first and last always shown)."""
+    if n_events <= width:
+        return list(range(n_events))
+    stride = n_events / width
+    picks = sorted({min(int(i * stride), n_events - 1) for i in range(width)})
+    if picks[-1] != n_events - 1:
+        picks.append(n_events - 1)
+    return picks
+
+
+def render_profile(
+    profile: RuntimeProfile,
+    width: int = 78,
+    height: int = 16,
+    color: bool = False,
+    show_legend: bool = True,
+) -> str:
+    """Figure-2-style chart of one profile.
+
+    Each column is one access event (downsampled uniformly when the
+    profile is wider than ``width``).  Column glyph: ``r`` read, ``#``
+    write, drawn at the row of the target index; ``.`` marks the
+    structure size envelope.  Events without a position (Clear, Sort,
+    ...) are drawn as ``|`` across the full height.
+    """
+    if not len(profile):
+        return "(empty profile)"
+
+    picks = _downsample(len(profile), width)
+    positions = profile.positions
+    sizes = profile.sizes
+    kinds = profile.kinds
+
+    max_value = max(int(sizes.max()), int(positions.max()) + 1, 1)
+    rows = height
+    scale = rows / max_value
+
+    def row_of(value: int) -> int:
+        return min(int(value * scale), rows - 1)
+
+    grid = [[" "] * len(picks) for _ in range(rows)]
+    for col, idx in enumerate(picks):
+        size_row = row_of(max(int(sizes[idx]) - 1, 0))
+        for r in range(size_row + 1):
+            grid[r][col] = "."
+        pos = int(positions[idx])
+        if pos == NO_POSITION:
+            for r in range(rows):
+                grid[r][col] = "|"
+            continue
+        glyph = "r" if kinds[idx] == AccessKind.READ else "#"
+        grid[row_of(pos)][col] = glyph
+
+    lines: list[str] = []
+    label_width = len(str(max_value))
+    for r in range(rows - 1, -1, -1):
+        value = math.ceil((r + 1) / scale) - 1
+        axis = str(value).rjust(label_width) if r % 4 == 0 else " " * label_width
+        lines.append(f"{axis} |" + "".join(grid[r]))
+    lines.append(" " * label_width + "-" * (len(picks) + 2))
+    lines.append(
+        " " * label_width
+        + f" events 0..{len(profile) - 1}"
+        + (f" (downsampled to {len(picks)} columns)" if len(picks) < len(profile) else "")
+    )
+    if show_legend:
+        lines.append(
+            " " * label_width
+            + " r=read  #=write  .=size envelope  |=whole-structure op"
+        )
+
+    text = "\n".join(lines)
+    if color:
+        text = (
+            text.replace("r", _ANSI["read"] + "r" + _ANSI["reset"])
+            .replace("#", _ANSI["write"] + "#" + _ANSI["reset"])
+        )
+    return text
+
+
+def render_patterns(analysis: PatternAnalysis, max_rows: int = 40) -> str:
+    """Figure-3-style textual timeline: one row per detected pattern."""
+    profile = analysis.profile
+    if not analysis.patterns:
+        return "(no patterns detected)"
+    total = max(len(profile), 1)
+    bar_width = 50
+    lines = [
+        f"{len(analysis.patterns)} patterns over {total} events "
+        f"({profile.kind.value}#{profile.instance_id})"
+    ]
+    for p in analysis.patterns[:max_rows]:
+        start_col = int(p.start / total * bar_width)
+        stop_col = max(int(p.stop / total * bar_width), start_col + 1)
+        bar = " " * start_col + "=" * (stop_col - start_col)
+        bar = bar.ljust(bar_width)
+        lines.append(f"  [{bar}] {p.describe()}")
+    if len(analysis.patterns) > max_rows:
+        lines.append(f"  ... {len(analysis.patterns) - max_rows} more")
+    return "\n".join(lines)
+
+
+def render_op_histogram(profile: RuntimeProfile, width: int = 40) -> str:
+    """Horizontal bar chart of the compound operation mix."""
+    histogram = profile.op_histogram()
+    if not histogram:
+        return "(empty profile)"
+    biggest = max(histogram.values())
+    lines = []
+    for op, count in sorted(histogram.items(), key=lambda kv: -kv[1]):
+        bar = "#" * max(int(count / biggest * width), 1)
+        lines.append(f"  {op.name.lower():<8} {bar} {count}")
+    return "\n".join(lines)

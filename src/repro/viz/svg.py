@@ -1,0 +1,119 @@
+"""SVG export of runtime profiles.
+
+Produces a standalone SVG string with the paper's visual vocabulary
+(Figure 2): a grey background bar per event for the structure size,
+green bars for reads, red for writes, x-axis in temporal order, y-axis
+the target index.  No plotting library needed -- the file is a few
+template strings -- so profiles can be inspected in any browser even in
+minimal environments.
+"""
+
+from __future__ import annotations
+
+from ..events.profile import NO_POSITION, RuntimeProfile
+from ..events.types import AccessKind
+from .ascii_chart import _downsample
+
+_READ_COLOR = "#2e7d32"
+_WRITE_COLOR = "#c62828"
+_SIZE_COLOR = "#cccccc"
+_MARKER_COLOR = "#1565c0"
+
+
+def profile_to_svg(
+    profile: RuntimeProfile,
+    width: int = 900,
+    height: int = 300,
+    max_columns: int = 600,
+    title: str | None = None,
+) -> str:
+    """Render one profile as an SVG document string."""
+    margin = 36
+    plot_w = width - 2 * margin
+    plot_h = height - 2 * margin
+
+    n = len(profile)
+    if n == 0:
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{height}"><text x="10" y="20">(empty profile)</text></svg>'
+        )
+
+    picks = _downsample(n, max_columns)
+    positions = profile.positions
+    sizes = profile.sizes
+    kinds = profile.kinds
+    max_value = max(int(sizes.max()), int(positions.max()) + 1, 1)
+
+    col_w = plot_w / len(picks)
+    bar_w = max(col_w * 0.8, 0.5)
+
+    def y_of(value: float) -> float:
+        return margin + plot_h * (1 - value / max_value)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    caption = title or (
+        f"{profile.kind.value}#{profile.instance_id} — {n} events"
+    )
+    parts.append(
+        f'<text x="{margin}" y="{margin - 12}" font-family="sans-serif" '
+        f'font-size="13">{caption}</text>'
+    )
+
+    # Size envelope first (background), then access bars.
+    for col, idx in enumerate(picks):
+        x = margin + col * col_w
+        size = int(sizes[idx])
+        if size > 0:
+            top = y_of(size)
+            parts.append(
+                f'<rect x="{x:.2f}" y="{top:.2f}" width="{bar_w:.2f}" '
+                f'height="{margin + plot_h - top:.2f}" fill="{_SIZE_COLOR}"/>'
+            )
+    for col, idx in enumerate(picks):
+        x = margin + col * col_w
+        pos = int(positions[idx])
+        if pos == NO_POSITION:
+            parts.append(
+                f'<rect x="{x:.2f}" y="{margin}" width="{bar_w:.2f}" '
+                f'height="{plot_h}" fill="{_MARKER_COLOR}" opacity="0.35"/>'
+            )
+            continue
+        color = _READ_COLOR if kinds[idx] == AccessKind.READ else _WRITE_COLOR
+        top = y_of(pos + 1)
+        parts.append(
+            f'<rect x="{x:.2f}" y="{top:.2f}" width="{bar_w:.2f}" '
+            f'height="{margin + plot_h - top:.2f}" fill="{color}"/>'
+        )
+
+    # Axes.
+    parts.append(
+        f'<line x1="{margin}" y1="{margin + plot_h}" x2="{margin + plot_w}" '
+        f'y2="{margin + plot_h}" stroke="black"/>'
+    )
+    parts.append(
+        f'<line x1="{margin}" y1="{margin}" x2="{margin}" '
+        f'y2="{margin + plot_h}" stroke="black"/>'
+    )
+    parts.append(
+        f'<text x="{margin}" y="{height - 8}" font-family="sans-serif" '
+        f'font-size="11">temporal order →</text>'
+    )
+    parts.append(
+        f'<text x="8" y="{margin + 10}" font-family="sans-serif" '
+        f'font-size="11">{max_value}</text>'
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(profile: RuntimeProfile, path: str, **kwargs) -> str:
+    """Write the SVG to ``path`` and return the path."""
+    svg = profile_to_svg(profile, **kwargs)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(svg)
+    return path

@@ -1,0 +1,109 @@
+"""Benchmark workloads: the paper's seven evaluation programs,
+synthetic profile generators, and the empirical-study corpus generator.
+"""
+
+from .adapters import PLAIN, TRACKED, Containers, PlainArray, PlainDict, PlainList
+from .algorithmia import Algorithmia, AlgorithmiaResult, BinaryHeap, ListPriorityQueue
+from .astrogrep import AstroGrep, AstroGrepResult
+from .base import PaperRow, Workload, deterministic_rng
+from .contentfinder import Contentfinder, ContentfinderResult
+from .cpubench import CPUBenchmarks, CPUBenchResult, lu_solve, whetstone_cycle
+from .generators import (
+    USE_CASE_GENERATORS,
+    gen_fig2_snippet,
+    gen_frequent_long_read,
+    gen_frequent_search,
+    gen_idf_churn,
+    gen_insert_back_read_forward,
+    gen_irregular,
+    gen_long_insert,
+    gen_queue_usage,
+    gen_sort_after_insert,
+    gen_stack_usage,
+    gen_write_without_read,
+)
+from .gpdotnet import GPdotNET, GPResult
+from .parallel_variants import (
+    ALL_PARALLEL_VARIANTS,
+    ParallelRunOutcome,
+    algorithmia_parallel_pq,
+    mandelbrot_parallel,
+    sort_after_insert_parallel,
+    verify_all,
+    wordwheel_parallel,
+)
+from .mandelbrot import Mandelbrot, MandelbrotResult, escape_iterations
+from .wordwheel import WordWheelResult, WordWheelSolver, can_form
+
+#: The seven Table IV workloads in the paper's row order.
+EVALUATION_WORKLOADS: tuple[Workload, ...] = (
+    Algorithmia(),
+    AstroGrep(),
+    Contentfinder(),
+    CPUBenchmarks(),
+    GPdotNET(),
+    Mandelbrot(),
+    WordWheelSolver(),
+)
+
+
+def workload_by_name(name: str) -> Workload:
+    """Look up an evaluation workload case-insensitively."""
+    for workload in EVALUATION_WORKLOADS:
+        if workload.name.lower() == name.lower():
+            return workload
+    raise KeyError(name)
+
+
+__all__ = [
+    "Algorithmia",
+    "AlgorithmiaResult",
+    "AstroGrep",
+    "AstroGrepResult",
+    "BinaryHeap",
+    "CPUBenchResult",
+    "CPUBenchmarks",
+    "Containers",
+    "Contentfinder",
+    "ContentfinderResult",
+    "EVALUATION_WORKLOADS",
+    "GPResult",
+    "GPdotNET",
+    "ListPriorityQueue",
+    "ALL_PARALLEL_VARIANTS",
+    "Mandelbrot",
+    "ParallelRunOutcome",
+    "algorithmia_parallel_pq",
+    "mandelbrot_parallel",
+    "sort_after_insert_parallel",
+    "verify_all",
+    "wordwheel_parallel",
+    "MandelbrotResult",
+    "PLAIN",
+    "PaperRow",
+    "PlainArray",
+    "PlainDict",
+    "PlainList",
+    "TRACKED",
+    "USE_CASE_GENERATORS",
+    "WordWheelResult",
+    "WordWheelSolver",
+    "Workload",
+    "can_form",
+    "deterministic_rng",
+    "escape_iterations",
+    "gen_fig2_snippet",
+    "gen_frequent_long_read",
+    "gen_frequent_search",
+    "gen_idf_churn",
+    "gen_insert_back_read_forward",
+    "gen_irregular",
+    "gen_long_insert",
+    "gen_queue_usage",
+    "gen_sort_after_insert",
+    "gen_stack_usage",
+    "gen_write_without_read",
+    "lu_solve",
+    "whetstone_cycle",
+    "workload_by_name",
+]

@@ -1,0 +1,155 @@
+"""Plain (untracked) container adapters.
+
+Every workload is written once against a :class:`Containers` factory and
+runs in two modes: *plain* (native containers, no recording — the
+baseline for slowdown measurement) and *tracked* (DSspy proxies).  The
+plain adapters expose the same extended interface as the tracked
+proxies (``add``, ``fill_all``, ``raw`` ...) so workload code is mode-
+agnostic; their method bodies are the native operations with no event
+recording.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from ..structures import TrackedArray, TrackedDict, TrackedList
+
+
+class PlainList(list):
+    """Native list with the tracked proxy's extended interface."""
+
+    def __init__(self, iterable: Iterable[Any] | None = None, capacity: int = 0, label: str = ""):
+        super().__init__(iterable if iterable is not None else ())
+
+    add = list.append
+    add_range = list.extend
+    index_of = list.index
+
+    def contains(self, value) -> bool:
+        return value in self
+
+    def for_each(self, fn) -> None:
+        for item in self:
+            fn(item)
+
+    def to_list(self) -> list:
+        return list(self)
+
+    def raw(self) -> list:
+        return self
+
+
+class PlainArray:
+    """Native fixed-size array with the tracked proxy's interface."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self, length_or_iterable: int | Iterable[Any] = 0, fill: Any = 0, label: str = ""):
+        if isinstance(length_or_iterable, int):
+            self._data = [fill] * length_or_iterable
+        else:
+            self._data = list(length_or_iterable)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return self._data[i]
+        return self._data[i]
+
+    def __setitem__(self, i, value) -> None:
+        self._data[i] = value
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self):
+        return iter(self._data)
+
+    def __contains__(self, value) -> bool:
+        return value in self._data
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, PlainArray):
+            return self._data == other._data
+        return self._data == other
+
+    def __repr__(self) -> str:
+        return f"PlainArray({self._data!r})"
+
+    def resize(self, new_length: int, fill: Any = 0) -> None:
+        if new_length >= len(self._data):
+            self._data = self._data + [fill] * (new_length - len(self._data))
+        else:
+            self._data = self._data[:new_length]
+
+    def insert(self, index: int, value) -> None:
+        pos = index + len(self._data) if index < 0 else index
+        self._data = self._data[:pos] + [value] + self._data[pos:]
+
+    def delete(self, index: int) -> None:
+        pos = index + len(self._data) if index < 0 else index
+        if not 0 <= pos < len(self._data):
+            raise IndexError("array delete index out of range")
+        self._data = self._data[:pos] + self._data[pos + 1 :]
+
+    def index(self, value) -> int:
+        return self._data.index(value)
+
+    index_of = index
+
+    def fill_all(self, value) -> None:
+        for j in range(len(self._data)):
+            self._data[j] = value
+
+    def sort(self, *, key=None, reverse: bool = False) -> None:
+        self._data.sort(key=key, reverse=reverse)
+
+    def reverse(self) -> None:
+        self._data.reverse()
+
+    def copy(self) -> list:
+        return self._data.copy()
+
+    def raw(self) -> list:
+        return self._data
+
+
+class PlainDict(dict):
+    """Native dict with the tracked proxy's extended interface."""
+
+    def __init__(self, mapping=None, label: str = ""):
+        super().__init__(mapping if mapping is not None else ())
+
+    def raw(self) -> dict:
+        return self
+
+
+@dataclass(frozen=True)
+class Containers:
+    """Container factory the workloads construct everything through.
+
+    ``new_list(iterable=None, capacity=0, label="")``,
+    ``new_array(length_or_iterable, fill=0, label="")`` and
+    ``new_dict(mapping=None, label="")`` mirror the tracked
+    constructors.
+    """
+
+    new_list: Callable[..., Any]
+    new_array: Callable[..., Any]
+    new_dict: Callable[..., Any]
+    tracked: bool
+
+    def __repr__(self) -> str:
+        return f"Containers(tracked={self.tracked})"
+
+
+#: Native containers — the slowdown baseline.
+PLAIN = Containers(
+    new_list=PlainList, new_array=PlainArray, new_dict=PlainDict, tracked=False
+)
+
+#: DSspy proxies — the instrumented mode.
+TRACKED = Containers(
+    new_list=TrackedList, new_array=TrackedArray, new_dict=TrackedDict, tracked=True
+)

@@ -1,0 +1,85 @@
+"""Workload framework for the seven evaluation programs (Table IV).
+
+Each workload is a deterministic reimplementation of one benchmark
+program from the paper's evaluation, written against the
+:class:`~repro.workloads.adapters.Containers` factory so it can run
+plain (baseline) or tracked (DSspy capture).  A workload knows its
+paper-published reference numbers (:class:`PaperRow`) and reports its
+own work decomposition for the simulated-machine speedup analysis.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any
+
+from ..parallel.machine import WorkDecomposition
+from .adapters import PLAIN, TRACKED, Containers
+
+
+@dataclass(frozen=True, slots=True)
+class PaperRow:
+    """The Table IV row this workload reproduces (reference values)."""
+
+    name: str
+    domain: str
+    loc: int
+    runtime_s: float
+    profiling_s: float
+    slowdown: float
+    instances: int
+    use_cases: int
+    true_positives: int
+    reduction: float  # percent
+    speedup: float
+
+
+class Workload(abc.ABC):
+    """One evaluation benchmark program.
+
+    Subclasses implement :meth:`run`, which must
+
+    - construct every data structure through the ``containers`` factory,
+    - be deterministic (seeded randomness only), and
+    - return a result value a test can verify.
+
+    ``scale`` shrinks the workload for fast test runs; verdict-critical
+    sizes (phase lengths that decide true/false positives) are floored
+    so detection results are scale-stable in ``[0.05, 1]``.
+    """
+
+    paper: PaperRow
+
+    @abc.abstractmethod
+    def run(self, containers: Containers, scale: float = 1.0) -> Any:
+        """Execute the program; all containers come from the factory."""
+
+    @abc.abstractmethod
+    def decomposition(self, scale: float = 1.0) -> WorkDecomposition:
+        """Sequential/parallel work split for the machine model
+        (drives the Table IV 'Total Speedup' and Table VI columns)."""
+
+    # -- conveniences ----------------------------------------------------
+
+    def run_plain(self, scale: float = 1.0) -> Any:
+        return self.run(PLAIN, scale=scale)
+
+    def run_tracked(self, scale: float = 1.0) -> Any:
+        return self.run(TRACKED, scale=scale)
+
+    @property
+    def name(self) -> str:
+        return self.paper.name
+
+    @staticmethod
+    def scaled(base: int, scale: float, floor: int) -> int:
+        """``base * scale`` with a floor protecting detection verdicts."""
+        return max(int(base * scale), floor)
+
+
+def deterministic_rng(seed: int):
+    """Seeded ``random.Random`` — workloads must not use global random."""
+    import random
+
+    return random.Random(seed)

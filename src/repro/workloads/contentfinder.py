@@ -1,0 +1,151 @@
+"""Contentfinder — text search tool (Table IV row 3).
+
+Reimplements the paper's Contentfinder benchmark: a desktop search that
+tokenizes documents and returns snippet matches.  The paper found 11
+data structure instances and two use cases, both true positives, total
+speedup 1.56.
+
+Instance budget (11):
+
+- ``documents``    list — document registry (no use case)
+- 8 per-document ``tokens_*`` lists — token streams, each scanned a few
+  times only (no use case)
+- ``token_index``  list — flattened tokens, scanned once per query
+  (Frequent-Long-Read, TP)
+- ``snippets``     list — all matches appended in one long burst
+  (Long-Insert, TP: unlike AstroGrep's short result list, Contentfinder
+  materializes full snippets — enough work to parallelize)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..parallel.machine import ParallelRegion, WorkDecomposition
+from .adapters import Containers
+from .base import PaperRow, Workload, deterministic_rng
+
+_VOCAB = (
+    "invoice", "contract", "report", "draft", "budget", "memo",
+    "agenda", "minutes", "policy", "review", "summary", "appendix",
+)
+
+_QUERIES = (
+    "invoice", "contract", "report", "budget", "memo", "agenda",
+    "policy", "review", "summary", "appendix", "draft", "minutes",
+)
+
+
+@dataclass
+class ContentfinderResult:
+    """Verifiable output of one search session."""
+
+    documents: int
+    tokens: int
+    snippet_count: int
+    per_query_hits: dict[str, int]
+
+
+class Contentfinder(Workload):
+    """The Contentfinder evaluation workload."""
+
+    paper = PaperRow(
+        name="Contentfinder",
+        domain="File Search",
+        loc=290,
+        runtime_s=1.80,
+        profiling_s=5.20,
+        slowdown=2.89,
+        instances=11,
+        use_cases=2,
+        true_positives=2,
+        reduction=81.82,
+        speedup=1.56,
+    )
+
+    DOCUMENTS = 8
+    BASE_TOKENS_PER_DOC = 420
+    MIN_TOKENS_PER_DOC = 60
+    #: Per-document passes; <= 10 keeps the token lists unflagged.
+    PER_DOC_PASSES = 4
+    #: Snippets materialized: a long append burst (LI true positive).
+    BASE_SNIPPETS = 1600
+    MIN_SNIPPETS = 320
+
+    def run(self, containers: Containers, scale: float = 1.0) -> ContentfinderResult:
+        rng = deterministic_rng(31415)
+        tokens_per_doc = self.scaled(
+            self.BASE_TOKENS_PER_DOC, scale, self.MIN_TOKENS_PER_DOC
+        )
+        snippet_target = self.scaled(self.BASE_SNIPPETS, scale, self.MIN_SNIPPETS)
+
+        documents = containers.new_list(label="documents")
+        for k in range(self.DOCUMENTS):
+            documents.append(f"doc_{k:02d}.txt")
+
+        doc_tokens = []
+        for k in range(self.DOCUMENTS):
+            tokens = containers.new_list(label=f"tokens_{k:02d}")
+            for _ in range(tokens_per_doc):
+                tokens.append(rng.choice(_VOCAB))
+            doc_tokens.append(tokens)
+
+        # Language statistics per document: a few full passes each.
+        stopword_hits = 0
+        for tokens in doc_tokens:
+            for _ in range(self.PER_DOC_PASSES):
+                for i in range(len(tokens)):
+                    if tokens[i] == "memo":
+                        stopword_hits += 1
+
+        # Flatten into the global index.
+        token_index = containers.new_list(label="token_index")
+        for tokens in doc_tokens:
+            for token in tokens.raw():
+                token_index.append(token)
+
+        # Query loop: one full index scan per query (FLR, TP).
+        per_query_hits: dict[str, int] = {}
+        n = len(token_index)
+        for query in _QUERIES:
+            hits = 0
+            for i in range(n):
+                if token_index[i] == query:
+                    hits += 1
+            per_query_hits[query] = hits
+
+        # Snippet materialization: a long append burst (LI, TP).
+        snippets = containers.new_list(label="snippets")
+        raw_index = token_index.raw()
+        for j in range(snippet_target):
+            pos = (j * 131) % n
+            snippets.append(f"...{raw_index[pos]}@{pos}...")
+
+        return ContentfinderResult(
+            documents=self.DOCUMENTS,
+            tokens=self.DOCUMENTS * tokens_per_doc,
+            snippet_count=len(snippets),
+            per_query_hits=per_query_hits,
+        )
+
+    def decomposition(self, scale: float = 1.0) -> WorkDecomposition:
+        tokens_per_doc = self.scaled(
+            self.BASE_TOKENS_PER_DOC, scale, self.MIN_TOKENS_PER_DOC
+        )
+        total_tokens = self.DOCUMENTS * tokens_per_doc
+        query_work = float(len(_QUERIES) * total_tokens)
+        snippet_work = float(
+            self.scaled(self.BASE_SNIPPETS, scale, self.MIN_SNIPPETS)
+        )
+        parallel = query_work + snippet_work
+        # Back-solved from the paper's 1.56 total speedup on 8 cores
+        # (Amdahl: s ~= 0.59).
+        sequential = parallel * (0.59 / 0.41)
+        return WorkDecomposition(
+            sequential_work=sequential,
+            regions=(
+                ParallelRegion(work=query_work, name="index scans"),
+                ParallelRegion(work=snippet_work, name="snippet build"),
+            ),
+            name=self.paper.name,
+        )

@@ -1,0 +1,242 @@
+"""Synthetic corpus generator for the empirical study (Table I, Fig 1).
+
+The paper's 37-program C# corpus (SourceForge/CodePlex, 2013) is not
+recoverable, so this module *synthesizes* a Python corpus with exactly
+the published marginals — per-program dynamic-instance counts
+(Figure 1), per-kind frequency totals (list 1,275, dictionary 324, ...,
+plus 785 arrays) and per-domain LOC (Table I, scaled) — and the study
+pipeline then measures those numbers back through the real static-
+analysis scanner.  What is being validated end-to-end is the *pipeline*
+(site recognition, classification, aggregation); the corpus content is
+ground truth by construction (see DESIGN.md §2).
+
+Determinism: same seed → byte-identical corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..events.types import StructureKind
+from ..study.domains import (
+    FIG1_PROGRAMS,
+    KIND_TOTALS,
+    TABLE1_DOMAINS,
+    TOTAL_ARRAY_INSTANCES,
+)
+from .base import deterministic_rng
+
+#: How each kind is spelled so the scanner classifies it correctly.
+_KIND_SNIPPETS: dict[StructureKind, str] = {
+    StructureKind.LIST: "{var} = []",
+    StructureKind.DICTIONARY: "{var} = dict()",
+    StructureKind.ARRAY_LIST: "{var} = ArrayList()",
+    StructureKind.STACK: "{var} = Stack()",
+    StructureKind.QUEUE: "{var} = Queue()",
+    StructureKind.HASH_SET: "{var} = set()",
+    StructureKind.SORTED_LIST: "{var} = SortedList()",
+    StructureKind.SORTED_SET: "{var} = SortedSet()",
+    StructureKind.SORTED_DICTIONARY: "{var} = SortedDictionary()",
+    StructureKind.LINKED_LIST: "{var} = LinkedList()",
+    StructureKind.HASHTABLE: "{var} = Hashtable()",
+    StructureKind.ARRAY: "{var} = [0] * {n}",
+}
+
+
+def apportion(total: int, weights: list[int]) -> list[int]:
+    """Largest-remainder apportionment of ``total`` by ``weights``.
+
+    Deterministic; the result sums to ``total`` exactly, which is what
+    lets the generated corpus hit every published marginal at once.
+    """
+    weight_sum = sum(weights)
+    if weight_sum == 0:
+        out = [0] * len(weights)
+        for i in range(total):
+            out[i % len(weights)] += 1
+        return out
+    exact = [total * w / weight_sum for w in weights]
+    floors = [int(e) for e in exact]
+    remainder = total - sum(floors)
+    order = sorted(
+        range(len(weights)), key=lambda i: (floors[i] - exact[i], i)
+    )
+    for i in order[:remainder]:
+        floors[i] += 1
+    return floors
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """One synthetic program: name, domain, source files."""
+
+    name: str
+    domain: str
+    files: dict[str, str]
+    kind_counts: dict[StructureKind, int]
+    arrays: int
+    loc: int
+
+
+def _emit_program(
+    name: str,
+    domain: str,
+    kind_counts: dict[StructureKind, int],
+    arrays: int,
+    loc_target: int,
+    seed: int,
+) -> GeneratedProgram:
+    rng = deterministic_rng(seed)
+    lines: list[str] = [f'"""{name} — synthetic {domain} program."""']
+    var = 0
+
+    def fresh() -> str:
+        nonlocal var
+        var += 1
+        return f"v{var}"
+
+    # Instantiation sites, shuffled so kinds interleave like real code.
+    sites: list[str] = []
+    for kind, count in kind_counts.items():
+        snippet = _KIND_SNIPPETS[kind]
+        for _ in range(count):
+            sites.append(snippet.format(var=fresh(), n=rng.randrange(4, 64)))
+    for _ in range(arrays):
+        sites.append(
+            _KIND_SNIPPETS[StructureKind.ARRAY].format(
+                var=fresh(), n=rng.randrange(4, 64)
+            )
+        )
+    rng.shuffle(sites)
+
+    # Wrap sites in functions, interleaved with filler logic lines to
+    # reach the LOC target.
+    body: list[str] = []
+    fn = 0
+    site_iter = iter(sites)
+    exhausted = False
+    while not exhausted or len(body) + len(lines) < loc_target:
+        fn += 1
+        body.append(f"def routine_{fn}(x):")
+        block = 0
+        for _ in range(rng.randrange(2, 6)):
+            site = next(site_iter, None)
+            if site is None:
+                exhausted = True
+                break
+            body.append("    " + site)
+            block += 1
+        filler = max(
+            rng.randrange(1, 8),
+            0 if exhausted else 1,
+        )
+        for k in range(filler):
+            body.append(f"    x = x * {rng.randrange(2, 9)} + {k}")
+        body.append("    return x")
+        if exhausted and len(body) + len(lines) >= loc_target:
+            break
+    source = "\n".join(lines + body) + "\n"
+
+    from ..instrument.corpus import count_loc
+
+    return GeneratedProgram(
+        name=name,
+        domain=domain,
+        files={"main.py": source},
+        kind_counts=dict(kind_counts),
+        arrays=arrays,
+        loc=count_loc(source),
+    )
+
+
+def generate_corpus(loc_scale: float = 0.1, seed: int = 2014) -> list[GeneratedProgram]:
+    """Generate the 37-program corpus.
+
+    Per-program kind mixes are apportioned from the global kind totals
+    proportionally to each program's Figure 1 instance count, then
+    corrected per kind so every global total is exact.  Arrays (785)
+    are apportioned the same way.  LOC targets are the Table I domain
+    totals scaled by ``loc_scale`` and split per program by instance
+    weight.
+    """
+    weights = [p.instances for p in FIG1_PROGRAMS]
+    n = len(FIG1_PROGRAMS)
+
+    # kind → per-program counts, exact in both directions.
+    per_kind: dict[StructureKind, list[int]] = {
+        kind: apportion(total, weights) for kind, total in KIND_TOTALS.items()
+    }
+    # The apportionment is exact per kind but may drift per program;
+    # rebalance program totals onto LIST (the dominant kind) so each
+    # program's Σ matches Figure 1 exactly.
+    for i, program in enumerate(FIG1_PROGRAMS):
+        current = sum(per_kind[kind][i] for kind in per_kind)
+        drift = program.instances - current
+        per_kind[StructureKind.LIST][i] += drift
+        if per_kind[StructureKind.LIST][i] < 0:  # pragma: no cover - defensive
+            raise ValueError(f"negative list count for {program.name}")
+    # Compensate the list total back to exactness by shifting the
+    # residue onto the largest programs.
+    list_drift = sum(per_kind[StructureKind.LIST]) - KIND_TOTALS[StructureKind.LIST]
+    order = sorted(range(n), key=lambda i: -weights[i])
+    j = 0
+    while list_drift != 0:
+        i = order[j % n]
+        step = -1 if list_drift > 0 else 1
+        if per_kind[StructureKind.LIST][i] + step >= 0:
+            per_kind[StructureKind.LIST][i] += step
+            list_drift += step
+        j += 1
+
+    arrays = apportion(TOTAL_ARRAY_INSTANCES, weights)
+
+    # LOC: domain totals scaled, split by instance weight inside the
+    # domain (minimum a handful of lines per program).
+    domain_programs: dict[str, list[int]] = {}
+    for i, program in enumerate(FIG1_PROGRAMS):
+        domain_programs.setdefault(program.domain, []).append(i)
+    loc_targets = [0] * n
+    for domain, indices in domain_programs.items():
+        domain_loc = int(TABLE1_DOMAINS[domain][1] * loc_scale)
+        split = apportion(domain_loc, [max(weights[i], 1) for i in indices])
+        for idx, share in zip(indices, split):
+            loc_targets[idx] = max(share, 10)
+
+    programs: list[GeneratedProgram] = []
+    for i, descriptor in enumerate(FIG1_PROGRAMS):
+        kind_counts = {
+            kind: per_kind[kind][i]
+            for kind in per_kind
+            if per_kind[kind][i] > 0
+        }
+        programs.append(
+            _emit_program(
+                descriptor.name,
+                descriptor.domain,
+                kind_counts,
+                arrays[i],
+                loc_targets[i],
+                seed=seed + i,
+            )
+        )
+    return programs
+
+
+def write_corpus(
+    root: str | Path, loc_scale: float = 0.1, seed: int = 2014
+) -> Path:
+    """Materialize the corpus under ``root`` (one directory per program)."""
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    for program in generate_corpus(loc_scale=loc_scale, seed=seed):
+        program_dir = root / program.name
+        program_dir.mkdir(exist_ok=True)
+        for filename, source in program.files.items():
+            (program_dir / filename).write_text(source, encoding="utf-8")
+    return root
+
+
+def corpus_domains() -> dict[str, str]:
+    """Program name → domain (for the corpus scanner)."""
+    return {p.name: p.domain for p in FIG1_PROGRAMS}

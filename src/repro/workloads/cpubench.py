@@ -1,0 +1,212 @@
+"""CPU Benchmarks — Linpack + Whetstone harness (Table IV row 4).
+
+Reimplements the paper's "CPU Benchmarks" program: a benchmarking UI
+that runs the two classic kernels Linpack (dense LU solve) and
+Whetstone (scalar floating-point mix) and reports statistics.  The
+paper found seven data structure instances, five use cases of which
+four were true positives, yet only a 1.20 total speedup — because the
+program is 94.29% sequential (Table VI): the kernels themselves must
+run in order; only the sample bookkeeping around them parallelizes.
+
+Instance budget (7):
+
+1. ``matrix``           array — the Linpack system, strided elimination
+   access (no use case; write runs carry no parallel rule).
+2. ``whet_e1``          array — Whetstone's 4-slot working set (no use
+   case: tiny stationary accesses).
+3. ``samples_linpack``  list — per-iteration timing samples (Long-
+   Insert, TP).
+4. ``samples_whet``     list — ditto for Whetstone (Long-Insert, TP).
+5. ``residual_buffer``  list — Linpack residuals scanned repeatedly for
+   the report (Frequent-Long-Read, TP).
+6. ``check_buffer``     list — Whetstone check values, ditto
+   (Frequent-Long-Read, TP).
+7. ``ui_log``           list — status lines (Long-Insert, FP: a short
+   append phase that doesn't pay for parallelization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..parallel.machine import ParallelRegion, WorkDecomposition
+from .adapters import Containers
+from .base import PaperRow, Workload, deterministic_rng
+
+
+def lu_solve(a: list[list[float]], b: list[float]) -> list[float]:
+    """In-place Gaussian elimination with partial pivoting on plain
+    rows; returns x with a @ x = b.  (The Linpack kernel itself — the
+    sequential heart of the program.)"""
+    n = len(b)
+    for k in range(n):
+        pivot = max(range(k, n), key=lambda r: abs(a[r][k]))
+        if pivot != k:
+            a[k], a[pivot] = a[pivot], a[k]
+            b[k], b[pivot] = b[pivot], b[k]
+        akk = a[k][k]
+        for i in range(k + 1, n):
+            factor = a[i][k] / akk
+            if factor == 0.0:
+                continue
+            row_i = a[i]
+            row_k = a[k]
+            for j in range(k, n):
+                row_i[j] -= factor * row_k[j]
+            b[i] -= factor * b[k]
+    x = [0.0] * n
+    for i in range(n - 1, -1, -1):
+        acc = b[i]
+        row = a[i]
+        for j in range(i + 1, n):
+            acc -= row[j] * x[j]
+        x[i] = acc / row[i]
+    return x
+
+
+def whetstone_cycle(t: float, e1) -> float:
+    """One Whetstone-like module mix over the 4-slot array ``e1``."""
+    import math
+
+    e1[0] = (e1[0] + e1[1] + e1[2] - e1[3]) * t
+    e1[1] = (e1[0] + e1[1] - e1[2] + e1[3]) * t
+    e1[2] = (e1[0] - e1[1] + e1[2] + e1[3]) * t
+    e1[3] = (-e1[0] + e1[1] + e1[2] + e1[3]) * t
+    return math.sin(e1[3]) + math.cos(e1[2])
+
+
+@dataclass
+class CPUBenchResult:
+    """Verifiable output: kernel answers plus harness statistics."""
+
+    linpack_residual: float
+    whetstone_signal: float
+    linpack_mean: float
+    whetstone_mean: float
+    report_lines: int
+
+
+class CPUBenchmarks(Workload):
+    """The Linpack+Whetstone evaluation workload."""
+
+    paper = PaperRow(
+        name="CPU Benchmarks",
+        domain="Benchmark",
+        loc=400,
+        runtime_s=0.01,
+        profiling_s=0.55,
+        slowdown=55.00,
+        instances=7,
+        use_cases=5,
+        true_positives=4,
+        reduction=28.57,
+        speedup=1.20,
+    )
+
+    BASE_MATRIX = 60
+    BASE_SAMPLES = 3000
+    MIN_MATRIX = 24
+    #: Floor keeps the sample Long-Inserts true positives.
+    MIN_SAMPLES = 400
+    #: Report passes over each buffer (>10 for FLR).
+    REPORT_PASSES = 12
+    BUFFER = 2000
+    MIN_BUFFER = 300
+    #: UI log lines: a 100..250-event phase — fires Long-Insert but
+    #: cannot pay for parallelization (the row's false positive).
+    UI_LINES = 130
+
+    def run(self, containers: Containers, scale: float = 1.0) -> CPUBenchResult:
+        rng = deterministic_rng(1337)
+        n = self.scaled(self.BASE_MATRIX, scale, self.MIN_MATRIX)
+        n_samples = self.scaled(self.BASE_SAMPLES, scale, self.MIN_SAMPLES)
+        buffer_len = self.scaled(self.BUFFER, scale, self.MIN_BUFFER)
+
+        ui_log = containers.new_list(label="ui_log")
+        for i in range(self.UI_LINES):
+            ui_log.append(f"status line {i}")
+
+        # ---- Linpack ----------------------------------------------------
+        matrix = containers.new_array(n * n, label="matrix")
+        rows = [[0.0] * n for _ in range(n)]
+        b = [0.0] * n
+        for i in range(n):
+            for j in range(n):
+                value = rng.random() - 0.5
+                rows[i][j] = value
+                matrix[(i * 7 + j * 3) % (n * n)] = value  # strided mirror
+            rows[i][i] += n  # diagonally dominant: stable solve
+            b[i] = rng.random()
+        reference = [row[:] for row in rows]
+        x = lu_solve(rows, b[:])
+
+        residual = 0.0
+        for i in range(n):
+            acc = 0.0
+            for j in range(n):
+                acc += reference[i][j] * x[j]
+            residual = max(residual, abs(acc - b[i]))
+
+        samples_linpack = containers.new_list(label="samples_linpack")
+        for k in range(n_samples):
+            samples_linpack.append(residual * (1.0 + (k % 17) / 100.0))
+        lin_mean_src = samples_linpack.raw()
+        linpack_mean = sum(lin_mean_src) / len(lin_mean_src)
+
+        residual_buffer = containers.new_list(label="residual_buffer")
+        for k in range(buffer_len):
+            residual_buffer.append(lin_mean_src[k % n_samples])
+        report_lines = 0
+        for _ in range(self.REPORT_PASSES):
+            acc = 0.0
+            for i in range(buffer_len):
+                acc += residual_buffer[i]
+            report_lines += 1
+
+        # ---- Whetstone --------------------------------------------------
+        whet_e1 = containers.new_array(4, fill=1.0, label="whet_e1")
+        signal = 0.0
+        for k in range(max(n * 10, 200)):
+            signal += whetstone_cycle(0.499, whet_e1)
+
+        samples_whet = containers.new_list(label="samples_whet")
+        for k in range(n_samples):
+            samples_whet.append(signal * (1.0 + (k % 13) / 100.0))
+        whet_src = samples_whet.raw()
+        whetstone_mean = sum(whet_src) / len(whet_src)
+
+        check_buffer = containers.new_list(label="check_buffer")
+        for k in range(buffer_len):
+            check_buffer.append(whet_src[k % n_samples])
+        for _ in range(self.REPORT_PASSES):
+            acc = 0.0
+            for i in range(buffer_len):
+                acc += check_buffer[i]
+            report_lines += 1
+
+        return CPUBenchResult(
+            linpack_residual=residual,
+            whetstone_signal=signal,
+            linpack_mean=linpack_mean,
+            whetstone_mean=whetstone_mean,
+            report_lines=report_lines,
+        )
+
+    def decomposition(self, scale: float = 1.0) -> WorkDecomposition:
+        n = self.scaled(self.BASE_MATRIX, scale, self.MIN_MATRIX)
+        n_samples = self.scaled(self.BASE_SAMPLES, scale, self.MIN_SAMPLES)
+        buffer_len = self.scaled(self.BUFFER, scale, self.MIN_BUFFER)
+        sample_work = float(2 * n_samples)
+        report_work = float(2 * self.REPORT_PASSES * buffer_len)
+        parallel = sample_work + report_work
+        # The kernels themselves are inherently ordered: Table VI
+        # measured 94.29% sequential runtime (7,600 of 8,060 ms).
+        sequential = parallel * (7600.0 / 460.0)
+        return WorkDecomposition(
+            sequential_work=sequential,
+            regions=(
+                ParallelRegion(work=sample_work, name="sample collection"),
+                ParallelRegion(work=report_work, name="report statistics"),
+            ),
+            name=self.paper.name,
+        )

@@ -1,0 +1,196 @@
+"""Synthetic access-profile generators.
+
+Small deterministic drivers that exercise tracked structures to produce
+the canonical profile shapes from the paper: the Figure 2 snippet, the
+Figure 3 insert/read/clear cycle, and one generator per use-case kind.
+The empirical-study reproduction (Tables II/III) composes per-program
+profile suites from these primitives; the figure benchmarks render them
+directly.
+
+Every generator creates its structures on the *active* collector, so
+call them inside :func:`repro.events.collecting`.
+"""
+
+from __future__ import annotations
+
+from ..events.collector import EventCollector
+from ..structures import TrackedArray, TrackedList
+from .base import deterministic_rng
+
+
+def gen_fig2_snippet() -> TrackedList:
+    """The paper's Figure 2 program, transliterated from C#::
+
+        List<int> list = new List<int>(10);
+        for (int i=0; i<10; i++) list.Add(i);
+        for (int i=9; i>=0; i--) Debug.Write(list[i]);
+    """
+    lst = TrackedList(capacity=10, label="fig2")
+    for i in range(10):
+        lst.add(i)
+    for i in range(9, -1, -1):
+        _ = lst[i]
+    return lst
+
+
+def gen_insert_back_read_forward(
+    items: int = 50, rounds: int = 10, label: str = "fig3"
+) -> TrackedList:
+    """Figure 3's shape: repeatedly append a batch, read it front-to-end,
+    then clear — Insert-Back and Read-Forward patterns, repeated."""
+    lst = TrackedList(label=label)
+    for _ in range(rounds):
+        for i in range(items):
+            lst.append(i)
+        for i in range(len(lst)):
+            _ = lst[i]
+        lst.clear()
+    return lst
+
+
+def gen_long_insert(n: int = 500, label: str = "long-insert") -> TrackedList:
+    """One long insertion phase (Long-Insert's canonical shape)."""
+    lst = TrackedList(label=label)
+    for i in range(n):
+        lst.append(i)
+    return lst
+
+
+def gen_queue_usage(n: int = 90, label: str = "queue-usage") -> TrackedList:
+    """A list used like a queue: append at back, remove from front.
+
+    Default ``n`` sits below the Long-Insert phase threshold (100) so
+    the generated profile carries the Implement-Queue diagnosis alone.
+    """
+    lst = TrackedList(label=label)
+    for i in range(n):
+        lst.append(i)
+    while len(lst):
+        lst.pop(0)
+    return lst
+
+
+def gen_stack_usage(
+    n: int = 20, rounds: int = 5, label: str = "stack-usage"
+) -> TrackedList:
+    """A list used like a stack: push and pop at the same end."""
+    lst = TrackedList(label=label)
+    for _ in range(rounds):
+        for i in range(n):
+            lst.append(i)
+        for _ in range(n):
+            lst.pop()
+    return lst
+
+
+def gen_sort_after_insert(n: int = 200, label: str = "sort-after-insert") -> TrackedList:
+    """A long insertion phase followed by a sort."""
+    rng = deterministic_rng(n)
+    lst = TrackedList(label=label)
+    for _ in range(n):
+        lst.append(rng.random())
+    lst.sort()
+    return lst
+
+
+def gen_frequent_search(
+    searches: int = 1200, size: int = 100, label: str = "frequent-search"
+) -> TrackedList:
+    """Many explicit search operations on a linear structure."""
+    rng = deterministic_rng(size)
+    lst = TrackedList(range(size), label=label)
+    for _ in range(searches):
+        lst.index(rng.randrange(size))
+    return lst
+
+
+def gen_frequent_long_read(
+    scans: int = 12, size: int = 60, label: str = "frequent-long-read"
+) -> TrackedList:
+    """Repeated full sequential scans — the disguised-search shape."""
+    lst = TrackedList(range(size), label=label)
+    for _ in range(scans):
+        best = None
+        for i in range(len(lst)):
+            value = lst[i]
+            if best is None or value > best:
+                best = value
+        lst.index(best)  # breaks runs between scans, like a found-element access
+    return lst
+
+
+def gen_insert_and_scan(
+    items: int = 300, rounds: int = 12, label: str = "insert-and-scan"
+) -> TrackedList:
+    """One location, two parallel use cases — the Figure 3 situation.
+
+    Each round rebuilds the list (a >=100-event insertion phase) and
+    scans it twice in full; the balance (1/3 inserts, 2/3 reads) keeps
+    both Long-Insert (insert fraction >30%) and Frequent-Long-Read
+    (read fraction >=50%, >10 long patterns) above threshold on the
+    same profile.
+    """
+    lst = TrackedList(label=label)
+    total = 0
+    for _ in range(rounds):
+        for i in range(items):
+            lst.append(i)
+        for _scan in range(2):
+            for i in range(len(lst)):
+                total += lst[i]
+        lst.clear()
+    return lst
+
+
+def gen_idf_churn(ops: int = 10, label: str = "idf-churn") -> TrackedArray:
+    """Insert/delete churn on a fixed-size array (IDF's shape)."""
+    arr = TrackedArray([0], label=label)
+    for i in range(ops):
+        arr.insert(0, i)
+        arr.delete(0)
+    return arr
+
+
+def gen_write_without_read(size: int = 20, label: str = "wwr") -> TrackedList:
+    """A profile that ends with a null-out write sweep."""
+    lst = TrackedList(range(size), label=label)
+    total = 0
+    for i in range(size):
+        total += lst[i]
+    for i in range(size):
+        lst[i] = None
+    return lst
+
+
+def gen_irregular(
+    events: int = 100, size: int = 50, seed: int = 7, label: str = "irregular"
+) -> TrackedList:
+    """No-regularity noise: random-position reads/writes with gaps.
+
+    Positions jump by at least 2 between consecutive accesses so no
+    adjacent runs can form -- the 'contains no regularity' control.
+    """
+    rng = deterministic_rng(seed)
+    lst = TrackedList(range(size), label=label)
+    pos = 0
+    for k in range(events):
+        jump = rng.randrange(2, max(size // 2, 3))
+        pos = (pos + jump) % size
+        if k % 3 == 0:
+            lst[pos] = k
+        else:
+            _ = lst[pos]
+    return lst
+
+
+#: Generator registry for the study's per-use-case suites.
+USE_CASE_GENERATORS = {
+    "LI": gen_long_insert,
+    "IQ": gen_queue_usage,
+    "SAI": gen_sort_after_insert,
+    "FS": gen_frequent_search,
+    "FLR": gen_frequent_long_read,
+    "IDF": gen_idf_churn,
+    "SI": gen_stack_usage,
+    "WWR": gen_write_without_read,
+}

@@ -1,0 +1,168 @@
+"""Unit tests for the automatic Long-Insert source transform."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.instrument import suggest_transforms, transform_source
+
+
+def run_module(source: str, entry: str, *args):
+    namespace: dict = {}
+    exec(compile(source, "<test>", "exec"), namespace)
+    return namespace[entry](*args)
+
+
+class TestFillLoopTransform:
+    def test_simple_fill_loop_rewritten(self):
+        source = textwrap.dedent(
+            """
+            def build(n):
+                xs = []
+                for i in range(n):
+                    xs.append(i * i)
+                return xs
+            """
+        )
+        out, report = transform_source(source)
+        assert report.count == 1
+        assert "parallel_fill" in out
+        # Semantics preserved, order included.
+        assert run_module(out, "build", 50) == [i * i for i in range(50)]
+
+    def test_expression_with_free_variables(self):
+        source = textwrap.dedent(
+            """
+            def build(n, offset):
+                xs = []
+                for k in range(n):
+                    xs.append(k + offset)
+                return xs
+            """
+        )
+        out, report = transform_source(source)
+        assert report.count == 1
+        assert run_module(out, "build", 10, 100) == list(range(100, 110))
+
+    def test_plain_function_calls_allowed(self):
+        source = textwrap.dedent(
+            """
+            def square(v):
+                return v * v
+
+            def build(n):
+                xs = []
+                for i in range(n):
+                    xs.append(square(i))
+                return xs
+            """
+        )
+        out, report = transform_source(source)
+        assert report.count == 1
+        assert run_module(out, "build", 8) == [i * i for i in range(8)]
+
+    def test_self_referencing_body_refused(self):
+        source = textwrap.dedent(
+            """
+            def build(n):
+                xs = [1]
+                for i in range(n):
+                    xs.append(xs[-1] * 2)
+                return xs
+            """
+        )
+        out, report = transform_source(source)
+        assert report.count == 0
+        assert len(report.skipped) == 1
+        assert "order-dependent" in report.skipped[0]
+
+    def test_method_call_body_refused(self):
+        source = textwrap.dedent(
+            """
+            def build(n, rng):
+                xs = []
+                for i in range(n):
+                    xs.append(rng.random())
+                return xs
+            """
+        )
+        _, report = transform_source(source)
+        assert report.count == 0
+        assert "stateful" in report.skipped[0]
+
+    def test_multi_statement_body_untouched(self):
+        source = textwrap.dedent(
+            """
+            def build(n):
+                xs = []
+                total = 0
+                for i in range(n):
+                    total += i
+                    xs.append(i)
+                return xs, total
+            """
+        )
+        out, report = transform_source(source)
+        assert report.count == 0
+        assert "parallel_fill" not in out
+
+    def test_range_with_start_stop_untouched(self):
+        source = "for i in range(2, 10):\n    xs.append(i)\n"
+        _, report = transform_source("xs = []\n" + source)
+        assert report.count == 0
+
+    def test_no_header_when_nothing_rewritten(self):
+        out, report = transform_source("x = 1\n")
+        assert report.count == 0
+        assert "ParallelExecutor" not in out
+
+    def test_dotnet_add_spelling(self):
+        source = textwrap.dedent(
+            """
+            def build(n, xs):
+                for i in range(n):
+                    xs.add(i)
+                return xs
+            """
+        )
+        _, report = transform_source(source)
+        assert report.count == 1
+
+    def test_suggest_transforms(self):
+        source = textwrap.dedent(
+            """
+            def build(n):
+                xs = []
+                ys = [1]
+                for i in range(n):
+                    xs.append(i)
+                for i in range(n):
+                    ys.append(ys[-1] + i)
+                return xs, ys
+            """
+        )
+        suggestions = suggest_transforms(source)
+        assert len(suggestions) == 2
+        assert any("parallelized fill loop" in s for s in suggestions)
+        assert any(s.startswith("SKIPPED") for s in suggestions)
+
+    def test_nested_loops(self):
+        source = textwrap.dedent(
+            """
+            def build(n):
+                rows = []
+                for r in range(n):
+                    rows.append(r * 10)
+                cols = []
+                for c in range(n):
+                    cols.append(c + 1)
+                return rows, cols
+            """
+        )
+        out, report = transform_source(source)
+        assert report.count == 2
+        rows, cols = run_module(out, "build", 5)
+        assert rows == [0, 10, 20, 30, 40]
+        assert cols == [1, 2, 3, 4, 5]

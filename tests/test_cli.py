@@ -1,0 +1,182 @@
+"""Unit tests for the ``dsspy`` command-line interface."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def legacy_file(tmp_path):
+    path = tmp_path / "legacy.py"
+    path.write_text(
+        textwrap.dedent(
+            """
+            def main():
+                xs = []
+                for i in range(300):
+                    xs.append(i)
+                return len(xs)
+            """
+        )
+    )
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_analyze_args(self):
+        args = build_parser().parse_args(
+            ["analyze", "f.py", "--entry", "main", "--dicts", "--charts"]
+        )
+        assert args.file == "f.py"
+        assert args.entry == "main"
+        assert args.dicts and args.charts
+
+    def test_tables_default_scale(self):
+        args = build_parser().parse_args(["tables"])
+        assert args.scale == 0.3
+
+
+class TestAnalyze:
+    def test_analyze_file(self, legacy_file, capsys):
+        assert main(["analyze", str(legacy_file), "--entry", "main"]) == 0
+        out = capsys.readouterr().out
+        assert "1 sites instrumented" in out or "sites instrumented" in out
+        assert "Long-Insert" in out
+        assert "search space reduction" in out
+
+    def test_analyze_with_charts(self, legacy_file, capsys):
+        assert main(
+            ["analyze", str(legacy_file), "--entry", "main", "--charts"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "size envelope" in out
+
+
+class TestScan:
+    def test_scan_file(self, legacy_file, capsys):
+        assert main(["scan", str(legacy_file)]) == 0
+        out = capsys.readouterr().out
+        assert "1 instantiation sites" in out
+
+    def test_scan_directory(self, tmp_path, capsys):
+        (tmp_path / "a.py").write_text("xs = []\nd = {}\n")
+        assert main(["scan", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "dynamic instances: 2" in out
+
+
+class TestTables:
+    def test_table7(self, capsys):
+        assert main(["tables", "table7"]) == 0
+        assert "This work" in capsys.readouterr().out
+
+    def test_unknown_table(self, capsys):
+        assert main(["tables", "table99"]) == 2
+
+    def test_table6(self, capsys):
+        assert main(["tables", "table6"]) == 0
+        assert "94.29%" in capsys.readouterr().out
+
+
+class TestDemo:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Long-Insert" in out
+        assert "Frequent-Long-Read" in out
+
+
+class TestTransformCommand:
+    def test_transform_writes_output(self, legacy_file, tmp_path, capsys):
+        out = tmp_path / "out.py"
+        assert main(["transform", str(legacy_file), "-o", str(out)]) == 0
+        text = out.read_text()
+        assert "parallel_fill" in text
+        assert "1 transforms" in capsys.readouterr().out
+
+    def test_transform_dry_run(self, legacy_file, capsys):
+        assert main(["transform", str(legacy_file), "--dry-run"]) == 0
+        assert "parallelized fill loop" in capsys.readouterr().out
+
+    def test_default_output_suffix(self, legacy_file, capsys):
+        assert main(["transform", str(legacy_file)]) == 0
+        assert legacy_file.with_suffix(".parallel.py").exists()
+
+
+class TestPersistenceFlags:
+    def test_save_then_load(self, legacy_file, tmp_path, capsys):
+        archive = tmp_path / "cap.jsonl"
+        assert main(
+            ["analyze", str(legacy_file), "--entry", "main", "--save", str(archive)]
+        ) == 0
+        assert archive.exists()
+        capsys.readouterr()
+        assert main(["analyze", "--load", str(archive)]) == 0
+        out = capsys.readouterr().out
+        assert "archived profiles loaded" in out
+        assert "Long-Insert" in out
+
+
+class TestCompareCommand:
+    def test_compare_archives(self, tmp_path, capsys):
+        import textwrap
+
+        queueish = tmp_path / "queueish.py"
+        queueish.write_text(
+            textwrap.dedent(
+                """
+                def main():
+                    jobs = []
+                    for i in range(90):
+                        jobs.append(i)
+                    while jobs:
+                        jobs.pop(0)
+                """
+            )
+        )
+        fixed = tmp_path / "fixed.py"
+        fixed.write_text("def main():\n    jobs = []\n    jobs.append(1)\n")
+        before = tmp_path / "before.jsonl"
+        after = tmp_path / "after.jsonl"
+        assert main(["analyze", str(queueish), "--entry", "main", "--save", str(before)]) == 0
+        assert main(["analyze", str(fixed), "--entry", "main", "--save", str(after)]) == 0
+        capsys.readouterr()
+        assert main(["compare", str(before), str(after)]) == 0
+        out = capsys.readouterr().out
+        assert "resolved: 1" in out
+        assert "Implement-Queue" in out
+
+    def test_compare_flags_new_smells(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("def main():\n    jobs = []\n    jobs.append(1)\n")
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(
+            "def main():\n    jobs = []\n"
+            "    for i in range(300):\n        jobs.append(i)\n"
+        )
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        main(["analyze", str(clean), "--entry", "main", "--save", str(a)])
+        main(["analyze", str(dirty), "--entry", "main", "--save", str(b)])
+        capsys.readouterr()
+        assert main(["compare", str(a), str(b)]) == 1  # new smell -> nonzero
+        assert "introduced: 1" in capsys.readouterr().out
+
+
+class TestQualityCommand:
+    def test_quality_passes_at_paper_thresholds(self, capsys):
+        assert main(["quality"]) == 0
+        out = capsys.readouterr().out
+        assert "macro-F1" in out
+
+    def test_quality_gate_can_fail(self, capsys):
+        # An impossible bar: macro-F1 cannot exceed 1.
+        assert main(["quality", "--min-f1", "1.01"]) == 1

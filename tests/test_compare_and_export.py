@@ -1,0 +1,137 @@
+"""Unit tests for profile comparison and JSON report export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.events import OperationKind, collecting
+from repro.patterns import (
+    PatternType,
+    compare_profiles,
+    compare_reports,
+)
+from repro.structures import TrackedList, TrackedQueue
+from repro.usecases import (
+    UseCaseEngine,
+    report_to_dict,
+    report_to_json,
+    summarize_json,
+)
+
+from .conftest import make_profile
+
+OP = OperationKind
+
+
+class TestProfileDiff:
+    def test_identical_profiles(self):
+        a = make_profile([(OP.INSERT, i, i + 1) for i in range(10)])
+        b = make_profile([(OP.INSERT, i, i + 1) for i in range(10)])
+        diff = compare_profiles(a, b)
+        assert diff.event_delta == 0
+        assert not diff.removed_types()
+        assert not diff.added_types()
+        assert "unchanged" in diff.describe()
+
+    def test_pattern_removed(self):
+        before = make_profile(
+            [(OP.INSERT, i, i + 1) for i in range(10)]
+            + [(OP.READ, i, 10) for i in range(10)]
+        )
+        after = make_profile([(OP.INSERT, i, i + 1) for i in range(10)])
+        diff = compare_profiles(before, after)
+        assert PatternType.READ_FORWARD in diff.removed_types()
+        assert diff.event_delta == -10
+
+    def test_stats_delta(self):
+        before = make_profile([(OP.READ, i, 10) for i in range(10)])
+        after = make_profile([(OP.WRITE, i, 10) for i in range(10)])
+        diff = compare_profiles(before, after)
+        assert diff.read_share_delta == pytest.approx(-1.0)
+
+    def test_describe_mentions_deltas(self):
+        before = make_profile([(OP.READ, i, 10) for i in range(10)])
+        after = make_profile([])
+        text = compare_profiles(before, after).describe()
+        assert "-10" in text and "Read-Forward" in text
+
+
+class TestReportDiff:
+    def _capture(self, use_queue: bool):
+        engine = UseCaseEngine()
+        with collecting() as session:
+            if use_queue:
+                q = TrackedQueue(label="jobs")
+                for i in range(90):
+                    q.enqueue(i)
+                while len(q):
+                    q.dequeue()
+            else:
+                xs = TrackedList(label="jobs")
+                for i in range(90):
+                    xs.append(i)
+                while len(xs):
+                    xs.pop(0)
+        return engine.analyze_collector(session)
+
+    def test_migration_resolves_diagnosis(self):
+        before = self._capture(use_queue=False)
+        after = self._capture(use_queue=True)
+        diff = compare_reports(before, after)
+        assert ("jobs", "Implement-Queue") in diff.resolved
+        assert diff.fully_resolved
+
+    def test_no_change_persists(self):
+        before = self._capture(use_queue=False)
+        again = self._capture(use_queue=False)
+        diff = compare_reports(before, again)
+        assert diff.persisting
+        assert not diff.resolved and not diff.introduced
+
+    def test_describe(self):
+        diff = compare_reports(
+            self._capture(use_queue=False), self._capture(use_queue=True)
+        )
+        text = diff.describe()
+        assert "resolved: " in text and "Implement-Queue" in text
+
+
+class TestJsonExport:
+    @pytest.fixture
+    def report(self):
+        with collecting() as session:
+            xs = TrackedList(label="hot")
+            for i in range(300):
+                xs.append(i)
+        return UseCaseEngine().analyze_collector(session)
+
+    def test_roundtrip_through_json(self, report):
+        payload = report_to_json(report)
+        data = json.loads(payload)
+        assert data["schema_version"] == 1
+        assert data["instances_analyzed"] == 1
+        assert data["use_cases"][0]["kind"] == "Long-Insert"
+        assert data["use_cases"][0]["parallel"] is True
+
+    def test_site_serialized(self, report):
+        data = report_to_dict(report)
+        site = data["use_cases"][0]["site"]
+        assert site["filename"].endswith(".py")
+        assert isinstance(site["lineno"], int)
+
+    def test_evidence_only_scalars(self, report):
+        data = report_to_dict(report)
+        for use_case in data["use_cases"]:
+            for value in use_case["evidence"].values():
+                assert isinstance(value, (int, float, str, bool))
+
+    def test_summarize(self, report):
+        line = summarize_json(report_to_json(report))
+        assert "1 use cases" in line
+        assert "LI=1" in line
+
+    def test_summarize_empty(self):
+        line = summarize_json('{"use_cases": []}')
+        assert "0 use cases" in line and "none" in line

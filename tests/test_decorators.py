@@ -1,0 +1,94 @@
+"""Unit tests for the @instrumented function decorator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import collecting
+from repro.instrument import analyze_function, instrumented
+from repro.usecases import UseCaseKind
+
+
+@instrumented
+def build_and_scan(n: int) -> int:
+    index = []
+    for i in range(n):
+        index.append(i * 2)
+    total = 0
+    for _ in range(12):
+        for i in range(len(index)):
+            total += index[i]
+    return total
+
+
+@instrumented(dicts=True)
+def build_lookup(n: int) -> int:
+    lookup = {}
+    for i in range(n):
+        lookup[i] = i * i
+    return len(lookup)
+
+
+def plain_helper(n: int) -> list:
+    return [i for i in range(n)]
+
+
+class TestInstrumentedDecorator:
+    def test_result_unchanged(self):
+        with collecting():
+            assert build_and_scan(50) == sum(i * 2 for i in range(50)) * 12
+
+    def test_rewrites_counted(self):
+        assert build_and_scan.__dsspy_rewrites__ == 1
+
+    def test_analyze_function(self):
+        with collecting():
+            build_and_scan(300)
+        report = analyze_function(build_and_scan)
+        kinds = {u.kind for u in report.use_cases}
+        assert UseCaseKind.FREQUENT_LONG_READ in kinds
+        labels = {u.profile.label for u in report.use_cases}
+        assert labels == {"index"}
+
+    def test_dicts_option(self):
+        with collecting() as session:
+            assert build_lookup(10) == 10
+        assert session.instance_count == 1
+        profile = session.profiles()[0]
+        assert profile.label == "lookup"
+
+    def test_uninstrumented_function_rejected(self):
+        with pytest.raises(ValueError, match="has not recorded"):
+            analyze_function(plain_helper)
+
+    def test_never_called_rejected(self):
+        @instrumented
+        def never_called():
+            xs = []
+            return xs
+
+        with pytest.raises(ValueError, match="has not recorded"):
+            analyze_function(never_called)
+
+    def test_closure_rejected(self):
+        captured = 5
+
+        def closure_fn():
+            xs = []
+            xs.append(captured)
+            return xs
+
+        with pytest.raises(ValueError, match="closes over"):
+            instrumented(closure_fn)
+
+    def test_metadata_preserved(self):
+        assert build_and_scan.__name__ == "build_and_scan"
+
+    def test_multiple_calls_accumulate(self):
+        with collecting() as first:
+            build_and_scan(150)
+        with collecting() as second:
+            build_and_scan(150)
+        report = analyze_function(build_and_scan)
+        # Both sessions' instances appear.
+        assert report.instances_analyzed >= 2

@@ -1,0 +1,77 @@
+"""Tests for the density heatmap and scanner failure tolerance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.events import OperationKind, RuntimeProfile
+from repro.instrument import scan_program
+from repro.viz import density_grid, render_density
+
+from .conftest import make_profile
+
+OP = OperationKind
+
+
+class TestDensityGrid:
+    def test_counts_conserved(self):
+        profile = make_profile([(OP.READ, i % 20, 20) for i in range(500)])
+        grid = density_grid(profile, time_bins=10, position_bins=5)
+        assert int(grid.sum()) == 500
+
+    def test_positionless_excluded(self):
+        profile = make_profile(
+            [(OP.READ, 0, 5), (OP.CLEAR, None, 0), (OP.READ, 1, 5)]
+        )
+        grid = density_grid(profile, time_bins=4, position_bins=2)
+        assert int(grid.sum()) == 2
+
+    def test_empty_profile(self):
+        grid = density_grid(RuntimeProfile(0))
+        assert grid.shape == (16, 60)
+        assert not grid.any()
+
+    def test_hot_spot_lands_in_right_band(self):
+        # All accesses at the top index.
+        profile = make_profile([(OP.READ, 99, 100)] * 50)
+        grid = density_grid(profile, time_bins=5, position_bins=4)
+        assert grid[3].sum() == 50  # top band
+        assert grid[:3].sum() == 0
+
+    def test_time_binning_spreads(self):
+        profile = make_profile([(OP.READ, 0, 2)] * 100)
+        grid = density_grid(profile, time_bins=10, position_bins=2)
+        assert np.count_nonzero(grid[0]) == 10  # every time bin hit
+
+    def test_render_shapes(self):
+        profile = make_profile([(OP.READ, i % 30, 30) for i in range(300)])
+        text = render_density(profile, time_bins=20, position_bins=6)
+        assert text.count("|") == 12  # 6 rows x 2 borders
+        assert "peak" in text
+
+    def test_render_positionless(self):
+        profile = make_profile([(OP.CLEAR, None, 0)] * 3)
+        assert "no positional events" in render_density(profile)
+
+
+class TestScannerRobustness:
+    def test_unparsable_file_skipped(self, tmp_path):
+        (tmp_path / "good.py").write_text("xs = []\n")
+        (tmp_path / "broken.py").write_text("def broken(:\n    pass\n")
+        stats = scan_program(tmp_path, name="mixed")
+        assert stats.dynamic_instances == 1
+        assert len(stats.unparsable) == 1
+        assert stats.unparsable[0].endswith("broken.py")
+        # Broken files still contribute LOC (they are part of the corpus).
+        assert stats.loc == 3
+
+    def test_all_broken_program(self, tmp_path):
+        (tmp_path / "a.py").write_text("!!!\n")
+        stats = scan_program(tmp_path)
+        assert stats.sites == []
+        assert stats.unparsable
+
+    def test_clean_program_has_no_unparsable(self, tmp_path):
+        (tmp_path / "a.py").write_text("xs = []\n")
+        assert scan_program(tmp_path).unparsable == []

@@ -1,0 +1,91 @@
+"""Unit tests for the precision/recall evaluation (beyond-paper)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.eval import build_labeled_corpus, evaluate_detection_quality
+from repro.usecases import Thresholds, UseCaseEngine, UseCaseKind
+from repro.usecases.rules import PARALLEL_RULES
+
+
+@pytest.fixture(scope="module")
+def quality():
+    return evaluate_detection_quality()
+
+
+class TestLabeledCorpus:
+    def test_labels_cover_all_profiles(self):
+        profiles, labels = build_labeled_corpus(2, 1)
+        assert {p.instance_id for p in profiles} == set(labels)
+
+    def test_positives_per_kind(self):
+        _, labels = build_labeled_corpus(3, 1, include_boundary=False)
+        for kind in UseCaseKind.parallel_kinds():
+            assert sum(1 for t in labels.values() if t is kind) == 3
+
+    def test_negatives_count(self):
+        _, labels = build_labeled_corpus(1, 2, include_boundary=False)
+        assert sum(1 for t in labels.values() if t is None) == 20  # 10 makers * 2
+
+
+class TestPaperThresholdQuality:
+    def test_perfect_on_clean_and_boundary(self, quality):
+        """The published thresholds separate all positives (including
+        just-over-threshold boundary cases) from all negatives
+        (including just-under ones)."""
+        assert quality.macro_f1 == pytest.approx(1.0)
+        assert quality.negative_specificity == pytest.approx(1.0)
+
+    def test_per_kind_scores(self, quality):
+        for kind in UseCaseKind.parallel_kinds():
+            score = quality.score_for(kind)
+            assert score.precision == 1.0, kind
+            assert score.recall == 1.0, kind
+
+    def test_score_lookup_unknown(self, quality):
+        with pytest.raises(KeyError):
+            quality.score_for(UseCaseKind.WRITE_WITHOUT_READ)
+
+    def test_describe(self, quality):
+        text = quality.describe()
+        assert "macro-F1" in text
+        assert "Long-Insert" in text
+
+
+class TestDetunedThresholds:
+    def test_raising_thresholds_hurts_recall(self):
+        detuned = UseCaseEngine(
+            thresholds=dataclasses.replace(
+                Thresholds(), li_long_phase=200, flr_min_patterns=20
+            ),
+            rules=PARALLEL_RULES,
+        )
+        quality = evaluate_detection_quality(engine=detuned)
+        assert quality.macro_f1 < 0.9
+        assert quality.score_for(UseCaseKind.LONG_INSERT).recall < 1.0
+        # Specificity stays perfect: raising thresholds never adds FPs.
+        assert quality.negative_specificity == pytest.approx(1.0)
+
+    def test_lowering_thresholds_hurts_specificity(self):
+        loose = UseCaseEngine(
+            thresholds=Thresholds().scaled(0.05),
+            rules=PARALLEL_RULES,
+        )
+        quality = evaluate_detection_quality(engine=loose)
+        assert quality.negative_specificity < 1.0
+
+    def test_f1_zero_case(self):
+        from repro.eval.detection_quality import KindScore
+
+        score = KindScore(
+            kind=UseCaseKind.LONG_INSERT,
+            true_positives=0,
+            false_positives=0,
+            false_negatives=5,
+        )
+        assert score.precision == 1.0  # nothing flagged
+        assert score.recall == 0.0
+        assert score.f1 == 0.0

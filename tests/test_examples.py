@@ -1,0 +1,67 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are deliverables; these tests keep them working as the API
+evolves.  Each runs in a subprocess with a small scale where the script
+accepts one.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 300) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=EXAMPLES.parent,
+    )
+    assert result.returncode in (0, 1), (name, result.stderr[-2000:])
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "DSspy advice" in out
+        assert "Long-Insert" in out
+
+    def test_priority_queue_rescue(self):
+        out = run_example("priority_queue_rescue.py")
+        assert "Frequent-Long-Read" in out
+        assert "parallel_max() agrees" in out
+
+    def test_instrument_program(self):
+        out = run_example("instrument_program.py")
+        assert "instantiation sites" in out
+        assert "slowdown" in out
+
+    def test_visualize_profiles(self, tmp_path):
+        out = run_example("visualize_profiles.py", str(tmp_path / "gallery"))
+        assert "fig2_snippet" in out
+        assert (tmp_path / "gallery" / "fig2_snippet.svg").exists()
+
+    def test_ci_gate(self):
+        out = run_example("ci_gate.py")
+        assert "CI GATE: FAILED" in out  # the demo intentionally regresses
+
+    def test_parallel_rescue(self):
+        out = run_example("parallel_rescue.py")
+        assert "[OK] Mandelbrot" in out
+        assert "contended" in out
+
+    @pytest.mark.slow
+    def test_reproduce_paper(self):
+        out = run_example("reproduce_paper.py", "0.08", timeout=600)
+        assert "Table I" in out
+        assert "Table IV" in out
+        assert "Table VII" in out
+        assert "76.92%" in out

@@ -1,0 +1,124 @@
+"""Unit tests for the synthetic profile generators.
+
+Each generator must (1) produce exactly the pattern/use-case signature
+it is named after and (2) not leak any *other* parallel use case —
+the study suites rely on this exclusivity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import collecting
+from repro.patterns import PatternType, RegularityClassifier, detect
+from repro.usecases import UseCaseEngine, UseCaseKind
+from repro.usecases.rules import PARALLEL_RULES
+from repro.workloads import generators as gen
+
+
+def parallel_kinds_of(maker):
+    with collecting():
+        structure = maker()
+        profile = structure.profile()
+    engine = UseCaseEngine(rules=PARALLEL_RULES)
+    return profile, {u.kind for u in engine.analyze_profile(profile)}
+
+
+class TestUseCaseSignatures:
+    def test_long_insert(self):
+        _, kinds = parallel_kinds_of(lambda: gen.gen_long_insert(500))
+        assert kinds == {UseCaseKind.LONG_INSERT}
+
+    def test_queue_usage(self):
+        _, kinds = parallel_kinds_of(lambda: gen.gen_queue_usage())
+        assert kinds == {UseCaseKind.IMPLEMENT_QUEUE}
+
+    def test_sort_after_insert(self):
+        _, kinds = parallel_kinds_of(lambda: gen.gen_sort_after_insert(200))
+        assert kinds == {UseCaseKind.SORT_AFTER_INSERT}
+
+    def test_frequent_search(self):
+        _, kinds = parallel_kinds_of(lambda: gen.gen_frequent_search(1200, 100))
+        assert kinds == {UseCaseKind.FREQUENT_SEARCH}
+
+    def test_frequent_long_read(self):
+        _, kinds = parallel_kinds_of(lambda: gen.gen_frequent_long_read(12, 60))
+        assert kinds == {UseCaseKind.FREQUENT_LONG_READ}
+
+    def test_insert_and_scan_dual(self):
+        _, kinds = parallel_kinds_of(lambda: gen.gen_insert_and_scan())
+        assert kinds == {
+            UseCaseKind.LONG_INSERT,
+            UseCaseKind.FREQUENT_LONG_READ,
+        }
+
+    def test_sequential_generators_fire_no_parallel_rule(self):
+        for maker in (
+            lambda: gen.gen_stack_usage(20, 5),
+            lambda: gen.gen_write_without_read(40),
+            lambda: gen.gen_insert_back_read_forward(50, 4),
+            lambda: gen.gen_irregular(120, 50),
+            lambda: gen.gen_idf_churn(10),
+        ):
+            _, kinds = parallel_kinds_of(maker)
+            assert kinds == set(), maker
+
+
+class TestSequentialSignatures:
+    def full_kinds_of(self, maker):
+        with collecting():
+            profile = maker().profile()
+        return {u.kind for u in UseCaseEngine().analyze_profile(profile)}
+
+    def test_stack_usage_fires_si(self):
+        kinds = self.full_kinds_of(lambda: gen.gen_stack_usage(20, 5))
+        assert UseCaseKind.STACK_IMPLEMENTATION in kinds
+
+    def test_wwr_fires(self):
+        kinds = self.full_kinds_of(lambda: gen.gen_write_without_read(40))
+        assert UseCaseKind.WRITE_WITHOUT_READ in kinds
+
+    def test_idf_fires(self):
+        kinds = self.full_kinds_of(lambda: gen.gen_idf_churn(10))
+        assert UseCaseKind.INSERT_DELETE_FRONT in kinds
+
+
+class TestRegularityOfGenerators:
+    @pytest.mark.parametrize(
+        "maker, regular",
+        [
+            (lambda: gen.gen_long_insert(500), True),
+            (lambda: gen.gen_frequent_long_read(12, 60), True),
+            (lambda: gen.gen_queue_usage(), True),
+            (lambda: gen.gen_sort_after_insert(200), True),
+            (lambda: gen.gen_insert_and_scan(), True),
+            (lambda: gen.gen_stack_usage(20, 5), True),
+            (lambda: gen.gen_write_without_read(40), True),
+            (lambda: gen.gen_insert_back_read_forward(50, 4), True),
+            (lambda: gen.gen_irregular(120, 50), False),
+        ],
+    )
+    def test_regularity(self, maker, regular):
+        with collecting():
+            profile = maker().profile()
+        assert RegularityClassifier().classify(profile).is_regular is regular
+
+
+class TestFig2:
+    def test_snippet_profile(self):
+        with collecting():
+            profile = gen.gen_fig2_snippet().profile()
+        analysis = detect(profile)
+        assert analysis.count(PatternType.INSERT_BACK) == 1
+        assert analysis.count(PatternType.READ_BACKWARD) == 1
+        # Capacity semantics: size pinned at 10 throughout.
+        assert profile.max_size == 10
+        assert profile.final_size == 10
+
+    def test_generator_determinism(self):
+        def events_of():
+            with collecting():
+                profile = gen.gen_sort_after_insert(100).profile()
+            return [(e.op, e.position, e.size) for e in profile]
+
+        assert events_of() == events_of()

@@ -1,0 +1,107 @@
+"""Tests for import-time instrumentation of packages."""
+
+from __future__ import annotations
+
+import sys
+import textwrap
+
+import pytest
+
+from repro.events import collecting
+from repro.instrument.import_hook import (
+    InstrumentingFinder,
+    instrument_imports,
+    reimport_instrumented,
+)
+from repro.usecases import UseCaseEngine, UseCaseKind
+
+
+@pytest.fixture
+def fake_package(tmp_path, monkeypatch):
+    """A throwaway package on sys.path with container-heavy code."""
+    pkg = tmp_path / "fakeapp"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "engine.py").write_text(
+        textwrap.dedent(
+            """
+            def run(n):
+                items = []
+                for i in range(n):
+                    items.append(i)
+                return sum(items.raw()) if hasattr(items, "raw") else sum(items)
+            """
+        )
+    )
+    monkeypatch.syspath_prepend(str(tmp_path))
+    # Ensure cold imports each test.
+    for name in list(sys.modules):
+        if name.startswith("fakeapp"):
+            del sys.modules[name]
+    yield "fakeapp"
+    for name in list(sys.modules):
+        if name.startswith("fakeapp"):
+            del sys.modules[name]
+
+
+class TestInstrumentImports:
+    def test_module_is_instrumented_inside_context(self, fake_package):
+        with collecting() as session:
+            with instrument_imports(fake_package):
+                import fakeapp.engine as engine
+
+                result = engine.run(300)
+        assert result == sum(range(300))
+        assert session.instance_count == 1
+        report = UseCaseEngine().analyze_collector(session)
+        assert {u.kind for u in report.use_cases} == {UseCaseKind.LONG_INSERT}
+        assert report.use_cases[0].profile.label == "items"
+
+    def test_original_code_after_exit(self, fake_package):
+        with instrument_imports(fake_package):
+            import fakeapp.engine  # noqa: F401
+        # Evicted on exit; a fresh import is plain again.
+        with collecting() as session:
+            import fakeapp.engine as engine
+
+            engine.run(50)
+        assert session.instance_count == 0
+
+    def test_unmatched_modules_untouched(self, fake_package):
+        with collecting() as session:
+            with instrument_imports("some_other_prefix"):
+                import fakeapp.engine as engine
+
+                engine.run(50)
+        assert session.instance_count == 0
+
+    def test_site_points_into_real_file(self, fake_package):
+        with collecting() as session:
+            with instrument_imports(fake_package):
+                import fakeapp.engine as engine
+
+                engine.run(120)
+        profile = session.profiles()[0]
+        assert profile.site.filename.endswith("engine.py")
+
+    def test_requires_prefix(self):
+        with pytest.raises(ValueError):
+            with instrument_imports():
+                pass
+
+    def test_reimport_instrumented(self, fake_package):
+        with collecting() as session:
+            module = reimport_instrumented("fakeapp.engine")
+            module.run(200)
+        assert session.instance_count == 1
+
+
+class TestFinderMatching:
+    def test_prefix_matching(self):
+        finder = InstrumentingFinder(["app", "lib.core"])
+        assert finder._matches("app")
+        assert finder._matches("app.sub.mod")
+        assert finder._matches("lib.core.x")
+        assert not finder._matches("application")  # no partial-name match
+        assert not finder._matches("lib.coreutils")
+        assert not finder._matches("other")

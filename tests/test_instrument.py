@@ -1,0 +1,221 @@
+"""Unit tests for static analysis, rewriting and instrumented runs."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.events import StructureKind
+from repro.instrument import (
+    RewriteConfig,
+    count_by_kind,
+    count_loc,
+    find_sites,
+    measure_slowdown,
+    rewrite_source,
+    run_instrumented,
+    scan_program,
+)
+
+SAMPLE = textwrap.dedent(
+    """
+    import collections
+
+    class Engine:
+        def __init__(self):
+            self.items = []
+            self.cache = {}
+
+    def build(n):
+        values = [i for i in range(n)]
+        buffer = [0] * n
+        lookup = dict(a=1)
+        seen = set()
+        dq = collections.deque()
+        return values, buffer, lookup, seen, dq
+    """
+)
+
+
+class TestStaticAnalysis:
+    def test_finds_all_site_kinds(self):
+        sites = find_sites(SAMPLE)
+        counts = count_by_kind(sites)
+        assert counts[StructureKind.LIST] == 2  # [] literal + listcomp
+        assert counts[StructureKind.DICTIONARY] == 2  # {} + dict()
+        assert counts[StructureKind.ARRAY] == 1  # [0] * n
+        assert counts[StructureKind.HASH_SET] == 1
+        assert counts[StructureKind.QUEUE] == 1
+
+    def test_variable_and_function_captured(self):
+        sites = find_sites(SAMPLE)
+        by_var = {s.variable: s for s in sites if s.variable}
+        assert by_var["items"].function == "Engine.__init__"
+        assert by_var["values"].function == "build"
+        assert by_var["buffer"].kind is StructureKind.ARRAY
+
+    def test_attribute_assignment_variable(self):
+        sites = find_sites("self.rows = []")
+        assert sites[0].variable == "rows"
+
+    def test_fixed_size_alloc_not_double_counted(self):
+        sites = find_sites("xs = [None] * 10")
+        assert [s.kind for s in sites] == [StructureKind.ARRAY]
+
+    def test_reversed_mult_order(self):
+        sites = find_sites("xs = 10 * [0]")
+        assert [s.kind for s in sites] == [StructureKind.ARRAY]
+
+    def test_tracked_classes_count_as_species(self):
+        sites = find_sites("xs = TrackedList()\nd = TrackedDict()")
+        kinds = [s.kind for s in sites]
+        assert kinds == [StructureKind.LIST, StructureKind.DICTIONARY]
+
+    def test_sites_sorted_by_line(self):
+        sites = find_sites(SAMPLE)
+        linenos = [s.lineno for s in sites]
+        assert linenos == sorted(linenos)
+
+    def test_describe(self):
+        (site,) = find_sites("xs = []", filename="prog.py")
+        assert "prog.py:1" in site.describe()
+
+
+class TestRewriter:
+    def test_list_literal_rewritten(self):
+        result = rewrite_source("xs = [1, 2]")
+        assert "_dsspy_TrackedList([1, 2], label='xs')" in result.source
+        assert result.rewrites == 1
+
+    def test_fixed_size_alloc_rewritten_to_array(self):
+        result = rewrite_source("buf = [0] * 32")
+        assert "_dsspy_TrackedArray(32, fill=0, label='buf')" in result.source
+
+    def test_list_call_wrapped(self):
+        result = rewrite_source("xs = list(range(3))")
+        assert "_dsspy_TrackedList(list(range(3))" in result.source
+
+    def test_listcomp_rewritten(self):
+        result = rewrite_source("xs = [i for i in range(3)]")
+        assert "_dsspy_TrackedList(" in result.source
+
+    def test_dicts_not_rewritten_by_default(self):
+        result = rewrite_source("d = {'a': 1}")
+        assert "_dsspy_TrackedDict(" not in result.source
+        assert result.rewrites == 0
+
+    def test_dicts_rewritten_when_enabled(self):
+        result = rewrite_source(
+            "d = {'a': 1}", config=RewriteConfig(dicts=True)
+        )
+        assert "_dsspy_TrackedDict({'a': 1}, label='d')" in result.source
+
+    def test_call_arguments_left_alone(self):
+        result = rewrite_source("print([1, 2, 3])")
+        assert "_dsspy_TrackedList(" not in result.source
+
+    def test_import_header_after_docstring(self):
+        result = rewrite_source('"""Doc."""\nxs = []')
+        lines = result.source.splitlines()
+        assert lines[0] == '"""Doc."""'
+        assert "from repro.structures import" in lines[1]
+
+    def test_instrumented_source_is_valid_python(self):
+        result = rewrite_source(SAMPLE)
+        compile(result.source, "<test>", "exec")
+
+    def test_annassign_rewritten(self):
+        result = rewrite_source("xs: list = []")
+        assert "_dsspy_TrackedList([], label='xs')" in result.source
+
+
+class TestRunner:
+    def test_run_instrumented_collects_profiles(self):
+        source = textwrap.dedent(
+            """
+            def main(n):
+                xs = []
+                for i in range(n):
+                    xs.append(i)
+                return sum(v for v in xs)
+            """
+        )
+        run = run_instrumented(source, entry="main", args=(50,))
+        assert run.result == sum(range(50))
+        assert run.collector.instance_count == 1
+        profile = run.profiles[0]
+        assert profile.label == "xs"
+        assert len(profile) > 50
+
+    def test_instrumented_behaviour_matches_plain(self):
+        source = textwrap.dedent(
+            """
+            def main():
+                xs = [5, 3, 1]
+                xs.sort()
+                xs.insert(0, 0)
+                buf = [0] * 4
+                buf[2] = 9
+                return xs + [buf[2]]
+            """
+        )
+        namespace: dict = {}
+        exec(compile(source, "<plain>", "exec"), namespace)
+        expected = namespace["main"]()
+        run = run_instrumented(source, entry="main")
+        assert run.result == expected
+
+    def test_module_level_code_runs(self):
+        run = run_instrumented("xs = [1]\nxs.append(2)\ntotal = sum(xs.raw())")
+        assert run.collector.instance_count == 1
+
+    def test_measure_slowdown_positive(self):
+        source = textwrap.dedent(
+            """
+            def main():
+                xs = []
+                for i in range(2000):
+                    xs.append(i)
+                return len(xs)
+            main()
+            """
+        )
+        result = measure_slowdown(source, repeats=2)
+        assert result.instrumented_seconds > 0
+        assert result.factor > 1.0
+
+
+class TestCorpus:
+    def test_count_loc(self):
+        assert count_loc("a = 1\n\n# comment\nb = 2\n") == 2
+
+    def test_scan_program_directory(self, tmp_path):
+        (tmp_path / "a.py").write_text("xs = []\nd = {}\n")
+        (tmp_path / "b.py").write_text("buf = [0] * 4\n")
+        stats = scan_program(tmp_path, name="demo", domain="Test")
+        assert stats.name == "demo"
+        assert stats.loc == 3
+        assert stats.dynamic_instances == 2  # list + dict
+        assert stats.array_instances == 1
+        assert stats.count(StructureKind.LIST) == 1
+
+    def test_scan_single_file(self, tmp_path):
+        f = tmp_path / "solo.py"
+        f.write_text("xs = [1]\n")
+        stats = scan_program(f)
+        assert stats.dynamic_instances == 1
+
+    def test_corpus_aggregation(self, tmp_path):
+        for name, body in [("p1", "xs = []\n"), ("p2", "d = {}\nys = []\n")]:
+            d = tmp_path / name
+            d.mkdir()
+            (d / "main.py").write_text(body)
+        from repro.instrument import scan_corpus
+
+        corpus = scan_corpus(tmp_path, domains={"p1": "Game", "p2": "Office"})
+        assert corpus.total_dynamic_instances == 3
+        assert corpus.kind_share(StructureKind.LIST) == pytest.approx(2 / 3)
+        totals = corpus.domain_totals()
+        assert totals["Game"][0] == 1
+        assert totals["Office"][0] == 2

@@ -1,0 +1,376 @@
+"""Unit tests for the parallel substrate (machine, executor, containers,
+transforms)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import OperationKind, collecting
+from repro.parallel import (
+    MachineConfig,
+    ParallelExecutor,
+    ParallelList,
+    ParallelQueue,
+    ParallelRegion,
+    SimulatedMachine,
+    WorkDecomposition,
+    amdahl,
+    apply_all,
+    apply_recommendation,
+    chunk_ranges,
+    estimate_region,
+    parallel_sorted,
+)
+from repro.structures import TrackedList
+from repro.usecases import UseCaseEngine, UseCaseKind
+
+from .conftest import make_profile
+
+OP = OperationKind
+
+
+class TestAmdahl:
+    def test_no_sequential_part(self):
+        assert amdahl(0.0, 8) == pytest.approx(8.0)
+
+    def test_all_sequential(self):
+        assert amdahl(1.0, 8) == pytest.approx(1.0)
+
+    def test_half_sequential(self):
+        assert amdahl(0.5, 8) == pytest.approx(1 / (0.5 + 0.5 / 8))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            amdahl(-0.1, 8)
+        with pytest.raises(ValueError):
+            amdahl(0.5, 0)
+
+
+class TestSimulatedMachine:
+    def test_makespan_balances(self):
+        m = SimulatedMachine(MachineConfig(cores=4, task_overhead=0, fork_join_overhead=0))
+        assert m.makespan([1, 1, 1, 1]) == pytest.approx(1.0)
+        assert m.makespan([4, 1, 1, 1, 1]) == pytest.approx(4.0)
+
+    def test_makespan_single_core(self):
+        m = SimulatedMachine(MachineConfig(cores=1, task_overhead=0, fork_join_overhead=0))
+        assert m.makespan([3, 2, 1]) == pytest.approx(6.0)
+
+    def test_speedup_bounded_by_cores(self):
+        m = SimulatedMachine(MachineConfig(cores=8))
+        assert m.data_parallel_speedup(1e9) <= 8.0
+
+    def test_large_work_approaches_cores(self):
+        m = SimulatedMachine(MachineConfig(cores=8))
+        assert m.data_parallel_speedup(1e9) == pytest.approx(8.0, rel=0.01)
+
+    def test_small_work_not_worth_it(self):
+        m = SimulatedMachine(MachineConfig(cores=8, fork_join_overhead=200))
+        assert m.data_parallel_speedup(100) < 1.0
+
+    def test_speedup_monotonic_in_work(self):
+        m = SimulatedMachine(MachineConfig(cores=8))
+        speedups = [m.data_parallel_speedup(w) for w in (1e2, 1e4, 1e6, 1e8)]
+        assert speedups == sorted(speedups)
+
+    def test_empty_region(self):
+        m = SimulatedMachine()
+        assert m.parallel_time([]) == 0.0
+        assert m.region_speedup([]) == 1.0
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            MachineConfig(cores=0)
+        with pytest.raises(ValueError):
+            MachineConfig(task_overhead=-1)
+
+
+class TestWorkDecomposition:
+    def test_sequential_fraction(self):
+        d = WorkDecomposition(
+            sequential_work=300,
+            regions=(ParallelRegion(work=700),),
+        )
+        assert d.sequential_fraction == pytest.approx(0.3)
+        assert d.total_work == 1000
+
+    def test_speedup_vs_amdahl(self):
+        m = SimulatedMachine(MachineConfig(cores=8))
+        d = WorkDecomposition(
+            sequential_work=1e5, regions=(ParallelRegion(work=9e5),)
+        )
+        measured = d.speedup(m)
+        ceiling = d.amdahl_limit(8)
+        assert 1.0 < measured <= ceiling
+
+    def test_mostly_sequential_program_low_speedup(self):
+        """Table VI: 94.29% sequential -> speedup near 1 (CPU Benchmarks)."""
+        m = SimulatedMachine(MachineConfig(cores=8))
+        d = WorkDecomposition(
+            sequential_work=94.29e4, regions=(ParallelRegion(work=5.71e4),)
+        )
+        assert 1.0 < d.speedup(m) < 1.2
+
+    def test_mostly_parallel_program_high_speedup(self):
+        """Table VI: GPdotNET at 3.89% sequential can reach high speedups."""
+        m = SimulatedMachine(MachineConfig(cores=8))
+        d = WorkDecomposition(
+            sequential_work=3.89e4, regions=(ParallelRegion(work=96.11e4),)
+        )
+        assert d.speedup(m) > 2.5
+
+    def test_max_parallelism_cap(self):
+        m = SimulatedMachine(MachineConfig(cores=8, task_overhead=0, fork_join_overhead=0))
+        region = ParallelRegion(work=800, max_parallelism=2)
+        assert m.parallel_time(region.chunks(m)) == pytest.approx(400.0)
+
+    def test_empty_decomposition(self):
+        d = WorkDecomposition(sequential_work=0)
+        assert d.sequential_fraction == 1.0
+        assert d.speedup(SimulatedMachine()) == 1.0
+
+
+class TestChunking:
+    def test_chunks_cover_range(self):
+        ranges = chunk_ranges(10, 3)
+        flat = [i for r in ranges for i in r]
+        assert flat == list(range(10))
+
+    def test_chunks_balanced(self):
+        sizes = [len(r) for r in chunk_ranges(10, 3)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_chunks_than_items(self):
+        ranges = chunk_ranges(2, 8)
+        assert len(ranges) == 2
+
+    def test_empty(self):
+        assert chunk_ranges(0, 4) == []
+
+
+class TestParallelExecutor:
+    def test_parallel_map_matches_sequential(self):
+        ex = ParallelExecutor(4)
+        items = list(range(100))
+        assert ex.parallel_map(lambda x: x * x, items) == [x * x for x in items]
+
+    def test_parallel_fill(self):
+        ex = ParallelExecutor(3)
+        assert ex.parallel_fill(lambda i: i + 1, 10) == list(range(1, 11))
+
+    def test_parallel_for_side_effects(self):
+        ex = ParallelExecutor(4)
+        out = [0] * 50
+        ex.parallel_for(lambda i: out.__setitem__(i, i * 2), 50)
+        assert out == [i * 2 for i in range(50)]
+
+    def test_parallel_search_finds_lowest(self):
+        ex = ParallelExecutor(4)
+        items = [0] * 100
+        items[17] = 1
+        items[80] = 1
+        assert ex.parallel_search(items, lambda x: x == 1) == 17
+
+    def test_parallel_search_missing(self):
+        ex = ParallelExecutor(4)
+        assert ex.parallel_search([1, 2, 3], lambda x: x == 9) is None
+        assert ex.parallel_search([], lambda x: True) is None
+
+    def test_parallel_index_raises_like_list(self):
+        ex = ParallelExecutor(2)
+        with pytest.raises(ValueError):
+            ex.parallel_index([1, 2], 3)
+
+    def test_parallel_any(self):
+        ex = ParallelExecutor(2)
+        assert ex.parallel_any(range(100), lambda x: x == 55)
+        assert not ex.parallel_any(range(100), lambda x: x == 200)
+
+    def test_parallel_reduce_max(self):
+        ex = ParallelExecutor(4)
+        items = [3, 9, 1, 9, 2]
+        result = ex.parallel_reduce(items, max, max, float("-inf"))
+        assert result == 9
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(0)
+
+
+class TestParallelContainers:
+    def test_parallel_list_basics(self):
+        xs = ParallelList([1, 2])
+        xs.append(3)
+        xs.extend([4])
+        assert len(xs) == 4
+        assert xs[0] == 1
+        xs[0] = 10
+        assert list(xs) == [10, 2, 3, 4]
+
+    def test_parallel_fill_and_extend(self):
+        xs = ParallelList(executor=ParallelExecutor(4))
+        xs.parallel_fill(lambda i: i * i, 20)
+        assert xs.snapshot() == [i * i for i in range(20)]
+        xs.parallel_extend(lambda i: -i, 5)
+        assert len(xs) == 25
+
+    def test_parallel_search_and_contains(self):
+        xs = ParallelList(range(1000), executor=ParallelExecutor(4))
+        assert xs.parallel_index(777) == 777
+        assert 500 in xs
+        assert 5000 not in xs
+        with pytest.raises(ValueError):
+            xs.parallel_index(-1)
+
+    def test_parallel_max_matches_max(self):
+        """The FLR transform for the priority-queue-as-list case."""
+        import random
+
+        rng = random.Random(7)
+        data = [rng.random() for _ in range(5000)]
+        xs = ParallelList(data, executor=ParallelExecutor(4))
+        assert xs.parallel_max() == max(data)
+
+    def test_parallel_max_with_key(self):
+        xs = ParallelList([(1, "a"), (9, "b"), (5, "c")])
+        assert xs.parallel_max(key=lambda t: t[0]) == (9, "b")
+
+    def test_parallel_max_empty_raises(self):
+        with pytest.raises(ValueError):
+            ParallelList().parallel_max()
+
+    def test_parallel_map_method(self):
+        xs = ParallelList([1, 2, 3])
+        assert xs.parallel_map(lambda v: v * 10) == [10, 20, 30]
+
+    def test_parallel_queue_fifo(self):
+        q = ParallelQueue()
+        q.enqueue(1)
+        q.enqueue(2)
+        assert q.peek() == 1
+        assert q.dequeue() == 1
+        assert q.dequeue() == 2
+        with pytest.raises(IndexError):
+            q.dequeue()
+
+    def test_parallel_queue_producer_consumer(self):
+        import threading
+
+        q = ParallelQueue()
+        received = []
+
+        def consumer():
+            for _ in range(100):
+                received.append(q.dequeue(block=True, timeout=5))
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        for i in range(100):
+            q.enqueue(i)
+        t.join(timeout=10)
+        assert received == list(range(100))
+
+    def test_parallel_queue_timeout(self):
+        q = ParallelQueue()
+        with pytest.raises(TimeoutError):
+            q.dequeue(block=True, timeout=0.01)
+
+    def test_parallel_sorted(self):
+        import random
+
+        rng = random.Random(3)
+        data = [rng.randrange(1000) for _ in range(500)]
+        assert parallel_sorted(data, executor=ParallelExecutor(4)) == sorted(data)
+
+    def test_parallel_sorted_stable(self):
+        data = [(1, "x"), (0, "a"), (1, "y"), (0, "b")]
+        result = parallel_sorted(data, key=lambda t: t[0])
+        assert result == sorted(data, key=lambda t: t[0])
+
+    def test_parallel_sorted_trivial(self):
+        assert parallel_sorted([]) == []
+        assert parallel_sorted([1]) == [1]
+
+
+class TestTransforms:
+    def _use_case(self, kind):
+        if kind is UseCaseKind.LONG_INSERT:
+            profile = make_profile([(OP.INSERT, i, i + 1) for i in range(100_000)])
+        elif kind is UseCaseKind.FREQUENT_LONG_READ:
+            size = 2000
+            specs = [(OP.INSERT, i, i + 1) for i in range(size)]
+            for _ in range(15):
+                specs += [(OP.READ, i, size) for i in range(size)]
+                specs += [(OP.SEARCH, 0, size)]
+            profile = make_profile(specs)
+        else:
+            raise NotImplementedError(kind)
+        cases = UseCaseEngine().analyze_profile(profile)
+        return next(u for u in cases if u.kind is kind)
+
+    def test_long_insert_large_work_true_positive(self):
+        machine = SimulatedMachine(MachineConfig(cores=8))
+        outcome = apply_recommendation(
+            self._use_case(UseCaseKind.LONG_INSERT), machine
+        )
+        assert outcome.is_true_positive
+        assert outcome.speedup > 2.0
+
+    def test_flr_transform(self):
+        machine = SimulatedMachine(MachineConfig(cores=8))
+        outcome = apply_recommendation(
+            self._use_case(UseCaseKind.FREQUENT_LONG_READ), machine
+        )
+        assert outcome.region.work > 0
+        assert outcome.is_true_positive
+
+    def test_small_work_false_positive(self):
+        """Tiny insert phases don't pay for parallelization — the paper's
+        'initializations without speedup'."""
+        profile = make_profile([(OP.INSERT, i, i + 1) for i in range(150)])
+        (uc,) = [
+            u
+            for u in UseCaseEngine().analyze_profile(profile)
+            if u.kind is UseCaseKind.LONG_INSERT
+        ]
+        machine = SimulatedMachine(MachineConfig(cores=8, fork_join_overhead=500))
+        outcome = apply_recommendation(uc, machine)
+        assert not outcome.is_true_positive
+
+    def test_apply_all_filters_sequential(self):
+        with collecting():
+            xs = TrackedList()
+            for round_ in range(5):
+                for i in range(50):
+                    xs.append(i)
+                for _ in range(50):
+                    xs.pop()
+            profile = xs.profile()
+        cases = UseCaseEngine().analyze_profile(profile)
+        machine = SimulatedMachine()
+        outcomes = apply_all(cases, machine)
+        assert all(o.use_case.kind.parallel for o in outcomes)
+
+    def test_estimate_region_sequential_kind_zero(self):
+        with collecting():
+            xs = TrackedList()
+            for round_ in range(5):
+                for i in range(20):
+                    xs.append(i)
+                for _ in range(20):
+                    xs.pop()
+            profile = xs.profile()
+        cases = UseCaseEngine().analyze_profile(profile)
+        si = next(
+            u for u in cases if u.kind is UseCaseKind.STACK_IMPLEMENTATION
+        )
+        region = estimate_region(si)
+        assert region.work == 0.0
+
+    def test_outcome_describe(self):
+        machine = SimulatedMachine()
+        outcome = apply_recommendation(
+            self._use_case(UseCaseKind.LONG_INSERT), machine
+        )
+        text = outcome.describe()
+        assert "Long-Insert" in text and "speedup" in text

@@ -1,0 +1,49 @@
+"""Tests for the hand-parallelized workload variants.
+
+Each variant applies the recommended action of a detected use case on
+the real program with real threads; the invariant is bit-identical
+results versus the sequential original.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel import ParallelExecutor
+from repro.workloads import (
+    algorithmia_parallel_pq,
+    mandelbrot_parallel,
+    sort_after_insert_parallel,
+    verify_all,
+    wordwheel_parallel,
+)
+
+
+class TestEquivalence:
+    def test_mandelbrot_parallel_identical_image(self):
+        outcome = mandelbrot_parallel(scale=0.1)
+        assert outcome.matches_sequential, outcome.detail
+
+    def test_algorithmia_pq_parallel_max(self):
+        outcome = algorithmia_parallel_pq(scale=0.1)
+        assert outcome.matches_sequential
+
+    def test_wordwheel_parallel_filtering(self):
+        outcome = wordwheel_parallel(scale=0.1)
+        assert outcome.matches_sequential
+
+    def test_sort_after_insert(self):
+        outcome = sort_after_insert_parallel(n=1_000)
+        assert outcome.matches_sequential
+
+    def test_verify_all(self):
+        outcomes = verify_all(scale=0.08)
+        assert len(outcomes) == 4
+        assert all(o.matches_sequential for o in outcomes)
+
+    def test_worker_counts_do_not_change_results(self):
+        for workers in (1, 2, 5):
+            outcome = mandelbrot_parallel(
+                scale=0.08, executor=ParallelExecutor(workers)
+            )
+            assert outcome.matches_sequential, workers

@@ -1,0 +1,314 @@
+"""Unit tests for pattern segmentation, classification and regularity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import OperationKind, StructureKind, collecting
+from repro.patterns import (
+    DetectorConfig,
+    PatternDetector,
+    PatternType,
+    RegularityClassifier,
+    RegularityConfig,
+    classify_run,
+    detect,
+    segment,
+)
+from repro.structures import TrackedList
+
+from .conftest import make_event, make_profile
+
+OP = OperationKind
+
+
+class TestSegmentation:
+    def test_single_forward_read_run(self):
+        profile = make_profile([(OP.READ, i, 10) for i in range(10)])
+        runs = segment(profile)
+        assert len(runs) == 1
+        run = runs[0]
+        assert run.category == "read"
+        assert run.direction == 1
+        assert run.length == 10
+        assert run.first_position == 0 and run.last_position == 9
+
+    def test_direction_change_splits(self):
+        specs = [(OP.READ, i, 10) for i in range(5)] + [
+            (OP.READ, i, 10) for i in range(4, -1, -1)
+        ]
+        runs = segment(make_profile(specs))
+        assert len(runs) == 2
+        assert runs[0].direction == 1
+        assert runs[1].direction == -1
+
+    def test_category_change_splits(self):
+        specs = [(OP.INSERT, i, i + 1) for i in range(5)] + [
+            (OP.READ, i, 5) for i in range(5)
+        ]
+        runs = segment(make_profile(specs))
+        assert [r.category for r in runs] == ["insert", "read"]
+
+    def test_gap_splits(self):
+        specs = [(OP.READ, 0, 100), (OP.READ, 1, 100), (OP.READ, 50, 100)]
+        runs = segment(make_profile(specs))
+        assert [r.length for r in runs] == [2, 1]
+
+    def test_max_gap_parameter(self):
+        specs = [(OP.READ, 0, 100), (OP.READ, 2, 100), (OP.READ, 4, 100)]
+        assert len(segment(make_profile(specs), max_gap=1)) == 3
+        assert len(segment(make_profile(specs), max_gap=2)) == 1
+
+    def test_breakers_end_runs(self):
+        specs = (
+            [(OP.INSERT, i, i + 1) for i in range(3)]
+            + [(OP.CLEAR, None, 0)]
+            + [(OP.INSERT, i, i + 1) for i in range(3)]
+        )
+        runs = segment(make_profile(specs))
+        assert [r.length for r in runs] == [3, 3]
+
+    def test_forall_is_transparent(self):
+        specs = (
+            [(OP.FORALL, None, 5)]
+            + [(OP.READ, i, 5) for i in range(5)]
+        )
+        runs = segment(make_profile(specs))
+        assert len(runs) == 1
+        assert runs[0].length == 5
+
+    def test_search_breaks_but_is_not_a_run(self):
+        specs = (
+            [(OP.READ, 0, 5), (OP.READ, 1, 5)]
+            + [(OP.SEARCH, 3, 5)]
+            + [(OP.READ, 2, 5), (OP.READ, 3, 5)]
+        )
+        runs = segment(make_profile(specs))
+        assert [r.category for r in runs] == ["read", "read"]
+
+    def test_threads_segment_independently(self):
+        events = []
+        seq = 0
+        for i in range(6):
+            events.append(make_event(seq, OP.READ, i, 10, thread_id=0))
+            seq += 1
+            events.append(make_event(seq, OP.READ, 9 - i, 10, thread_id=1))
+            seq += 1
+        from repro.events import RuntimeProfile
+
+        profile = RuntimeProfile.from_events(events)
+        runs = segment(profile)
+        assert len(runs) == 2
+        directions = {r.thread_id: r.direction for r in runs}
+        assert directions == {0: 1, 1: -1}
+
+    def test_stationary_run(self):
+        runs = segment(make_profile([(OP.READ, 3, 10)] * 4))
+        assert len(runs) == 1
+        assert runs[0].direction == 0
+        assert runs[0].distinct_positions == 1
+
+    def test_empty_profile(self):
+        assert segment(make_profile([])) == []
+
+
+class TestClassification:
+    def detect_types(self, specs, **cfg):
+        analysis = detect(make_profile(specs), DetectorConfig(**cfg) if cfg else None)
+        return [p.pattern_type for p in analysis.patterns]
+
+    def test_read_forward(self):
+        assert self.detect_types([(OP.READ, i, 5) for i in range(5)]) == [
+            PatternType.READ_FORWARD
+        ]
+
+    def test_read_backward(self):
+        assert self.detect_types(
+            [(OP.READ, i, 5) for i in range(4, -1, -1)]
+        ) == [PatternType.READ_BACKWARD]
+
+    def test_write_forward_backward(self):
+        assert self.detect_types([(OP.WRITE, i, 5) for i in range(5)]) == [
+            PatternType.WRITE_FORWARD
+        ]
+        assert self.detect_types(
+            [(OP.WRITE, i, 5) for i in range(4, -1, -1)]
+        ) == [PatternType.WRITE_BACKWARD]
+
+    def test_insert_back_via_append(self):
+        # Appends: position == size-1 at each event.
+        assert self.detect_types(
+            [(OP.INSERT, i, i + 1) for i in range(5)]
+        ) == [PatternType.INSERT_BACK]
+
+    def test_insert_front(self):
+        assert self.detect_types(
+            [(OP.INSERT, 0, i + 1) for i in range(5)]
+        ) == [PatternType.INSERT_FRONT]
+
+    def test_delete_back_via_pop(self):
+        # pop(): position == old size-1, recorded size is post-delete.
+        assert self.detect_types(
+            [(OP.DELETE, i, i) for i in range(4, -1, -1)]
+        ) == [PatternType.DELETE_BACK]
+
+    def test_delete_front(self):
+        assert self.detect_types(
+            [(OP.DELETE, 0, 5 - i - 1) for i in range(5)]
+        ) == [PatternType.DELETE_FRONT]
+
+    def test_stationary_read_unclassified(self):
+        assert self.detect_types([(OP.READ, 3, 10)] * 4) == [
+            PatternType.UNCLASSIFIED
+        ]
+
+    def test_unclassified_filtered_when_configured(self):
+        assert (
+            self.detect_types([(OP.READ, 3, 10)] * 4, keep_unclassified=False)
+            == []
+        )
+
+    def test_min_run_length_filters_singletons(self):
+        specs = [(OP.READ, 0, 5), (OP.WRITE, 1, 5)]  # two length-1 runs
+        assert self.detect_types(specs) == []
+
+    def test_coverage_computation(self):
+        analysis = detect(make_profile([(OP.READ, i, 10) for i in range(5)]))
+        pattern = analysis.patterns[0]
+        assert pattern.coverage == pytest.approx(0.5)
+        assert pattern.distinct_positions == 5
+
+    def test_pattern_describe(self):
+        analysis = detect(make_profile([(OP.READ, i, 5) for i in range(5)]))
+        assert "Read-Forward" in analysis.patterns[0].describe()
+
+
+class TestPatternAnalysis:
+    def test_histogram_and_counts(self):
+        specs = (
+            [(OP.INSERT, i, i + 1) for i in range(5)]
+            + [(OP.READ, i, 5) for i in range(5)]
+            + [(OP.CLEAR, None, 0)]
+            + [(OP.INSERT, i, i + 1) for i in range(5)]
+        )
+        analysis = detect(make_profile(specs))
+        assert analysis.count(PatternType.INSERT_BACK) == 2
+        assert analysis.count(PatternType.READ_FORWARD) == 1
+        hist = analysis.histogram()
+        assert hist[PatternType.INSERT_BACK] == 2
+
+    def test_fraction_in(self):
+        specs = [(OP.INSERT, i, i + 1) for i in range(10)] + [
+            (OP.READ, i, 10) for i in range(10)
+        ]
+        analysis = detect(make_profile(specs))
+        assert analysis.fraction_in(
+            lambda p: p.pattern_type.is_insert
+        ) == pytest.approx(0.5)
+
+    def test_patterns_cover_disjoint_events(self):
+        specs = (
+            [(OP.INSERT, i, i + 1) for i in range(50)]
+            + [(OP.READ, i, 50) for i in range(50)]
+            + [(OP.READ, i, 50) for i in range(49, -1, -1)]
+        )
+        analysis = detect(make_profile(specs))
+        total = sum(p.length for p in analysis.patterns)
+        assert total <= len(analysis.profile)
+        spans = sorted((p.start, p.stop) for p in analysis.patterns)
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2 + 1  # boundary event may start the next run
+
+
+class TestDetectorOnRealStructures:
+    def test_fill_then_scan(self):
+        with collecting():
+            xs = TrackedList()
+            for i in range(100):
+                xs.append(i)
+            for _ in range(3):
+                list(xs)
+            analysis = detect(xs.profile())
+        assert analysis.count(PatternType.INSERT_BACK) == 1
+        assert analysis.count(PatternType.READ_FORWARD) == 3
+
+    def test_pop_loop_is_delete_back(self):
+        with collecting():
+            xs = TrackedList(range(20))
+            while len(xs):
+                xs.pop()
+            analysis = detect(xs.profile())
+        assert analysis.count(PatternType.DELETE_BACK) == 1
+
+    def test_queue_usage_patterns(self):
+        with collecting():
+            xs = TrackedList()
+            for i in range(20):
+                xs.append(i)
+            while len(xs):
+                xs.pop(0)
+            analysis = detect(xs.profile())
+        assert analysis.count(PatternType.INSERT_BACK) == 1
+        assert analysis.count(PatternType.DELETE_FRONT) == 1
+
+    def test_reverse_fill_is_insert_front(self):
+        with collecting():
+            xs = TrackedList()
+            for i in range(20):
+                xs.insert(0, i)
+            analysis = detect(xs.profile())
+        assert analysis.count(PatternType.INSERT_FRONT) == 1
+
+
+class TestRegularity:
+    def test_repeated_pattern_is_regular(self):
+        specs = []
+        for _ in range(5):
+            specs += [(OP.READ, i, 10) for i in range(10)]
+            specs += [(OP.READ, 5, 10)] * 1  # breaker-ish stationary event
+        verdict = RegularityClassifier().classify(make_profile(specs))
+        assert verdict.is_regular
+        assert PatternType.READ_FORWARD in verdict.recurring_types
+
+    def test_dominant_single_pattern_is_regular(self):
+        specs = [(OP.INSERT, i, i + 1) for i in range(100)] + [
+            (OP.READ, 0, 100)
+        ]
+        verdict = RegularityClassifier().classify(make_profile(specs))
+        assert verdict.is_regular
+        assert verdict.dominant_type is PatternType.INSERT_BACK
+
+    def test_random_accesses_not_regular(self):
+        import random
+
+        rng = random.Random(42)
+        specs = []
+        last = 50
+        for _ in range(200):
+            # jump around with gaps > 1 so no runs form
+            nxt = (last + rng.randrange(5, 40)) % 100
+            specs.append((OP.READ, nxt, 100))
+            last = nxt
+        verdict = RegularityClassifier().classify(make_profile(specs))
+        assert not verdict.is_regular
+
+    def test_short_profile_not_regular(self):
+        specs = [(OP.READ, i, 3) for i in range(3)]
+        verdict = RegularityClassifier(
+            RegularityConfig(min_events=10)
+        ).classify(make_profile(specs))
+        assert not verdict.is_regular
+
+    def test_count_regular(self):
+        regular = make_profile(
+            [(OP.INSERT, i, i + 1) for i in range(100)]
+        )
+        irregular = make_profile([(OP.READ, (i * 37) % 90, 100) for i in range(50)])
+        classifier = RegularityClassifier()
+        assert classifier.count_regular([regular, irregular]) == 1
+
+    def test_describe(self):
+        verdict = RegularityClassifier().classify(
+            make_profile([(OP.INSERT, i, i + 1) for i in range(100)])
+        )
+        assert "regularity" in verdict.describe()

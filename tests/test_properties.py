@@ -1,0 +1,306 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Four invariant families:
+
+1. TrackedList is observationally equivalent to ``list`` under any
+   operation sequence (the proxy contract the whole system rests on).
+2. Pattern detection invariants: patterns are disjoint, ordered, within
+   bounds, coverage in [0, 1], and segmentation is insensitive to
+   foreign-thread interleaving.
+3. Machine-model invariants: speedup bounded by core count, makespan
+   bounds, apportionment exactness.
+4. Event accounting: every recorded operation appears exactly once, in
+   order.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.events import EventCollector, OperationKind, collecting
+from repro.parallel import MachineConfig, ParallelExecutor, SimulatedMachine
+from repro.patterns import detect, segment
+from repro.structures import TrackedList
+from repro.workloads.corpus_gen import apportion
+
+from .conftest import make_event, make_profile
+
+# -- strategy: list operation sequences -------------------------------------
+
+_ops = st.one_of(
+    st.tuples(st.just("append"), st.integers(-100, 100)),
+    st.tuples(st.just("insert"), st.integers(-5, 5), st.integers(-100, 100)),
+    st.tuples(st.just("pop"),),
+    st.tuples(st.just("pop0"),),
+    st.tuples(st.just("set"), st.integers(-5, 5), st.integers(-100, 100)),
+    st.tuples(st.just("get"), st.integers(-5, 5)),
+    st.tuples(st.just("del"), st.integers(-5, 5)),
+    st.tuples(st.just("remove"), st.integers(-100, 100)),
+    st.tuples(st.just("contains"), st.integers(-100, 100)),
+    st.tuples(st.just("index"), st.integers(-100, 100)),
+    st.tuples(st.just("count"), st.integers(-100, 100)),
+    st.tuples(st.just("sort"),),
+    st.tuples(st.just("reverse"),),
+    st.tuples(st.just("clear"),),
+    st.tuples(st.just("iter"),),
+    st.tuples(st.just("extend"), st.lists(st.integers(-100, 100), max_size=5)),
+)
+
+
+def _apply(target, op) -> object:
+    """Apply one op; returns the observable outcome (or exception name)."""
+    name = op[0]
+    try:
+        if name == "append":
+            target.append(op[1])
+        elif name == "insert":
+            target.insert(op[1], op[2])
+        elif name == "pop":
+            return target.pop()
+        elif name == "pop0":
+            return target.pop(0)
+        elif name == "set":
+            target[op[1]] = op[2]
+        elif name == "get":
+            return target[op[1]]
+        elif name == "del":
+            del target[op[1]]
+        elif name == "remove":
+            target.remove(op[1])
+        elif name == "contains":
+            return op[1] in target
+        elif name == "index":
+            return target.index(op[1])
+        elif name == "count":
+            return target.count(op[1])
+        elif name == "sort":
+            target.sort()
+        elif name == "reverse":
+            target.reverse()
+        elif name == "clear":
+            target.clear()
+        elif name == "iter":
+            return list(iter(target))
+        elif name == "extend":
+            target.extend(op[1])
+    except (IndexError, ValueError) as exc:
+        return type(exc).__name__
+    return None
+
+
+class TestTrackedListEquivalence:
+    @given(ops=st.lists(_ops, max_size=40))
+    @settings(max_examples=150, deadline=None)
+    def test_behaves_like_list(self, ops):
+        plain: list = []
+        with collecting():
+            tracked = TrackedList()
+            for op in ops:
+                expected = _apply(plain, op)
+                actual = _apply(tracked, op)
+                assert actual == expected, op
+                assert tracked.raw() == plain
+
+    @given(
+        initial=st.lists(st.integers(), max_size=20),
+        capacity=st.integers(0, 30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_capacity_never_shrinks_reported_size(self, initial, capacity):
+        with collecting():
+            tracked = TrackedList(initial, capacity=capacity)
+            profile = tracked.profile()
+        for event in profile:
+            assert event.size >= min(capacity, event.size)
+            assert event.size >= 0
+
+
+class TestPatternInvariants:
+    profile_events = st.lists(
+        st.tuples(
+            st.sampled_from(
+                [
+                    OperationKind.READ,
+                    OperationKind.WRITE,
+                    OperationKind.INSERT,
+                    OperationKind.DELETE,
+                    OperationKind.SEARCH,
+                    OperationKind.CLEAR,
+                    OperationKind.SORT,
+                ]
+            ),
+            st.integers(0, 30),
+            st.integers(1, 31),
+        ),
+        max_size=120,
+    )
+
+    @given(specs=profile_events)
+    @settings(max_examples=150, deadline=None)
+    def test_patterns_disjoint_ordered_bounded(self, specs):
+        profile = make_profile(
+            [
+                (op, None if op in (OperationKind.CLEAR, OperationKind.SORT) else pos, size)
+                for op, pos, size in specs
+            ]
+        )
+        analysis = detect(profile)
+        last_stop = 0
+        for pattern in analysis.patterns:
+            assert 0 <= pattern.start < pattern.stop <= len(profile)
+            assert pattern.start >= last_stop  # single-thread: disjoint
+            last_stop = pattern.stop
+            assert pattern.length >= 2
+            assert 0.0 <= pattern.coverage <= 1.0
+            assert pattern.distinct_positions <= pattern.length
+
+    @given(specs=profile_events)
+    @settings(max_examples=100, deadline=None)
+    def test_run_lengths_never_exceed_event_count(self, specs):
+        profile = make_profile([(op, pos, size) for op, pos, size in specs])
+        runs = segment(profile)
+        assert sum(r.length for r in runs) <= len(profile)
+
+    @given(
+        positions=st.lists(st.integers(0, 50), min_size=2, max_size=60),
+        noise_thread=st.integers(1, 3),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_foreign_thread_noise_does_not_break_runs(
+        self, positions, noise_thread
+    ):
+        """Thread 0's runs are identical with or without interleaved
+        events from other threads (the paper captures thread ids for
+        exactly this)."""
+        from repro.events import RuntimeProfile
+
+        base_events = [
+            make_event(i, OperationKind.READ, p, 51, thread_id=0)
+            for i, p in enumerate(positions)
+        ]
+        clean = RuntimeProfile.from_events(base_events)
+        noisy_events = []
+        seq = 0
+        for event in base_events:
+            noisy_events.append(
+                make_event(seq, event.op, event.position, event.size, thread_id=0)
+            )
+            seq += 1
+            noisy_events.append(
+                make_event(
+                    seq, OperationKind.READ, (seq * 13) % 40, 51,
+                    thread_id=noise_thread,
+                )
+            )
+            seq += 1
+        noisy = RuntimeProfile.from_events(noisy_events)
+
+        clean_runs = [
+            (r.category, r.direction, r.length, r.first_position, r.last_position)
+            for r in segment(clean)
+        ]
+        noisy_runs = [
+            (r.category, r.direction, r.length, r.first_position, r.last_position)
+            for r in segment(noisy)
+            if r.thread_id == 0
+        ]
+        assert clean_runs == noisy_runs
+
+
+class TestMachineInvariants:
+    @given(
+        costs=st.lists(st.floats(0.1, 1e6), min_size=1, max_size=40),
+        cores=st.integers(1, 32),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_makespan_bounds(self, costs, cores):
+        machine = SimulatedMachine(
+            MachineConfig(cores=cores, task_overhead=0, fork_join_overhead=0)
+        )
+        makespan = machine.makespan(costs)
+        total = sum(costs)
+        assert makespan >= max(costs) - 1e-9
+        assert makespan >= total / cores - 1e-6
+        assert makespan <= total + 1e-6
+
+    @given(
+        work=st.floats(1, 1e9),
+        cores=st.integers(1, 64),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_speedup_bounded_by_cores(self, work, cores):
+        machine = SimulatedMachine(MachineConfig(cores=cores))
+        speedup = machine.data_parallel_speedup(work)
+        assert speedup <= cores + 1e-9
+
+    @given(
+        total=st.integers(0, 10_000),
+        weights=st.lists(st.integers(0, 1000), min_size=1, max_size=50),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_apportion_exact_and_nonnegative(self, total, weights):
+        result = apportion(total, weights)
+        assert sum(result) == total
+        assert all(v >= 0 for v in result)
+        assert len(result) == len(weights)
+
+
+class TestExecutorEquivalence:
+    @given(
+        items=st.lists(st.integers(-1000, 1000), max_size=200),
+        workers=st.integers(1, 6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_parallel_map_matches_map(self, items, workers):
+        ex = ParallelExecutor(workers)
+        assert ex.parallel_map(lambda x: x * 3 + 1, items) == [
+            x * 3 + 1 for x in items
+        ]
+
+    @given(
+        items=st.lists(st.integers(0, 50), min_size=1, max_size=200),
+        needle=st.integers(0, 50),
+        workers=st.integers(1, 6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_parallel_search_matches_index(self, items, needle, workers):
+        ex = ParallelExecutor(workers)
+        hit = ex.parallel_search(items, lambda x: x == needle)
+        expected = items.index(needle) if needle in items else None
+        assert hit == expected
+
+
+class TestEventAccounting:
+    @given(
+        n_instances=st.integers(1, 5),
+        records=st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 100)), max_size=200
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_every_event_routed_once_in_order(self, n_instances, records):
+        from repro.events import AccessKind
+
+        collector = EventCollector()
+        ids = [
+            collector.register_instance(
+                __import__("repro.events", fromlist=["StructureKind"]).StructureKind.LIST
+            )
+            for _ in range(n_instances)
+        ]
+        for which, pos in records:
+            collector.record(
+                ids[which % n_instances],
+                OperationKind.READ,
+                AccessKind.READ,
+                pos,
+                pos + 1,
+            )
+        profiles = collector.finish()
+        total = sum(len(p) for p in profiles.values())
+        assert total == len(records)
+        seqs = sorted(
+            event.seq for profile in profiles.values() for event in profile
+        )
+        assert seqs == list(range(len(records)))

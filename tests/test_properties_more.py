@@ -1,0 +1,244 @@
+"""More property-based tests: array/dict proxy equivalence, stack/queue
+models, serialization round trips, rewriter semantics preservation."""
+
+from __future__ import annotations
+
+import io
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.events import (
+    OperationKind,
+    collecting,
+    dump_profiles,
+    load_profiles,
+)
+from repro.events.types import StructureKind
+from repro.structures import (
+    TrackedArray,
+    TrackedDict,
+    TrackedQueue,
+    TrackedSortedList,
+    TrackedStack,
+)
+
+from .conftest import make_event, make_profile
+
+# -- TrackedArray vs list model ------------------------------------------------
+
+_array_ops = st.one_of(
+    st.tuples(st.just("get"), st.integers(-4, 4)),
+    st.tuples(st.just("set"), st.integers(-4, 4), st.integers(-99, 99)),
+    st.tuples(st.just("resize"), st.integers(0, 12)),
+    st.tuples(st.just("insert"), st.integers(-4, 4), st.integers(-99, 99)),
+    st.tuples(st.just("delete"), st.integers(-4, 4)),
+    st.tuples(st.just("index"), st.integers(-99, 99)),
+    st.tuples(st.just("contains"), st.integers(-99, 99)),
+    st.tuples(st.just("sort"),),
+    st.tuples(st.just("reverse"),),
+)
+
+
+def _apply_array(model: list, tracked: TrackedArray, op):
+    """Apply op to both; outcomes must agree."""
+    name = op[0]
+
+    def both(fn_model, fn_tracked):
+        try:
+            expected = fn_model()
+            failed = None
+        except (IndexError, ValueError) as exc:
+            expected, failed = None, type(exc)
+        try:
+            actual = fn_tracked()
+            assert failed is None, op
+            assert actual == expected, op
+        except (IndexError, ValueError) as exc:
+            assert failed is type(exc), op
+
+    if name == "get":
+        both(lambda: model[op[1]], lambda: tracked[op[1]])
+    elif name == "set":
+        def set_model():
+            model[op[1]] = op[2]
+        def set_tracked():
+            tracked[op[1]] = op[2]
+        both(set_model, set_tracked)
+    elif name == "resize":
+        def resize_model():
+            n = op[1]
+            if n >= len(model):
+                model.extend([0] * (n - len(model)))
+            else:
+                del model[n:]
+        both(resize_model, lambda: tracked.resize(op[1]))
+    elif name == "insert":
+        def ins_model():
+            pos = op[1] + len(model) if op[1] < 0 else op[1]
+            pos = min(max(pos, 0), len(model))
+            model.insert(pos, op[2])
+        both(ins_model, lambda: tracked.insert(op[1], op[2]))
+    elif name == "delete":
+        def del_model():
+            pos = op[1] + len(model) if op[1] < 0 else op[1]
+            if not 0 <= pos < len(model):
+                raise IndexError
+            del model[pos]
+        both(del_model, lambda: tracked.delete(op[1]))
+    elif name == "index":
+        both(lambda: model.index(op[1]), lambda: tracked.index(op[1]))
+    elif name == "contains":
+        both(lambda: op[1] in model, lambda: op[1] in tracked)
+    elif name == "sort":
+        both(lambda: model.sort(), lambda: tracked.sort())
+    elif name == "reverse":
+        both(lambda: model.reverse(), lambda: tracked.reverse())
+
+
+class TestTrackedArrayEquivalence:
+    @given(
+        initial=st.integers(0, 6),
+        ops=st.lists(_array_ops, max_size=25),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_behaves_like_fixed_list(self, initial, ops):
+        with collecting():
+            tracked = TrackedArray(initial)
+            model = [0] * initial
+            for op in ops:
+                _apply_array(model, tracked, op)
+                assert tracked.raw() == model
+
+
+# -- TrackedDict vs dict model ---------------------------------------------------
+
+_dict_keys = st.integers(0, 8)
+_dict_ops = st.one_of(
+    st.tuples(st.just("set"), _dict_keys, st.integers()),
+    st.tuples(st.just("get"), _dict_keys),
+    st.tuples(st.just("del"), _dict_keys),
+    st.tuples(st.just("pop"), _dict_keys),
+    st.tuples(st.just("contains"), _dict_keys),
+    st.tuples(st.just("setdefault"), _dict_keys, st.integers()),
+    st.tuples(st.just("clear"),),
+)
+
+
+class TestTrackedDictEquivalence:
+    @given(ops=st.lists(_dict_ops, max_size=30))
+    @settings(max_examples=120, deadline=None)
+    def test_behaves_like_dict(self, ops):
+        with collecting():
+            tracked = TrackedDict()
+            model: dict = {}
+            for op in ops:
+                name = op[0]
+                if name == "set":
+                    model[op[1]] = op[2]
+                    tracked[op[1]] = op[2]
+                elif name == "get":
+                    assert tracked.get(op[1], "missing") == model.get(
+                        op[1], "missing"
+                    )
+                elif name == "del":
+                    if op[1] in model:
+                        del model[op[1]]
+                        del tracked[op[1]]
+                elif name == "pop":
+                    assert tracked.pop(op[1], None) == model.pop(op[1], None)
+                elif name == "contains":
+                    assert (op[1] in tracked) == (op[1] in model)
+                elif name == "setdefault":
+                    assert tracked.setdefault(op[1], op[2]) == model.setdefault(
+                        op[1], op[2]
+                    )
+                elif name == "clear":
+                    model.clear()
+                    tracked.clear()
+                assert tracked.raw() == model
+
+
+# -- stack/queue/sorted-list models ----------------------------------------------
+
+
+class TestDisciplineModels:
+    @given(values=st.lists(st.integers(), max_size=40))
+    @settings(max_examples=80, deadline=None)
+    def test_stack_is_lifo(self, values):
+        with collecting():
+            stack = TrackedStack()
+            for v in values:
+                stack.push(v)
+            popped = [stack.pop() for _ in range(len(values))]
+            assert popped == list(reversed(values))
+
+    @given(values=st.lists(st.integers(), max_size=40))
+    @settings(max_examples=80, deadline=None)
+    def test_queue_is_fifo(self, values):
+        with collecting():
+            queue = TrackedQueue()
+            for v in values:
+                queue.enqueue(v)
+            drained = [queue.dequeue() for _ in range(len(values))]
+            assert drained == values
+
+    @given(values=st.lists(st.integers(-50, 50), max_size=40))
+    @settings(max_examples=80, deadline=None)
+    def test_sorted_list_invariant(self, values):
+        with collecting():
+            sorted_list = TrackedSortedList()
+            for v in values:
+                sorted_list.add(v)
+            assert sorted_list.raw() == sorted(values)
+            for v in values:
+                assert v in sorted_list
+
+
+# -- serialization round trip -------------------------------------------------------
+
+_event_specs = st.lists(
+    st.tuples(
+        st.sampled_from(list(OperationKind)),
+        st.one_of(st.none(), st.integers(0, 100)),
+        st.integers(0, 100),
+    ),
+    max_size=60,
+)
+
+
+class TestSerializationProperties:
+    @given(specs=_event_specs, kind=st.sampled_from(list(StructureKind)))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_identity(self, specs, kind):
+        profile = make_profile(specs, kind=kind)
+        buffer = io.StringIO()
+        dump_profiles([profile], buffer)
+        buffer.seek(0)
+        (loaded,) = load_profiles(buffer)
+        assert loaded.kind is profile.kind
+        assert len(loaded) == len(profile)
+        for a, b in zip(profile, loaded):
+            assert (a.seq, a.op, a.kind, a.position, a.size, a.thread_id) == (
+                b.seq, b.op, b.kind, b.position, b.size, b.thread_id
+            )
+
+    @given(specs=_event_specs)
+    @settings(max_examples=60, deadline=None)
+    def test_analysis_invariant_under_roundtrip(self, specs):
+        from repro.patterns import detect
+
+        profile = make_profile(specs)
+        buffer = io.StringIO()
+        dump_profiles([profile], buffer)
+        buffer.seek(0)
+        (loaded,) = load_profiles(buffer)
+        original = [
+            (p.pattern_type, p.start, p.stop, p.length)
+            for p in detect(profile).patterns
+        ]
+        reloaded = [
+            (p.pattern_type, p.start, p.stop, p.length)
+            for p in detect(loaded).patterns
+        ]
+        assert original == reloaded

@@ -1,0 +1,79 @@
+"""Unit tests for the reproduction-report builder and Figure 1 SVG."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.cli import main
+from repro.eval import build_report
+from repro.study import run_occurrence_study
+from repro.study.figures import figure1_svg, save_figure1
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_occurrence_study(loc_scale=0.02)
+
+
+class TestFigure1Svg:
+    def test_valid_xml(self, study):
+        root = ET.fromstring(figure1_svg(study))
+        assert root.tag.endswith("svg")
+
+    def test_all_programs_labelled(self, study):
+        svg = figure1_svg(study)
+        for name in ("gpdotnet", "dotspatial", "7zip", "ManicDigger2011"):
+            assert name in svg
+
+    def test_legend_totals(self, study):
+        svg = figure1_svg(study)
+        assert "Σ:1275" in svg  # list total
+        assert "Σ:324" in svg  # dictionary total
+        assert "Rest" in svg
+
+    def test_save(self, study, tmp_path):
+        path = save_figure1(study, tmp_path / "fig1.svg")
+        assert path.read_text().startswith("<svg")
+
+
+class TestReportBuilder:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return build_report(scale=0.08, loc_scale=0.02, measure_slowdown=False)
+
+    def test_headline_ok(self, report):
+        assert report.headline_ok
+        assert report.evaluation.total_instances == 104
+        assert report.ordering_holds
+
+    def test_markdown_sections(self, report):
+        text = report.markdown
+        for heading in (
+            "# DSspy reproduction report",
+            "## Headline",
+            "## Empirical study",
+            "## Evaluation",
+            "Table I",
+            "Table II",
+            "Table III",
+            "Table IV",
+            "Table VI",
+            "Table VII",
+        ):
+            assert heading in text, heading
+
+    def test_paper_reference_values_present(self, report):
+        text = report.markdown
+        assert "76.92%" in text
+        assert "66.67%" in text
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        out = tmp_path / "R.md"
+        code = main(
+            ["report", "-o", str(out), "--scale", "0.08", "--no-slowdown"]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "headline reproduction OK: True" in capsys.readouterr().out

@@ -1,0 +1,181 @@
+"""Unit tests for profile persistence (JSON-lines round trips)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.events import (
+    AllocationSite,
+    OperationKind,
+    StructureKind,
+    collecting,
+    dump_profiles,
+    load_profiles,
+    read_profiles,
+    save_collector,
+    save_profiles,
+)
+from repro.structures import TrackedList
+from repro.usecases import UseCaseEngine, UseCaseKind
+
+from .conftest import make_profile
+
+OP = OperationKind
+
+
+def roundtrip(profiles):
+    buffer = io.StringIO()
+    dump_profiles(profiles, buffer)
+    buffer.seek(0)
+    return list(load_profiles(buffer))
+
+
+class TestRoundTrip:
+    def test_events_preserved(self):
+        original = make_profile(
+            [(OP.INSERT, i, i + 1) for i in range(50)]
+            + [(OP.CLEAR, None, 0)]
+        )
+        (loaded,) = roundtrip([original])
+        assert len(loaded) == len(original)
+        for a, b in zip(original, loaded):
+            assert (a.seq, a.op, a.kind, a.position, a.size, a.thread_id) == (
+                b.seq, b.op, b.kind, b.position, b.size, b.thread_id
+            )
+
+    def test_metadata_preserved(self):
+        profile = make_profile([(OP.READ, 0, 1)], kind=StructureKind.ARRAY)
+        profile.label = "my_array"
+        profile.site = AllocationSite("app.py", 42, "build", "arr")
+        (loaded,) = roundtrip([profile])
+        assert loaded.kind is StructureKind.ARRAY
+        assert loaded.label == "my_array"
+        assert loaded.site.filename == "app.py"
+        assert loaded.site.lineno == 42
+        assert loaded.site.variable == "arr"
+
+    def test_multiple_profiles(self):
+        profiles = [
+            make_profile([(OP.READ, 0, 1)] * n) for n in (1, 5, 0, 3)
+        ]
+        loaded = roundtrip(profiles)
+        assert [len(p) for p in loaded] == [1, 5, 0, 3]
+
+    def test_empty_stream(self):
+        assert roundtrip([]) == []
+
+    def test_file_roundtrip(self, tmp_path):
+        profiles = [make_profile([(OP.INSERT, i, i + 1) for i in range(10)])]
+        path = save_profiles(profiles, tmp_path / "capture.jsonl")
+        loaded = read_profiles(path)
+        assert len(loaded) == 1 and len(loaded[0]) == 10
+
+    def test_save_collector(self, tmp_path):
+        with collecting() as session:
+            xs = TrackedList(label="xs")
+            xs.append(1)
+        path = save_collector(session, tmp_path / "session.jsonl")
+        (loaded,) = read_profiles(path)
+        assert loaded.label == "xs"
+
+
+class TestErrors:
+    def test_event_before_header(self):
+        with pytest.raises(ValueError, match="before any header"):
+            list(load_profiles(io.StringIO("[0, 0, 0, 0, 1, 0]\n")))
+
+    def test_unsupported_version(self):
+        header = '{"type": "profile", "version": 99, "instance_id": 0, "kind": "list", "events": 0}'
+        with pytest.raises(ValueError, match="version"):
+            list(load_profiles(io.StringIO(header + "\n")))
+
+    def test_truncated_profile(self):
+        header = '{"type": "profile", "version": 1, "instance_id": 0, "kind": "list", "events": 2}'
+        body = "[0, 0, 0, 0, 1, 0]"
+        with pytest.raises(ValueError, match="truncated"):
+            list(load_profiles(io.StringIO(header + "\n" + body + "\n")))
+
+    def test_excess_events(self):
+        header = '{"type": "profile", "version": 1, "instance_id": 0, "kind": "list", "events": 0}'
+        body = "[0, 0, 0, 0, 1, 0]"
+        with pytest.raises(ValueError, match="more events"):
+            list(load_profiles(io.StringIO(header + "\n" + body + "\n")))
+
+    def test_blank_lines_skipped(self):
+        profiles = [make_profile([(OP.READ, 0, 1)])]
+        buffer = io.StringIO()
+        dump_profiles(profiles, buffer)
+        padded = "\n" + buffer.getvalue().replace("\n", "\n\n")
+        assert len(list(load_profiles(io.StringIO(padded)))) == 1
+
+
+class TestPostMortemAnalysis:
+    def test_loaded_profiles_analyze_identically(self, tmp_path):
+        """The decoupled workflow: capture → save → load → mine."""
+        with collecting() as session:
+            xs = TrackedList(label="hot")
+            for i in range(300):
+                xs.append(i)
+        path = save_collector(session, tmp_path / "cap.jsonl")
+
+        live_report = UseCaseEngine().analyze(session.profiles())
+        loaded_report = UseCaseEngine().analyze(read_profiles(path))
+        assert [u.kind for u in live_report.use_cases] == [
+            u.kind for u in loaded_report.use_cases
+        ]
+        assert UseCaseKind.LONG_INSERT in {
+            u.kind for u in loaded_report.use_cases
+        }
+
+
+class TestMerge:
+    def test_merge_renumbers_instances(self):
+        from repro.events import merge_profiles
+
+        group_a = [make_profile([(OP.READ, 0, 1)]), make_profile([(OP.READ, 1, 2)])]
+        group_b = [make_profile([(OP.WRITE, 0, 1)])]
+        merged = merge_profiles([group_a, group_b])
+        assert [p.instance_id for p in merged] == [0, 1, 2]
+        for profile in merged:
+            for event in profile:
+                assert event.instance_id == profile.instance_id
+
+    def test_merge_offsets_threads(self):
+        from repro.events import RuntimeProfile, merge_profiles
+        from .conftest import make_event
+
+        a = RuntimeProfile.from_events(
+            [make_event(0, OP.READ, 0, 1, thread_id=0),
+             make_event(1, OP.READ, 0, 1, thread_id=1)]
+        )
+        b = RuntimeProfile.from_events(
+            [make_event(0, OP.READ, 0, 1, thread_id=0)]
+        )
+        merged = merge_profiles([[a], [b]])
+        assert merged[0].thread_ids == [0, 1]
+        assert merged[1].thread_ids == [2]  # offset past group A's threads
+
+    def test_merge_archives(self, tmp_path):
+        from repro.events import merge_archives
+
+        for k in range(2):
+            save_profiles(
+                [make_profile([(OP.INSERT, i, i + 1) for i in range(5)])],
+                tmp_path / f"cap{k}.jsonl",
+            )
+        merged = merge_archives([tmp_path / "cap0.jsonl", tmp_path / "cap1.jsonl"])
+        assert len(merged) == 2
+        assert {p.instance_id for p in merged} == {0, 1}
+
+    def test_merged_profiles_analyzable(self):
+        from repro.events import merge_profiles
+        from repro.usecases import UseCaseEngine
+
+        hot = make_profile([(OP.INSERT, i, i + 1) for i in range(300)])
+        cold = make_profile([(OP.READ, 0, 5)])
+        merged = merge_profiles([[hot], [cold]])
+        report = UseCaseEngine().analyze(merged)
+        assert report.instances_analyzed == 2
+        assert report.instances_flagged == 1

@@ -1,0 +1,139 @@
+"""Unit tests for profile statistics and the explanation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import OperationKind, RuntimeProfile, collecting
+from repro.patterns import compute_stats
+from repro.structures import TrackedList
+from repro.usecases import (
+    UseCaseEngine,
+    UseCaseKind,
+    explain_profile,
+    explain_use_case,
+    near_misses,
+)
+
+from .conftest import make_profile
+
+OP = OperationKind
+
+
+class TestComputeStats:
+    def test_empty(self):
+        stats = compute_stats(RuntimeProfile(0))
+        assert stats.events == 0
+        assert stats.read_share == 0.0
+        assert stats.op_mix == {}
+
+    def test_read_write_shares(self):
+        stats = compute_stats(
+            make_profile(
+                [(OP.READ, 0, 4)] * 3 + [(OP.WRITE, 1, 4)]
+            )
+        )
+        assert stats.read_share == pytest.approx(0.75)
+        assert stats.write_share == pytest.approx(0.25)
+
+    def test_op_mix_sums_to_one(self):
+        stats = compute_stats(
+            make_profile(
+                [(OP.INSERT, i, i + 1) for i in range(10)]
+                + [(OP.SORT, None, 10)]
+            )
+        )
+        assert sum(stats.op_mix.values()) == pytest.approx(1.0)
+        assert stats.op_mix[OP.INSERT] == pytest.approx(10 / 11)
+
+    def test_end_affinity_queue_shape(self):
+        # Inserts at back, deletes at front: everything is at an end.
+        specs = [(OP.INSERT, i, i + 1) for i in range(10)]
+        specs += [(OP.DELETE, 0, 10 - i - 1) for i in range(10)]
+        stats = compute_stats(make_profile(specs))
+        assert stats.end_affinity.ends_total == pytest.approx(1.0)
+        assert stats.end_affinity.front > 0.4
+        assert stats.end_affinity.back > 0.4
+
+    def test_stride_sequential_scan(self):
+        stats = compute_stats(make_profile([(OP.READ, i, 50) for i in range(50)]))
+        assert stats.stride.sequential_share == pytest.approx(1.0)
+        assert stats.stride.mean_stride == pytest.approx(1.0)
+
+    def test_stride_jumping_access(self):
+        stats = compute_stats(
+            make_profile([(OP.READ, (i * 17) % 50, 50) for i in range(50)])
+        )
+        assert stats.stride.sequential_share < 0.2
+        assert stats.stride.max_stride > 5
+
+    def test_growth(self):
+        specs = [(OP.INSERT, i, i + 1) for i in range(20)]
+        stats = compute_stats(make_profile(specs))
+        assert stats.growth == 19  # size 1 -> size 20
+
+    def test_positionless_only(self):
+        stats = compute_stats(make_profile([(OP.CLEAR, None, 0)] * 5))
+        assert stats.distinct_positions == 0
+        assert stats.end_affinity.ends_total == 0.0
+
+    def test_describe(self):
+        stats = compute_stats(make_profile([(OP.READ, 0, 2), (OP.READ, 1, 2)]))
+        text = stats.describe()
+        assert "2 events" in text and "reads 100%" in text
+
+
+class TestExplain:
+    def _profile(self, n_inserts=150, scans=3):
+        with collecting():
+            xs = TrackedList()
+            for i in range(n_inserts):
+                xs.append(i)
+            for _ in range(scans):
+                list(xs)
+            return xs.profile()
+
+    def test_explanations_cover_all_parallel_kinds(self):
+        explanations = explain_profile(self._profile())
+        assert {e.kind for e in explanations} == set(
+            UseCaseKind.parallel_kinds()
+        )
+
+    def test_fired_flag_consistent_with_engine(self):
+        profile = self._profile(n_inserts=300, scans=0)
+        engine = UseCaseEngine()
+        fired = {u.kind for u in engine.analyze_profile(profile)}
+        for explanation in explain_profile(profile, engine):
+            assert explanation.fired == (explanation.kind in fired)
+
+    def test_fired_rule_has_all_criteria_satisfied(self):
+        profile = self._profile(n_inserts=300, scans=0)
+        (li,) = [
+            e
+            for e in explain_profile(profile)
+            if e.kind is UseCaseKind.LONG_INSERT
+        ]
+        assert li.fired
+        assert not li.failed_criteria
+
+    def test_describe_contains_marks(self):
+        text = explain_profile(self._profile())[0].describe()
+        assert "threshold" in text
+        assert "✓" in text or "✗" in text
+
+    def test_near_miss_detection(self):
+        # 150 inserts + 3 scans: insert share ~25% vs the 30% threshold.
+        misses = near_misses(self._profile(), tolerance=0.5)
+        assert UseCaseKind.LONG_INSERT in {m.kind for m in misses}
+
+    def test_near_miss_respects_tolerance(self):
+        misses = near_misses(self._profile(), tolerance=0.01)
+        assert UseCaseKind.LONG_INSERT not in {m.kind for m in misses}
+
+    def test_explain_use_case_narrative(self):
+        profile = self._profile(n_inserts=300, scans=0)
+        (use_case,) = UseCaseEngine().analyze_profile(profile)
+        text = explain_use_case(use_case)
+        assert "advice" in text
+        assert "evidence" in text
+        assert "profile" in text

@@ -1,0 +1,504 @@
+"""Unit tests for the tracked (proxy) data structures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import AccessKind, OperationKind, StructureKind, collecting
+from repro.structures import (
+    TrackedArray,
+    TrackedDict,
+    TrackedList,
+    TrackedQueue,
+    TrackedStack,
+    as_tracked,
+    tracked_class,
+)
+
+
+def ops_of(structure):
+    return [ev.op for ev in structure.profile()]
+
+
+class TestTrackedListBehaviour:
+    """The proxy must behave exactly like a plain list."""
+
+    def test_append_and_index(self):
+        with collecting():
+            xs = TrackedList()
+            xs.append(10)
+            xs.append(20)
+            assert xs[0] == 10 and xs[1] == 20
+            assert len(xs) == 2
+
+    def test_negative_indexing(self):
+        with collecting():
+            xs = TrackedList([1, 2, 3])
+            assert xs[-1] == 3
+            xs[-1] = 30
+            assert xs[2] == 30
+
+    def test_slicing_returns_plain_list(self):
+        with collecting():
+            xs = TrackedList(range(10))
+            assert xs[2:5] == [2, 3, 4]
+            assert xs[::3] == [0, 3, 6, 9]
+
+    def test_slice_assignment(self):
+        with collecting():
+            xs = TrackedList([0, 0, 0, 0])
+            xs[1:3] = [7, 8]
+            assert xs.raw() == [0, 7, 8, 0]
+
+    def test_insert_remove_pop(self):
+        with collecting():
+            xs = TrackedList([1, 3])
+            xs.insert(1, 2)
+            assert xs.raw() == [1, 2, 3]
+            xs.remove(2)
+            assert xs.raw() == [1, 3]
+            assert xs.pop() == 3
+            assert xs.pop(0) == 1
+            assert len(xs) == 0
+
+    def test_remove_missing_raises(self):
+        with collecting():
+            xs = TrackedList([1])
+            with pytest.raises(ValueError):
+                xs.remove(99)
+
+    def test_sort_reverse(self):
+        with collecting():
+            xs = TrackedList([3, 1, 2])
+            xs.sort()
+            assert xs.raw() == [1, 2, 3]
+            xs.reverse()
+            assert xs.raw() == [3, 2, 1]
+            xs.sort(reverse=True)
+            assert xs.raw() == [3, 2, 1]
+
+    def test_sort_with_key(self):
+        with collecting():
+            xs = TrackedList(["bb", "a", "ccc"])
+            xs.sort(key=len)
+            assert xs.raw() == ["a", "bb", "ccc"]
+
+    def test_contains_index_count(self):
+        with collecting():
+            xs = TrackedList([5, 6, 6])
+            assert 6 in xs
+            assert 99 not in xs
+            assert xs.index(6) == 1
+            assert xs.count(6) == 2
+
+    def test_iteration_yields_all(self):
+        with collecting():
+            xs = TrackedList(range(5))
+            assert list(iter(xs)) == [0, 1, 2, 3, 4]
+
+    def test_extend_iadd_add(self):
+        with collecting():
+            xs = TrackedList([1])
+            xs.extend([2, 3])
+            xs += [4]
+            assert xs.raw() == [1, 2, 3, 4]
+            assert xs + [5] == [1, 2, 3, 4, 5]
+
+    def test_clear_and_bool(self):
+        with collecting():
+            xs = TrackedList([1])
+            assert xs
+            xs.clear()
+            assert not xs
+            assert len(xs) == 0
+
+    def test_equality(self):
+        with collecting():
+            assert TrackedList([1, 2]) == [1, 2]
+            assert TrackedList([1, 2]) == TrackedList([1, 2])
+            assert TrackedList([1]) != [2]
+
+    def test_unhashable(self):
+        with collecting():
+            with pytest.raises(TypeError):
+                hash(TrackedList())
+
+    def test_delitem(self):
+        with collecting():
+            xs = TrackedList([1, 2, 3, 4])
+            del xs[1]
+            assert xs.raw() == [1, 3, 4]
+            del xs[0:2]
+            assert xs.raw() == [4]
+
+    def test_dotnet_aliases(self):
+        with collecting():
+            xs = TrackedList()
+            xs.add(1)
+            xs.add_range([2, 3])
+            assert xs.raw() == [1, 2, 3]
+            assert xs.index_of(2) == 1
+            assert xs.contains(3)
+
+    def test_for_each(self):
+        with collecting():
+            seen = []
+            TrackedList([1, 2, 3]).for_each(seen.append)
+            assert seen == [1, 2, 3]
+
+
+class TestTrackedListEvents:
+    """The proxy must emit the right event stream."""
+
+    def test_append_emits_insert_at_back(self):
+        with collecting():
+            xs = TrackedList()
+            xs.append("a")
+            xs.append("b")
+            profile = xs.profile()
+        inserts = [ev for ev in profile if ev.op is OperationKind.INSERT]
+        assert [ev.position for ev in inserts] == [0, 1]
+        assert all(ev.targets_back for ev in inserts)
+        assert all(ev.kind is AccessKind.WRITE for ev in inserts)
+
+    def test_init_event_first(self):
+        with collecting():
+            xs = TrackedList()
+            assert xs.profile()[0].op is OperationKind.INIT
+
+    def test_read_event_position_and_kind(self):
+        with collecting():
+            xs = TrackedList([1, 2, 3])
+            _ = xs[1]
+            ev = xs.profile()[-1]
+        assert ev.op is OperationKind.READ
+        assert ev.position == 1
+        assert ev.kind is AccessKind.READ
+
+    def test_negative_read_normalized(self):
+        with collecting():
+            xs = TrackedList([1, 2, 3])
+            _ = xs[-1]
+            assert xs.profile()[-1].position == 2
+
+    def test_remove_emits_search_then_delete(self):
+        with collecting():
+            xs = TrackedList([1, 2, 3])
+            xs.remove(2)
+            events = list(xs.profile())[-2:]
+        assert events[0].op is OperationKind.SEARCH
+        assert events[1].op is OperationKind.DELETE
+        assert events[1].position == 1
+
+    def test_whole_structure_ops(self):
+        with collecting():
+            xs = TrackedList([2, 1])
+            xs.sort()
+            xs.reverse()
+            xs.copy()
+            xs.clear()
+            ops = ops_of(xs)
+        assert OperationKind.SORT in ops
+        assert OperationKind.REVERSE in ops
+        assert OperationKind.COPY in ops
+        assert ops[-1] is OperationKind.CLEAR
+
+    def test_iteration_emits_forall_then_reads(self):
+        with collecting():
+            xs = TrackedList([1, 2])
+            list(xs)
+            events = list(xs.profile())
+        kinds = [ev.op for ev in events]
+        forall_at = kinds.index(OperationKind.FORALL)
+        assert kinds[forall_at + 1 :] == [OperationKind.READ, OperationKind.READ]
+        assert [ev.position for ev in events[forall_at + 1 :]] == [0, 1]
+
+    def test_capacity_reported_as_size(self):
+        """Figure 2: a pre-sized list reports capacity while filling."""
+        with collecting():
+            xs = TrackedList(capacity=10)
+            for i in range(10):
+                xs.append(i)
+            profile = xs.profile()
+        insert_sizes = [
+            ev.size for ev in profile if ev.op is OperationKind.INSERT
+        ]
+        assert insert_sizes == [10] * 10
+
+    def test_capacity_growth_emits_resize(self):
+        with collecting():
+            xs = TrackedList(capacity=4)
+            for i in range(5):
+                xs.append(i)
+            ops = ops_of(xs)
+        assert OperationKind.RESIZE in ops
+        assert xs.capacity == 8
+
+    def test_no_capacity_means_size_equals_len(self):
+        with collecting():
+            xs = TrackedList()
+            xs.append(1)
+            assert xs.profile()[-1].size == 1
+
+    def test_raw_is_event_free(self):
+        with collecting():
+            xs = TrackedList([1, 2])
+            before = len(xs.profile())
+        assert xs.raw() == [1, 2]
+
+    def test_search_records_found_position(self):
+        with collecting():
+            xs = TrackedList([7, 8, 9])
+            assert 9 in xs
+            assert xs.profile()[-1].position == 2
+            assert 100 not in xs
+            assert xs.profile()[-1].position is None
+
+    def test_constructor_contents_recorded_as_inserts(self):
+        with collecting():
+            xs = TrackedList([1, 2, 3])
+            assert xs.profile().count(OperationKind.INSERT) == 3
+
+
+class TestTrackedArray:
+    def test_length_constructor(self):
+        with collecting():
+            arr = TrackedArray(5)
+            assert len(arr) == 5
+            assert arr.raw() == [0] * 5
+
+    def test_fill_value(self):
+        with collecting():
+            arr = TrackedArray(3, fill=None)
+            assert arr.raw() == [None] * 3
+
+    def test_iterable_constructor(self):
+        with collecting():
+            arr = TrackedArray([1, 2, 3])
+            assert arr.raw() == [1, 2, 3]
+
+    def test_get_set(self):
+        with collecting():
+            arr = TrackedArray(3)
+            arr[1] = 42
+            assert arr[1] == 42
+            arr[-1] = 7
+            assert arr[2] == 7
+
+    def test_insert_reallocates(self):
+        with collecting():
+            arr = TrackedArray([1, 3])
+            arr.insert(1, 2)
+            assert arr.raw() == [1, 2, 3]
+            ops = ops_of(arr)
+        assert OperationKind.RESIZE in ops
+        assert OperationKind.COPY in ops
+        assert OperationKind.INSERT in ops
+
+    def test_delete_reallocates(self):
+        with collecting():
+            arr = TrackedArray([1, 2, 3])
+            arr.delete(1)
+            assert arr.raw() == [1, 3]
+            assert OperationKind.RESIZE in ops_of(arr)
+
+    def test_delete_out_of_range(self):
+        with collecting():
+            arr = TrackedArray(2)
+            with pytest.raises(IndexError):
+                arr.delete(5)
+
+    def test_resize_grow_and_shrink(self):
+        with collecting():
+            arr = TrackedArray([1, 2])
+            arr.resize(4, fill=9)
+            assert arr.raw() == [1, 2, 9, 9]
+            arr.resize(1)
+            assert arr.raw() == [1]
+
+    def test_fill_all_writes_forward(self):
+        with collecting():
+            arr = TrackedArray(4)
+            arr.fill_all(5)
+            writes = [
+                ev for ev in arr.profile() if ev.op is OperationKind.WRITE
+            ]
+        assert [ev.position for ev in writes] == [0, 1, 2, 3]
+
+    def test_slice_assignment_must_preserve_length(self):
+        with collecting():
+            arr = TrackedArray(4)
+            arr[0:2] = [1, 2]
+            assert arr.raw() == [1, 2, 0, 0]
+            with pytest.raises(ValueError):
+                arr[0:2] = [1, 2, 3]
+
+    def test_search_and_contains(self):
+        with collecting():
+            arr = TrackedArray([10, 20])
+            assert 20 in arr
+            assert arr.index(10) == 0
+            assert arr.index_of(20) == 1
+
+    def test_kind_is_array(self):
+        with collecting():
+            assert TrackedArray(1).profile().kind is StructureKind.ARRAY
+
+
+class TestTrackedDict:
+    def test_mapping_behaviour(self):
+        with collecting():
+            d = TrackedDict({"a": 1})
+            d["b"] = 2
+            assert d["a"] == 1
+            assert d.get("b") == 2
+            assert d.get("zz", -1) == -1
+            assert "a" in d
+            assert len(d) == 2
+            del d["a"]
+            assert "a" not in d
+
+    def test_insert_vs_write_distinction(self):
+        with collecting():
+            d = TrackedDict()
+            d["k"] = 1  # insert
+            d["k"] = 2  # overwrite
+            ops = [ev.op for ev in d.profile()]
+        assert OperationKind.INSERT in ops
+        assert OperationKind.WRITE in ops
+
+    def test_pop_update_setdefault(self):
+        with collecting():
+            d = TrackedDict()
+            d.update({"x": 1, "y": 2})
+            assert d.pop("x") == 1
+            assert d.pop("zz", "dflt") == "dflt"
+            assert d.setdefault("y", 9) == 2
+            assert d.setdefault("z", 9) == 9
+
+    def test_pop_missing_raises(self):
+        with collecting():
+            with pytest.raises(KeyError):
+                TrackedDict().pop("nope")
+
+    def test_views_and_copy(self):
+        with collecting():
+            d = TrackedDict({"a": 1, "b": 2})
+            assert set(d.keys()) == {"a", "b"}
+            assert sorted(d.values()) == [1, 2]
+            assert dict(d.items()) == {"a": 1, "b": 2}
+            assert d.copy() == {"a": 1, "b": 2}
+
+    def test_positionless_events(self):
+        with collecting():
+            d = TrackedDict()
+            d["k"] = 1
+            _ = d["k"]
+            assert all(ev.position is None for ev in d.profile())
+
+    def test_clear(self):
+        with collecting():
+            d = TrackedDict({"a": 1})
+            d.clear()
+            assert len(d) == 0
+            assert d.profile()[-1].op is OperationKind.CLEAR
+
+
+class TestTrackedStackQueue:
+    def test_stack_lifo(self):
+        with collecting():
+            st = TrackedStack()
+            st.push(1)
+            st.push(2)
+            assert st.peek() == 2
+            assert st.pop() == 2
+            assert st.pop() == 1
+            with pytest.raises(IndexError):
+                st.pop()
+
+    def test_stack_events_at_back(self):
+        with collecting():
+            st = TrackedStack()
+            st.push("a")
+            st.push("b")
+            st.pop()
+            events = [
+                ev
+                for ev in st.profile()
+                if ev.op in (OperationKind.INSERT, OperationKind.DELETE)
+            ]
+        assert all(ev.targets_back for ev in events)
+
+    def test_stack_iterates_top_down(self):
+        with collecting():
+            st = TrackedStack([1, 2, 3])
+            assert list(st) == [3, 2, 1]
+
+    def test_queue_fifo(self):
+        with collecting():
+            q = TrackedQueue()
+            q.enqueue(1)
+            q.enqueue(2)
+            assert q.peek() == 1
+            assert q.dequeue() == 1
+            assert q.dequeue() == 2
+            with pytest.raises(IndexError):
+                q.dequeue()
+
+    def test_queue_dequeues_front(self):
+        with collecting():
+            q = TrackedQueue([1, 2])
+            q.dequeue()
+            deletes = [
+                ev for ev in q.profile() if ev.op is OperationKind.DELETE
+            ]
+        assert all(ev.position == 0 for ev in deletes)
+
+    def test_contains_and_clear(self):
+        with collecting():
+            q = TrackedQueue([1, 2])
+            assert 2 in q and 9 not in q
+            q.clear()
+            assert not q
+            st = TrackedStack([5])
+            assert 5 in st
+            st.clear()
+            assert len(st) == 0
+
+
+class TestRegistryAndSites:
+    def test_as_tracked_dispatch(self):
+        with collecting():
+            assert isinstance(as_tracked([1]), TrackedList)
+            assert isinstance(as_tracked({"a": 1}), TrackedDict)
+            assert isinstance(as_tracked((1, 2)), TrackedArray)
+
+    def test_as_tracked_passthrough(self):
+        with collecting():
+            xs = TrackedList()
+            assert as_tracked(xs) is xs
+
+    def test_as_tracked_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            as_tracked(42)
+
+    def test_tracked_class_lookup(self):
+        assert tracked_class(StructureKind.LIST) is TrackedList
+        with pytest.raises(KeyError):
+            tracked_class(StructureKind.HASHTABLE)
+
+    def test_allocation_site_is_caller(self):
+        with collecting():
+            xs = TrackedList(label="here")
+        site = xs.allocation_site
+        assert site.filename.endswith("test_structures.py")
+        assert site.function == "test_allocation_site_is_caller"
+        assert site.variable == "here"
+
+    def test_instance_ids_unique(self):
+        with collecting() as session:
+            a = TrackedList()
+            b = TrackedList()
+            c = TrackedArray(1)
+        assert len({a.instance_id, b.instance_id, c.instance_id}) == 3
+        assert session.instance_count == 3

@@ -1,0 +1,159 @@
+"""Unit tests for the empirical-study package (Tables I–III, Figure 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events.types import StructureKind
+from repro.study import (
+    FIG1_PROGRAMS,
+    KIND_TOTALS,
+    TABLE1_DOMAINS,
+    TABLE2_PROGRAMS,
+    TABLE3_PROGRAMS,
+    TABLE3_TOTALS,
+    build_program_suite,
+    build_survey_suite,
+    run_occurrence_study,
+)
+from repro.workloads.corpus_gen import apportion, corpus_domains, generate_corpus
+
+
+class TestTranscribedData:
+    """The recovered ground truth must satisfy the paper's marginals."""
+
+    def test_fig1_total(self):
+        assert sum(p.instances for p in FIG1_PROGRAMS) == 1_960
+
+    def test_fig1_has_37_programs(self):
+        assert len(FIG1_PROGRAMS) == 37
+
+    def test_domain_sums_match_table1(self):
+        per_domain: dict[str, int] = {}
+        for program in FIG1_PROGRAMS:
+            per_domain[program.domain] = (
+                per_domain.get(program.domain, 0) + program.instances
+            )
+        for domain, (instances, _loc) in TABLE1_DOMAINS.items():
+            assert per_domain[domain] == instances, domain
+
+    def test_kind_totals(self):
+        assert sum(KIND_TOTALS.values()) == 1_960
+        assert KIND_TOTALS[StructureKind.LIST] == 1_275
+
+    def test_table1_loc_total(self):
+        assert sum(loc for _, loc in TABLE1_DOMAINS.values()) == 936_356
+
+    def test_table2_marginals(self):
+        assert len(TABLE2_PROGRAMS) == 15
+        assert sum(r.regularities for r in TABLE2_PROGRAMS) == 81
+        assert sum(r.parallel_use_cases for r in TABLE2_PROGRAMS) == 41
+
+    def test_table3_marginals(self):
+        assert sum(r.total for r in TABLE3_PROGRAMS) == 66
+        assert sum(r.li for r in TABLE3_PROGRAMS) == TABLE3_TOTALS["LI"]
+        assert sum(r.iq for r in TABLE3_PROGRAMS) == TABLE3_TOTALS["IQ"]
+        assert sum(r.sai for r in TABLE3_PROGRAMS) == TABLE3_TOTALS["SAI"]
+        assert sum(r.fs for r in TABLE3_PROGRAMS) == TABLE3_TOTALS["FS"]
+        assert sum(r.flr for r in TABLE3_PROGRAMS) == TABLE3_TOTALS["FLR"]
+
+
+class TestApportionment:
+    def test_exact_total(self):
+        assert sum(apportion(100, [1, 2, 3])) == 100
+        assert sum(apportion(7, [5, 5, 5, 5])) == 7
+
+    def test_proportionality(self):
+        result = apportion(100, [75, 25])
+        assert result == [75, 25]
+
+    def test_zero_weights(self):
+        result = apportion(5, [0, 0, 0])
+        assert sum(result) == 5
+
+    def test_empty_total(self):
+        assert apportion(0, [3, 4]) == [0, 0]
+
+    def test_deterministic(self):
+        assert apportion(17, [3, 5, 9]) == apportion(17, [3, 5, 9])
+
+
+class TestCorpusGenerator:
+    def test_generate_is_deterministic(self):
+        a = generate_corpus(loc_scale=0.02)
+        b = generate_corpus(loc_scale=0.02)
+        assert [p.files for p in a] == [p.files for p in b]
+
+    def test_programs_valid_python(self):
+        import ast
+
+        for program in generate_corpus(loc_scale=0.02):
+            for source in program.files.values():
+                ast.parse(source)
+
+    def test_program_kind_sums(self):
+        programs = generate_corpus(loc_scale=0.02)
+        expected = {p.name: p.instances for p in FIG1_PROGRAMS}
+        for program in programs:
+            assert sum(program.kind_counts.values()) == expected[program.name]
+
+    def test_corpus_domains_mapping(self):
+        domains = corpus_domains()
+        assert domains["gpdotnet"] == "Simulation"
+        assert len(domains) == 37
+
+
+class TestOccurrenceStudy:
+    @pytest.fixture(scope="class")
+    def study(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("corpus")
+        return run_occurrence_study(corpus_root=root, loc_scale=0.02)
+
+    def test_totals(self, study):
+        assert study.total_instances == 1_960
+        assert study.corpus.total_array_instances == 785
+
+    def test_corpus_root_is_cached(self, tmp_path):
+        first = run_occurrence_study(corpus_root=tmp_path, loc_scale=0.02)
+        second = run_occurrence_study(corpus_root=tmp_path, loc_scale=0.02)
+        assert first.total_instances == second.total_instances
+
+    def test_table1_rows_ordered(self, study):
+        rows = study.table1_rows()
+        assert [r[0] for r in rows] == list(TABLE1_DOMAINS)
+
+    def test_figure1_min_share_cut(self, study):
+        _names, series = study.figure1_series(min_share=0.02)
+        assert StructureKind.HASH_SET not in series  # 1.94% < 2%
+        _names, series_low = study.figure1_series(min_share=0.01)
+        assert StructureKind.HASH_SET in series_low
+
+
+class TestSuiteBuilders:
+    def test_program_suite_size(self):
+        row = TABLE2_PROGRAMS[0]
+        profiles = build_program_suite(row)
+        # regularities + irregular filler (dual profiles fold two use
+        # cases into one regularity).
+        assert len(profiles) >= row.regularities
+
+    def test_survey_suite_size(self):
+        row = TABLE3_PROGRAMS[0]
+        profiles = build_survey_suite(row)
+        assert len(profiles) == row.total + 2  # + two fillers
+
+
+class TestConsistencyChecks:
+    def test_transcribed_data_is_consistent(self):
+        from repro.study import verify_study_data
+
+        assert verify_study_data() == []
+
+    def test_checks_catch_corruption(self, monkeypatch):
+        """Sanity: the checker is not vacuous — corrupt one total and
+        it must complain."""
+        from repro.study import consistency
+
+        monkeypatch.setattr(consistency, "TOTAL_DYNAMIC_INSTANCES", 2000)
+        issues = consistency.verify_study_data()
+        assert any(i.check == "fig1-total" for i in issues)

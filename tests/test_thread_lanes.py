@@ -1,0 +1,78 @@
+"""Unit tests for per-thread lane rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import OperationKind, RuntimeProfile
+from repro.viz import render_thread_lanes, thread_interleaving_ratio
+
+from .conftest import make_event
+
+OP = OperationKind
+
+
+def interleaved_profile(n_per_thread=20, threads=2):
+    events = []
+    seq = 0
+    for i in range(n_per_thread):
+        for t in range(threads):
+            events.append(make_event(seq, OP.READ, i, 50, thread_id=t))
+            seq += 1
+    return RuntimeProfile.from_events(events)
+
+
+def phased_profile(n_per_thread=20):
+    events = []
+    seq = 0
+    for t in range(2):
+        for i in range(n_per_thread):
+            events.append(make_event(seq, OP.WRITE, i, 50, thread_id=t))
+            seq += 1
+    return RuntimeProfile.from_events(events)
+
+
+class TestRenderThreadLanes:
+    def test_one_lane_per_thread(self):
+        text = render_thread_lanes(interleaved_profile(threads=3))
+        assert text.count("t0") == 1
+        assert "t1" in text and "t2" in text
+
+    def test_shares_sum_to_total(self):
+        text = render_thread_lanes(interleaved_profile(threads=2))
+        assert "50%" in text
+
+    def test_empty_profile(self):
+        assert render_thread_lanes(RuntimeProfile(0)) == "(empty profile)"
+
+    def test_glyphs(self):
+        events = [
+            make_event(0, OP.READ, 0, 5, thread_id=0),
+            make_event(1, OP.WRITE, 1, 5, thread_id=1),
+            make_event(2, OP.CLEAR, None, 0, thread_id=0),
+        ]
+        text = render_thread_lanes(RuntimeProfile.from_events(events))
+        assert "r" in text and "#" in text and "|" in text
+
+    def test_single_thread(self):
+        events = [make_event(i, OP.READ, i, 10, thread_id=0) for i in range(5)]
+        text = render_thread_lanes(RuntimeProfile.from_events(events))
+        assert "1 threads" in text
+        assert "100%" in text
+
+
+class TestInterleavingRatio:
+    def test_fully_interleaved(self):
+        ratio = thread_interleaving_ratio(interleaved_profile())
+        assert ratio > 0.9
+
+    def test_phased(self):
+        ratio = thread_interleaving_ratio(phased_profile())
+        assert ratio < 0.1
+
+    def test_trivial_profiles(self):
+        assert thread_interleaving_ratio(RuntimeProfile(0)) == 0.0
+        single = RuntimeProfile.from_events(
+            [make_event(0, OP.READ, 0, 1)]
+        )
+        assert thread_interleaving_ratio(single) == 0.0

@@ -1,0 +1,203 @@
+"""Unit tests for the extension structures (set, sorted list, linked list)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import OperationKind, StructureKind, collecting
+from repro.patterns import PatternType, detect
+from repro.structures import (
+    TrackedLinkedList,
+    TrackedSet,
+    TrackedSortedList,
+    as_tracked,
+)
+from repro.usecases import UseCaseEngine, UseCaseKind
+
+OP = OperationKind
+
+
+class TestTrackedSet:
+    def test_set_behaviour(self):
+        with collecting():
+            s = TrackedSet([1, 2])
+            s.add(3)
+            s.add(3)  # idempotent
+            assert len(s) == 3
+            assert 2 in s
+            s.discard(2)
+            assert 2 not in s
+            s.remove(1)
+            with pytest.raises(KeyError):
+                s.remove(99)
+            assert sorted(iter(s)) == [3]
+
+    def test_union_and_clear(self):
+        with collecting():
+            s = TrackedSet([1])
+            assert s.union({2}) == {1, 2}
+            s.clear()
+            assert not s
+
+    def test_positionless_events(self):
+        with collecting():
+            s = TrackedSet()
+            s.add(1)
+            _ = 1 in s
+            assert all(e.position is None for e in s.profile())
+
+    def test_no_linear_use_cases(self):
+        """Associative structures never carry the linear rules."""
+        with collecting():
+            s = TrackedSet()
+            for i in range(300):
+                s.add(i)
+            profile = s.profile()
+        assert UseCaseEngine().analyze_profile(profile) == []
+
+    def test_equality(self):
+        with collecting():
+            assert TrackedSet([1, 2]) == {1, 2}
+            assert TrackedSet([1]) == TrackedSet([1])
+
+
+class TestTrackedSortedList:
+    def test_stays_sorted(self):
+        with collecting():
+            sl = TrackedSortedList([5, 1, 3])
+            assert sl.raw() == [1, 3, 5]
+            sl.add(2)
+            assert sl.raw() == [1, 2, 3, 5]
+
+    def test_index_binary_search(self):
+        with collecting():
+            sl = TrackedSortedList(range(100))
+            assert sl.index(37) == 37
+            with pytest.raises(ValueError):
+                sl.index(1000)
+            assert 50 in sl
+            assert 1000 not in sl
+
+    def test_remove_and_delitem(self):
+        with collecting():
+            sl = TrackedSortedList([1, 2, 3])
+            sl.remove(2)
+            assert sl.raw() == [1, 3]
+            del sl[0]
+            assert sl.raw() == [3]
+
+    def test_search_is_one_event(self):
+        """Binary search records one Search event — unlike a list's
+        linear scan, there is no read pattern to flag."""
+        with collecting():
+            sl = TrackedSortedList(range(64))
+            before = len(sl.profile())
+            sl.index(10)
+            assert len(sl.profile()) == before + 1
+
+    def test_random_inserts_show_no_insert_back(self):
+        import random
+
+        rng = random.Random(5)
+        with collecting():
+            sl = TrackedSortedList()
+            for _ in range(200):
+                sl.add(rng.random())
+            analysis = detect(sl.profile())
+        # Insert positions are value-driven, not end-driven: chance
+        # adjacencies produce only short runs, never a long insertion
+        # phase, so Long-Insert cannot fire.
+        longest = max(
+            (p.length for p in analysis.by_type(PatternType.INSERT_BACK)),
+            default=0,
+        )
+        assert longest < 20
+        kinds = {u.kind for u in UseCaseEngine().analyze_profile(sl.profile())}
+        assert UseCaseKind.LONG_INSERT not in kinds
+
+    def test_ascending_input_is_insert_back(self):
+        with collecting():
+            sl = TrackedSortedList()
+            for i in range(150):
+                sl.add(i)
+            kinds = {
+                u.kind for u in UseCaseEngine().analyze_profile(sl.profile())
+            }
+        # Pre-sorted input degenerates to appends: LI legitimately fires.
+        assert UseCaseKind.LONG_INSERT in kinds
+
+    def test_iteration(self):
+        with collecting():
+            sl = TrackedSortedList([3, 1, 2])
+            assert list(sl) == [1, 2, 3]
+
+
+class TestTrackedLinkedList:
+    def test_append_and_index(self):
+        with collecting():
+            ll = TrackedLinkedList([10, 20, 30])
+            assert len(ll) == 3
+            assert ll[0] == 10
+            assert ll[-1] == 30
+            with pytest.raises(IndexError):
+                _ = ll[5]
+
+    def test_append_left_pop_left(self):
+        with collecting():
+            ll = TrackedLinkedList()
+            ll.append_left(2)
+            ll.append_left(1)
+            ll.append(3)
+            assert ll.raw() == [1, 2, 3]
+            assert ll.pop_left() == 1
+            assert ll.pop_left() == 2
+            assert ll.pop_left() == 3
+            with pytest.raises(IndexError):
+                ll.pop_left()
+
+    def test_contains_records_search(self):
+        with collecting():
+            ll = TrackedLinkedList([1, 2, 3])
+            assert 3 in ll
+            assert ll.profile()[-1].position == 2
+            assert 99 not in ll
+            assert ll.profile()[-1].position is None
+
+    def test_iteration_and_clear(self):
+        with collecting():
+            ll = TrackedLinkedList([1, 2])
+            assert list(ll) == [1, 2]
+            ll.clear()
+            assert not ll and ll.raw() == []
+
+    def test_queue_usage_fires_iq_shape(self):
+        """A linked list used as a queue still profiles queue-like —
+        but Implement-Queue only targets lists-as-queues, so no advice
+        (the structure is already right)."""
+        with collecting():
+            ll = TrackedLinkedList()
+            for i in range(100):
+                ll.append(i)
+            while len(ll):
+                ll.pop_left()
+            profile = ll.profile()
+        kinds = {u.kind for u in UseCaseEngine().analyze_profile(profile)}
+        assert UseCaseKind.IMPLEMENT_QUEUE not in kinds
+
+    def test_kind(self):
+        with collecting():
+            assert TrackedLinkedList().profile().kind is StructureKind.LINKED_LIST
+
+
+class TestRegistryExtension:
+    def test_as_tracked_set(self):
+        with collecting():
+            assert isinstance(as_tracked({1, 2}), TrackedSet)
+            assert isinstance(as_tracked(frozenset([1])), TrackedSet)
+
+    def test_registry_has_extensions(self):
+        from repro.structures import TRACKED_CLASSES
+
+        assert StructureKind.HASH_SET in TRACKED_CLASSES
+        assert StructureKind.SORTED_LIST in TRACKED_CLASSES
+        assert StructureKind.LINKED_LIST in TRACKED_CLASSES

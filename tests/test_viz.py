@@ -1,0 +1,143 @@
+"""Unit tests for profile visualization (ASCII + SVG)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import OperationKind, RuntimeProfile, collecting
+from repro.patterns import detect
+from repro.structures import TrackedList
+from repro.viz import (
+    profile_to_svg,
+    render_op_histogram,
+    render_patterns,
+    render_profile,
+    save_svg,
+)
+
+from .conftest import make_profile
+
+OP = OperationKind
+
+
+@pytest.fixture
+def small_profile():
+    return make_profile(
+        [(OP.INSERT, i, i + 1) for i in range(10)]
+        + [(OP.READ, i, 10) for i in range(9, -1, -1)]
+    )
+
+
+class TestAsciiChart:
+    def test_renders_all_events_when_narrow(self, small_profile):
+        text = render_profile(small_profile, width=40, height=8)
+        assert "#" in text and "r" in text
+        assert "events 0..19" in text
+        assert "downsampled" not in text
+
+    def test_downsamples_wide_profiles(self):
+        profile = make_profile([(OP.READ, i % 50, 50) for i in range(5000)])
+        text = render_profile(profile, width=60, height=8)
+        assert "downsampled" in text
+
+    def test_empty_profile(self):
+        assert render_profile(RuntimeProfile(0)) == "(empty profile)"
+
+    def test_whole_structure_marker(self):
+        profile = make_profile(
+            [(OP.INSERT, 0, 1), (OP.INSERT, 1, 2), (OP.CLEAR, None, 0)]
+        )
+        text = render_profile(profile, width=20, height=5)
+        assert "|" in text
+
+    def test_color_mode_emits_ansi(self, small_profile):
+        text = render_profile(small_profile, color=True)
+        assert "\x1b[32m" in text  # green reads
+        assert "\x1b[31m" in text  # red writes
+
+    def test_legend_toggle(self, small_profile):
+        with_legend = render_profile(small_profile, show_legend=True)
+        without = render_profile(small_profile, show_legend=False)
+        assert "size envelope" in with_legend
+        assert "size envelope" not in without
+
+    def test_render_patterns(self, small_profile):
+        analysis = detect(small_profile)
+        text = render_patterns(analysis)
+        assert "Insert-Back" in text
+        assert "Read-Backward" in text
+
+    def test_render_patterns_empty(self):
+        analysis = detect(make_profile([]))
+        assert "no patterns" in render_patterns(analysis)
+
+    def test_render_patterns_truncates(self):
+        specs = []
+        for _ in range(30):
+            specs += [(OP.READ, 0, 5), (OP.READ, 1, 5)]
+            specs += [(OP.SEARCH, 0, 5)]
+        analysis = detect(make_profile(specs))
+        text = render_patterns(analysis, max_rows=5)
+        assert "more" in text
+
+    def test_op_histogram(self, small_profile):
+        text = render_op_histogram(small_profile)
+        assert "insert" in text and "read" in text
+        assert "10" in text
+
+    def test_op_histogram_empty(self):
+        assert "empty" in render_op_histogram(RuntimeProfile(0))
+
+
+class TestSvg:
+    def test_valid_xml(self, small_profile):
+        import xml.etree.ElementTree as ET
+
+        svg = profile_to_svg(small_profile)
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_contains_read_and_write_bars(self, small_profile):
+        svg = profile_to_svg(small_profile)
+        assert "#2e7d32" in svg  # read green
+        assert "#c62828" in svg  # write red
+        assert "#cccccc" in svg  # size grey
+
+    def test_empty_profile_svg(self):
+        svg = profile_to_svg(RuntimeProfile(0))
+        assert "empty profile" in svg
+
+    def test_custom_title(self, small_profile):
+        svg = profile_to_svg(small_profile, title="My Structure")
+        assert "My Structure" in svg
+
+    def test_max_columns_bounds_size(self):
+        profile = make_profile([(OP.READ, i % 50, 50) for i in range(5000)])
+        small = profile_to_svg(profile, max_columns=100)
+        large = profile_to_svg(profile, max_columns=1000)
+        assert len(small) < len(large)
+
+    def test_save_svg(self, tmp_path, small_profile):
+        path = save_svg(small_profile, str(tmp_path / "p.svg"))
+        assert (tmp_path / "p.svg").read_text().startswith("<svg")
+
+    def test_whole_structure_ops_rendered(self):
+        profile = make_profile(
+            [(OP.INSERT, 0, 1), (OP.SORT, None, 1)]
+        )
+        svg = profile_to_svg(profile)
+        assert "#1565c0" in svg  # whole-structure marker blue
+
+
+class TestEndToEnd:
+    def test_real_structure_renders(self):
+        with collecting():
+            xs = TrackedList(capacity=10)
+            for i in range(10):
+                xs.append(i)
+            for i in range(9, -1, -1):
+                _ = xs[i]
+            profile = xs.profile()
+        text = render_profile(profile, width=40, height=10)
+        # The Figure 2 look: both glyphs present, flat envelope.
+        assert "#" in text and "r" in text

@@ -1,0 +1,181 @@
+"""Unit tests for the seven evaluation workloads and the generators.
+
+Two angles per workload: (1) it computes a *correct* result — the
+programs are real, not event emitters; (2) under instrumentation it
+produces exactly the paper's instance and use-case counts (the detailed
+count matrix lives in the Table IV benchmark; here we test each
+workload in isolation at small scale).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import collecting
+from repro.usecases import UseCaseEngine, UseCaseKind
+from repro.usecases.rules import PARALLEL_RULES
+from repro.workloads import (
+    EVALUATION_WORKLOADS,
+    Algorithmia,
+    AstroGrep,
+    CPUBenchmarks,
+    Contentfinder,
+    GPdotNET,
+    Mandelbrot,
+    WordWheelSolver,
+    escape_iterations,
+    lu_solve,
+    workload_by_name,
+)
+
+SCALE = 0.1
+
+
+def analyze(workload, scale=SCALE):
+    with collecting() as session:
+        result = workload.run_tracked(scale=scale)
+    report = UseCaseEngine(rules=PARALLEL_RULES).analyze_collector(session)
+    return result, report
+
+
+class TestWorkloadCorrectness:
+    def test_mandelbrot_math(self):
+        # Points inside the set never escape; points far outside escape fast.
+        assert escape_iterations(0.0, 0.0, 50) == 50
+        assert escape_iterations(2.0, 2.0, 50) <= 1
+
+    def test_mandelbrot_result(self):
+        result = Mandelbrot().run_plain(scale=SCALE)
+        assert len(result.pixels) == result.width * result.height
+        assert sum(result.histogram) == result.width * result.height
+        # The view contains both interior and escaping points.
+        assert min(result.pixels) < max(result.pixels)
+
+    def test_lu_solve(self):
+        a = [[4.0, 1.0], [1.0, 3.0]]
+        x = lu_solve([row[:] for row in a], [1.0, 2.0])
+        assert 4.0 * x[0] + 1.0 * x[1] == pytest.approx(1.0)
+        assert 1.0 * x[0] + 3.0 * x[1] == pytest.approx(2.0)
+
+    def test_cpubench_result(self):
+        result = CPUBenchmarks().run_plain(scale=SCALE)
+        assert result.linpack_residual < 1e-6  # the solve is accurate
+        assert result.report_lines == 24
+
+    def test_gpdotnet_improves_fitness(self):
+        result = GPdotNET().run_plain(scale=SCALE)
+        assert result.generations >= 12
+        # Fitness is negative distance to target; it must not collapse.
+        assert result.best_fitness == max(result.fitness_trace)
+
+    def test_algorithmia_result(self):
+        result = Algorithmia().run_plain(scale=SCALE)
+        assert result.scenario_count == 16
+        assert result.sorted_ok
+        assert len(result.pq_max_trace) == Algorithmia.PQ_SEARCHES
+        # find_max is stable across searches of an unchanged queue.
+        assert len(set(result.pq_max_trace)) == 1
+        assert result.reversed_head == 39
+
+    def test_astrogrep_result(self):
+        result = AstroGrep().run_plain(scale=SCALE)
+        assert result.files_scanned == 18
+        assert result.matches > 0
+        assert set(result.per_query_hits) == {
+            "galaxy", "nebula", "quasar", "pulsar", "comet", "meteor",
+            "orbit", "redshift", "parsec", "corona", "plasma", "flux",
+        }
+
+    def test_contentfinder_result(self):
+        result = Contentfinder().run_plain(scale=SCALE)
+        # Every token is a query word, so hits sum to the corpus size.
+        assert sum(result.per_query_hits.values()) == result.tokens
+        assert result.snippet_count >= Contentfinder.MIN_SNIPPETS
+
+    def test_wordwheel_result(self):
+        result = WordWheelSolver().run_plain(scale=SCALE)
+        assert result.wheels == 12
+        assert result.searches > 1000  # the FS trigger is real work
+
+    def test_plain_and_tracked_agree(self):
+        for workload in (Mandelbrot(), WordWheelSolver(), Algorithmia()):
+            plain = workload.run_plain(scale=SCALE)
+            with collecting():
+                tracked = workload.run_tracked(scale=SCALE)
+            assert type(plain) is type(tracked)
+            if hasattr(plain, "pixels"):
+                assert plain.pixels == tracked.pixels
+            if hasattr(plain, "found_words"):
+                assert plain.found_words == tracked.found_words
+            if hasattr(plain, "random_sum"):
+                assert plain.random_sum == tracked.random_sum
+
+
+class TestWorkloadDetection:
+    @pytest.mark.parametrize(
+        "workload", EVALUATION_WORKLOADS, ids=lambda w: w.name
+    )
+    def test_counts_match_paper(self, workload):
+        _, report = analyze(workload)
+        paper = workload.paper
+        assert report.instances_analyzed == paper.instances
+        assert len(report.use_cases) == paper.use_cases
+
+    def test_gpdotnet_use_case_kinds(self):
+        _, report = analyze(GPdotNET())
+        kinds = sorted(u.kind.abbreviation for u in report.use_cases)
+        assert kinds == ["FLR", "FLR", "FLR", "LI", "LI"]
+
+    def test_mandelbrot_use_case_kinds(self):
+        _, report = analyze(Mandelbrot())
+        kinds = sorted(u.kind.abbreviation for u in report.use_cases)
+        assert kinds == ["FLR", "LI", "LI", "LI"]
+
+    def test_wordwheel_finds_fs(self):
+        _, report = analyze(WordWheelSolver())
+        assert {u.kind for u in report.use_cases} == {
+            UseCaseKind.FREQUENT_LONG_READ,
+            UseCaseKind.FREQUENT_SEARCH,
+        }
+
+
+class TestDecompositions:
+    @pytest.mark.parametrize(
+        "workload", EVALUATION_WORKLOADS, ids=lambda w: w.name
+    )
+    def test_decomposition_sane(self, workload):
+        decomposition = workload.decomposition(scale=SCALE)
+        assert decomposition.total_work > 0
+        assert 0.0 < decomposition.sequential_fraction < 1.0
+        assert decomposition.regions
+
+    def test_cpubench_mostly_sequential(self):
+        d = CPUBenchmarks().decomposition()
+        assert d.sequential_fraction == pytest.approx(0.9429, abs=0.001)
+
+    def test_gpdotnet_mostly_parallel(self):
+        d = GPdotNET().decomposition()
+        assert d.sequential_fraction == pytest.approx(0.0389, abs=0.001)
+
+
+class TestFramework:
+    def test_workload_by_name(self):
+        assert workload_by_name("mandelbrot").name == "Mandelbrot"
+        with pytest.raises(KeyError):
+            workload_by_name("nope")
+
+    def test_scaled_floor(self):
+        from repro.workloads import Workload
+
+        assert Workload.scaled(1000, 0.5, 100) == 500
+        assert Workload.scaled(1000, 0.01, 100) == 100
+
+    def test_paper_totals(self):
+        assert sum(w.paper.instances for w in EVALUATION_WORKLOADS) == 104
+        assert sum(w.paper.use_cases for w in EVALUATION_WORKLOADS) == 24
+        assert sum(w.paper.true_positives for w in EVALUATION_WORKLOADS) == 16
+
+    def test_runs_are_deterministic(self):
+        a = GPdotNET().run_plain(scale=SCALE)
+        b = GPdotNET().run_plain(scale=SCALE)
+        assert a.fitness_trace == b.fitness_trace
