@@ -1,0 +1,185 @@
+"""Recording-overhead microbenchmark (machine-readable).
+
+Measures the per-event cost of each transport at its hot-path producer
+API — ``post`` for the synchronous and async channels, the cached
+:meth:`~repro.events.BatchingChannel.producer` callable for the batched
+pipeline — timed over a full capture (post loop *plus* terminal drain,
+so asynchronous transports cannot hide work in their drainer thread).
+A second section measures the realistic ``EventCollector.record`` path
+with and without sampling.  Emits one JSON document consumed by the CI
+overhead gate (``examples/ci_gate.py --overhead``).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/overhead.py --events 100000 -o overhead.json
+
+Absolute nanoseconds vary wildly across machines, so the gated metric
+is *normalized*: ``batching_vs_plain`` is the batched per-event cost
+divided by a bare ``list.append`` measured on the same machine in the
+same process.  ``batching_vs_async`` is the speedup of the batched
+pipeline over the per-event-queue AsyncChannel — the paper-architecture
+baseline this pipeline is designed to beat.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.events import (
+    AccessKind,
+    AsyncChannel,
+    BatchingChannel,
+    Burst,
+    Decimate,
+    EventCollector,
+    OperationKind,
+    SamplingPolicy,
+    StructureKind,
+    SynchronousChannel,
+)
+
+SCHEMA_VERSION = 2
+
+#: A representative raw event (list read at position 5 of 1000).
+RAW = (0, int(OperationKind.READ), int(AccessKind.READ), 5, 1000, 0, None)
+
+
+def _time_channel(make_channel, events: int) -> float:
+    """Seconds to push ``events`` raw tuples through a channel's hot
+    path and drain it."""
+    channel = make_channel()
+    produce = channel.producer() if hasattr(channel, "producer") else channel.post
+    raw = RAW
+    start = time.perf_counter()
+    for _ in range(events):
+        produce(raw)
+    channel.drain()
+    return time.perf_counter() - start
+
+
+def _time_record(
+    make_channel,
+    events: int,
+    sampling: SamplingPolicy | None = None,
+) -> float:
+    """Seconds for the realistic path: ``EventCollector.record`` per
+    event, then the channel drained (profiles not materialized — that
+    cost is post-mortem analysis, not recording)."""
+    collector = EventCollector(channel=make_channel(), sampling=sampling)
+    iid = collector.register_instance(StructureKind.LIST)
+    record = collector.record
+    op = OperationKind.READ
+    kind = AccessKind.READ
+    start = time.perf_counter()
+    for i in range(events):
+        record(iid, op, kind, i % 1000, 1000)
+    collector.channel.drain()
+    return time.perf_counter() - start
+
+
+def _time_plain_append(events: int) -> float:
+    """The uninstrumented floor: a bare bound ``list.append`` loop."""
+    xs: list = []
+    append = xs.append
+    raw = RAW
+    start = time.perf_counter()
+    for _ in range(events):
+        append(raw)
+    return time.perf_counter() - start
+
+
+def _best(measure, repeats: int) -> float:
+    """Minimum over ``repeats`` runs — the standard noise filter."""
+    return min(measure() for _ in range(repeats))
+
+
+def run_overhead_benchmark(events: int = 100_000, repeats: int = 3) -> dict:
+    """Measure every transport and sampling tier; return the JSON doc."""
+    channels = {
+        "sync": lambda: SynchronousChannel(),
+        "async": lambda: AsyncChannel(),
+        "batching": lambda: BatchingChannel(),
+        "batching_drop": lambda: BatchingChannel(policy="drop"),
+    }
+    recorders = {
+        "sync": (lambda: SynchronousChannel(), None),
+        "batching": (lambda: BatchingChannel(), None),
+        "batching_decimate10": (lambda: BatchingChannel(), lambda: Decimate(10)),
+        "batching_burst1000_10": (lambda: BatchingChannel(), lambda: Burst(1000, 10)),
+    }
+
+    plain_s = _best(lambda: _time_plain_append(events), repeats)
+    doc: dict = {
+        "schema": SCHEMA_VERSION,
+        "events": events,
+        "repeats": repeats,
+        "python": sys.version.split()[0],
+        "plain_append_ns": plain_s / events * 1e9,
+        "channels": {},
+        "recording": {},
+    }
+    for name, factory in channels.items():
+        total_s = _best(lambda: _time_channel(factory, events), repeats)
+        doc["channels"][name] = {
+            "total_s": total_s,
+            "per_event_ns": total_s / events * 1e9,
+        }
+    for name, (factory, make_policy) in recorders.items():
+        total_s = _best(
+            lambda: _time_record(
+                factory, events, sampling=make_policy() if make_policy else None
+            ),
+            repeats,
+        )
+        doc["recording"][name] = {
+            "total_s": total_s,
+            "per_event_ns": total_s / events * 1e9,
+        }
+
+    batching_ns = doc["channels"]["batching"]["per_event_ns"]
+    drop_ns = doc["channels"]["batching_drop"]["per_event_ns"]
+    async_ns = doc["channels"]["async"]["per_event_ns"]
+    doc["derived"] = {
+        # Speedup of the batched pipeline over the per-event queue
+        # (default lossless policy, and the bare-append drop policy).
+        "batching_vs_async": async_ns / batching_ns,
+        "batching_drop_vs_async": async_ns / drop_ns,
+        # Machine-normalized cost multiples — the CI-gated metrics.
+        "batching_vs_plain": batching_ns / doc["plain_append_ns"],
+        "record_batching_vs_plain": doc["recording"]["batching"]["per_event_ns"]
+        / doc["plain_append_ns"],
+    }
+    return doc
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=int, default=100_000)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("-o", "--output", default=None, help="write JSON here")
+    args = parser.parse_args(argv)
+
+    doc = run_overhead_benchmark(events=args.events, repeats=args.repeats)
+    text = json.dumps(doc, indent=2, sort_keys=True)
+    if args.output:
+        Path(args.output).write_text(text + "\n", encoding="utf-8")
+        print(f"overhead benchmark written to {args.output}")
+    else:
+        print(text)
+    derived = doc["derived"]
+    print(
+        f"batching: {doc['channels']['batching']['per_event_ns']:.0f} ns/event "
+        f"({derived['batching_vs_plain']:.1f}x a plain append; "
+        f"{derived['batching_vs_async']:.1f}x faster than async, "
+        f"{derived['batching_drop_vs_async']:.1f}x with the drop policy)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

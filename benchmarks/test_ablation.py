@@ -13,7 +13,15 @@ import time
 
 import pytest
 
-from repro.events import AccessKind, AsyncChannel, EventCollector, OperationKind, StructureKind, SynchronousChannel, collecting
+from repro.events import (
+    AccessKind,
+    AsyncChannel,
+    EventCollector,
+    OperationKind,
+    StructureKind,
+    SynchronousChannel,
+    collecting,
+)
 from repro.parallel import MachineConfig, SimulatedMachine
 from repro.usecases import Thresholds, UseCaseEngine
 from repro.usecases.rules import PARALLEL_RULES

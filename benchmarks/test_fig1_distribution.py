@@ -9,8 +9,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.events.types import StructureKind
 from repro.eval import render_figure1
+from repro.events.types import StructureKind
 from repro.study import FIG1_PROGRAMS, run_occurrence_study
 
 from .conftest import save_result

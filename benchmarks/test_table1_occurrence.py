@@ -10,8 +10,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.events.types import StructureKind
 from repro.eval import render_table1
+from repro.events.types import StructureKind
 from repro.study import TABLE1_DOMAINS, run_occurrence_study
 
 from .conftest import save_result

@@ -1,17 +1,63 @@
-"""Scenario: DSspy as a CI gate for parallelization smells.
+"""Scenario: DSspy as a CI gate.
 
-Run:  python examples/ci_gate.py
+Two gates share this entry point:
 
-The continuous-integration workflow built from the JSON export and the
-report-diff API: profile the current build, archive the capture, diff
-against the previous build's archive, and fail the gate when new
-parallelization smells were introduced.
+``python examples/ci_gate.py``
+    The use-case gate: profile the current build, archive the capture,
+    diff against the previous build's archive, and fail when new
+    parallelization smells were introduced.
+
+``python examples/ci_gate.py --overhead CUR.json --baseline BASE.json``
+    The recording-overhead gate: compare a fresh
+    ``benchmarks/overhead.py`` JSON against the checked-in baseline and
+    fail when the batched pipeline's per-event cost regressed by more
+    than ``--max-regression`` (default 25%).  The compared metric is
+    ``derived.batching_vs_plain`` — batched cost as a multiple of a
+    plain ``list.append`` measured on the same machine — so the gate is
+    portable across CI runners with different absolute clock speeds.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import sys
 import tempfile
 from pathlib import Path
+
+#: The machine-normalized metric the overhead gate enforces.
+GATED_METRIC = "batching_vs_plain"
+
+
+def overhead_gate(
+    current_path: Path, baseline_path: Path, max_regression: float
+) -> int:
+    """Fail (1) when the normalized batched-recording cost regressed."""
+    current = json.loads(Path(current_path).read_text(encoding="utf-8"))
+    baseline = json.loads(Path(baseline_path).read_text(encoding="utf-8"))
+    try:
+        cur = float(current["derived"][GATED_METRIC])
+        base = float(baseline["derived"][GATED_METRIC])
+    except KeyError as exc:
+        print(f"overhead gate: missing {exc} in benchmark JSON", file=sys.stderr)
+        return 2
+    limit = base * (1.0 + max_regression)
+    regression = cur / base - 1.0
+    print(
+        f"overhead gate: {GATED_METRIC} = {cur:.2f} "
+        f"(baseline {base:.2f}, change {regression:+.1%}, "
+        f"allowed +{max_regression:.0%})"
+    )
+    for name, entry in sorted(current.get("channels", {}).items()):
+        print(f"  {name:<14} {entry['per_event_ns']:8.0f} ns/event")
+    if cur > limit:
+        print(
+            f"CI GATE: FAILED — batched recording is {regression:+.1%} "
+            f"vs baseline (limit +{max_regression:.0%})"
+        )
+        return 1
+    print("CI GATE: passed")
+    return 0
 
 from repro.events import collecting, read_profiles, save_collector
 from repro.patterns import compare_reports
@@ -45,7 +91,32 @@ def capture(build, path: Path) -> None:
     save_collector(session, path)
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="DSspy CI gates")
+    parser.add_argument(
+        "--overhead",
+        default=None,
+        metavar="CURRENT",
+        help="overhead-gate mode: a fresh benchmarks/overhead.py JSON",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="benchmarks/baselines/overhead_baseline.json",
+        metavar="BASELINE",
+        help="checked-in overhead baseline JSON",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown of the gated metric (0.25 = +25%%)",
+    )
+    args = parser.parse_args(argv)
+    if args.overhead:
+        return overhead_gate(
+            Path(args.overhead), Path(args.baseline), args.max_regression
+        )
+
     engine = UseCaseEngine()
     with tempfile.TemporaryDirectory() as tmp:
         v1_archive = Path(tmp) / "v1.jsonl"

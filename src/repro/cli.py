@@ -26,7 +26,7 @@ from pathlib import Path
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    from .events import read_profiles, save_profiles
+    from .events import make_channel, parse_sampling, read_profiles, save_profiles
     from .instrument import RewriteConfig, run_instrumented_file
     from .usecases import UseCaseEngine, format_summary, format_table_v
     from .viz import render_profile
@@ -39,17 +39,40 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(format_summary(report, name=str(args.load)))
         return 0
 
+    if args.spill and args.channel != "batch":
+        print("--spill requires --channel batch", file=sys.stderr)
+        return 2
+    try:
+        sampling = parse_sampling(args.sample)
+        channel = make_channel(
+            args.channel, batch_size=args.batch_size, spill=args.spill
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
     config = RewriteConfig(dicts=args.dicts)
-    run = run_instrumented_file(args.file, entry=args.entry, config=config)
+    run = run_instrumented_file(
+        args.file, entry=args.entry, config=config, channel=channel, sampling=sampling
+    )
     print(
         f"{args.file}: {run.rewrite.rewrites} sites instrumented, "
         f"{run.collector.instance_count} instances, "
         f"{run.event_count} access events in {run.duration:.3f}s"
     )
+    if run.collector.sampled_out:
+        print(
+            f"sampling ({run.collector.sampling.describe()}): "
+            f"{run.collector.sampled_out} events not recorded"
+        )
+    if args.spill:
+        print(f"raw events spilled to {args.spill}")
     if args.save:
         save_profiles(run.profiles, args.save)
         print(f"profiles archived to {args.save}")
-    report = UseCaseEngine().analyze(run.profiles)
+    # analyze_collector recalibrates the detector when the capture was
+    # sampled (wider max_gap, rescaled count thresholds).
+    report = UseCaseEngine().analyze_collector(run.collector)
     print()
     print(format_table_v(report, title=f"DSspy use cases for {args.file}"))
     print()
@@ -211,6 +234,30 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--charts", action="store_true", help="print profile charts")
     analyze.add_argument("--save", default=None, help="archive profiles to JSONL")
     analyze.add_argument("--load", default=None, help="analyze an archived JSONL instead")
+    analyze.add_argument(
+        "--channel",
+        choices=("sync", "async", "batch", "process"),
+        default="sync",
+        help="event transport (batch = per-thread buffered, lowest overhead)",
+    )
+    analyze.add_argument(
+        "--sample",
+        default="all",
+        metavar="SPEC",
+        help="sampling policy: 'all', '1/N' (decimate), or 'burst:K/N'",
+    )
+    analyze.add_argument(
+        "--spill",
+        default=None,
+        metavar="PATH",
+        help="spill raw events to a binary file (requires --channel batch)",
+    )
+    analyze.add_argument(
+        "--batch-size",
+        type=int,
+        default=1024,
+        help="events buffered per thread before a batched flush",
+    )
     analyze.set_defaults(fn=_cmd_analyze)
 
     transform = sub.add_parser(

@@ -1,17 +1,17 @@
 """The evaluation harness (§V): Tables IV–VII."""
 
+from .detection_quality import (
+    DetectionQuality,
+    KindScore,
+    build_labeled_corpus,
+    evaluate_detection_quality,
+)
 from .harness import (
     EVAL_MACHINE,
     EvaluationSummary,
     WorkloadEvaluation,
     evaluate_all,
     evaluate_workload,
-)
-from .detection_quality import (
-    DetectionQuality,
-    KindScore,
-    build_labeled_corpus,
-    evaluate_detection_quality,
 )
 from .report import ReproductionReport, build_report, write_report
 from .speedup_eval import (

@@ -10,7 +10,7 @@ carry the same columns as Table IV.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..events.collector import collecting
 from ..parallel.machine import MachineConfig, SimulatedMachine

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..parallel.machine import SimulatedMachine, amdahl
-from ..workloads import EVALUATION_WORKLOADS, Workload, workload_by_name
+from ..workloads import Workload, workload_by_name
 from .harness import EVAL_MACHINE
 
 #: Table VI rows: (workload name, sequential ms, parallelizable ms).

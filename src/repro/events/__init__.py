@@ -5,8 +5,16 @@ paper): every interaction with an instrumented data structure becomes an
 :class:`AccessEvent`, events stream over a :class:`Channel` to an
 :class:`EventCollector`, and post-mortem assembly yields one
 :class:`RuntimeProfile` per data structure instance.
+
+The recording pipeline has three cost tiers: plain channels
+(:class:`SynchronousChannel`, :class:`AsyncChannel`,
+:class:`ProcessChannel`), the batched low-overhead transport
+(:class:`BatchingChannel`, optionally spilling to a binary file via
+:mod:`~repro.events.spill`), and event sampling
+(:class:`SamplingPolicy` and friends) applied before the channel post.
 """
 
+from .batching import BatchingChannel, make_channel
 from .channel import AsyncChannel, Channel, ProcessChannel, SynchronousChannel
 from .collector import (
     EventCollector,
@@ -19,12 +27,27 @@ from .collector import (
 from .event import AccessEvent, materialize
 from .merge import merge_archives, merge_profiles
 from .profile import NO_POSITION, AllocationSite, RuntimeProfile
+from .sampling import (
+    RECORD_ALL,
+    Burst,
+    Decimate,
+    RecordAll,
+    SamplingPolicy,
+    parse_sampling,
+)
 from .serialize import (
     dump_profiles,
     load_profiles,
     read_profiles,
     save_collector,
     save_profiles,
+)
+from .spill import (
+    SpillWriter,
+    iter_spill_events,
+    iter_spill_raw,
+    read_spill_events,
+    read_spill_raw,
 )
 from .types import FRONT, AccessKind, OperationKind, StructureKind, end_of
 
@@ -33,26 +56,39 @@ __all__ = [
     "AccessKind",
     "AllocationSite",
     "AsyncChannel",
+    "BatchingChannel",
+    "Burst",
     "Channel",
+    "Decimate",
     "EventCollector",
     "FRONT",
     "NO_POSITION",
     "OperationKind",
     "ProcessChannel",
+    "RECORD_ALL",
+    "RecordAll",
     "RuntimeProfile",
+    "SamplingPolicy",
+    "SpillWriter",
     "StructureKind",
     "SynchronousChannel",
     "collecting",
     "dump_profiles",
     "end_of",
     "get_collector",
+    "iter_spill_events",
+    "iter_spill_raw",
     "load_profiles",
+    "make_channel",
     "materialize",
     "merge_archives",
     "merge_profiles",
+    "parse_sampling",
     "pop_collector",
     "push_collector",
     "read_profiles",
+    "read_spill_events",
+    "read_spill_raw",
     "reset_ambient",
     "save_collector",
     "save_profiles",

@@ -26,7 +26,6 @@ from __future__ import annotations
 import multiprocessing as mp
 import queue
 import threading
-import time
 from typing import Protocol
 
 from .event import RawEvent
@@ -79,6 +78,21 @@ class SynchronousChannel:
         return len(self._buffer)
 
 
+class _FlushMarker:
+    """In-band snapshot barrier for queue-drained channels.
+
+    Posted onto the event queue; because the queue is FIFO, by the time
+    the drainer reaches the marker every event posted before it has been
+    absorbed into the buffer.  The drainer sets ``done`` instead of
+    appending — no polling, no per-event bookkeeping.
+    """
+
+    __slots__ = ("done",)
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+
+
 class AsyncChannel:
     """Queue + background drainer thread.
 
@@ -106,6 +120,9 @@ class AsyncChannel:
             item = get()
             if item is self._SENTINEL:
                 return
+            if type(item) is _FlushMarker:
+                item.done.set()
+                continue
             buffer.append(item)
 
     def post(self, raw: RawEvent) -> None:
@@ -122,14 +139,15 @@ class AsyncChannel:
         return self._buffer
 
     def snapshot(self) -> list[RawEvent]:
-        """Wait for the drainer to catch up, then copy the buffer."""
+        """Copy of everything posted so far, synchronized via an in-band
+        flush marker (the drainer signals when it reaches it) rather
+        than a sleep-poll loop."""
         if self._closed:
             return self._buffer
-        deadline = time.monotonic() + 5.0
-        while len(self._buffer) < self._posted:
-            if time.monotonic() > deadline:  # pragma: no cover - defensive
-                raise TimeoutError("async channel drainer did not catch up")
-            time.sleep(0.0005)
+        marker = _FlushMarker()
+        self._queue.put(marker)
+        if not marker.done.wait(timeout=5.0):  # pragma: no cover - defensive
+            raise TimeoutError("async channel drainer did not catch up")
         return list(self._buffer)
 
     @property
@@ -147,12 +165,13 @@ class ProcessChannel:
 
     _SENTINEL = ("__dsspy_sentinel__",)
 
-    def __init__(self) -> None:
+    def __init__(self, drain_timeout: float = 30.0) -> None:
         ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
         self._queue: mp.Queue = ctx.Queue()
         self._result: mp.Queue = ctx.Queue()
         self._posted = 0
         self._closed = False
+        self._drain_timeout = drain_timeout
         self._process = ctx.Process(target=self._run, args=(self._queue, self._result), daemon=True)
         self._process.start()
 
@@ -173,12 +192,38 @@ class ProcessChannel:
         self._queue.put(raw)
 
     def drain(self) -> list[RawEvent]:
+        """Ship the child's buffer back, with a bounded wait.
+
+        A child that died (OOM-killed, crashed unpickling an event)
+        would make a bare ``result.get()`` block forever; instead the
+        wait is bounded by ``drain_timeout`` and a dead or wedged child
+        raises a diagnosable ``RuntimeError``.
+        """
         if self._closed:
             raise RuntimeError("channel already drained")
         self._closed = True
         self._queue.put(self._SENTINEL)
-        buffer = self._result.get()
-        self._process.join()
+        try:
+            buffer = self._result.get(timeout=self._drain_timeout)
+        except queue.Empty:
+            alive = self._process.is_alive()
+            exitcode = self._process.exitcode
+            self._process.terminate()
+            self._process.join(timeout=5.0)
+            if alive:
+                raise RuntimeError(
+                    f"ProcessChannel drainer did not return within "
+                    f"{self._drain_timeout}s with {self._posted} events posted; "
+                    f"child terminated"
+                ) from None
+            raise RuntimeError(
+                f"ProcessChannel drainer died before drain (exit code "
+                f"{exitcode}); {self._posted} posted events are lost"
+            ) from None
+        self._process.join(timeout=self._drain_timeout)
+        if self._process.is_alive():  # pragma: no cover - defensive
+            self._process.terminate()
+            self._process.join(timeout=5.0)
         return buffer
 
     def snapshot(self) -> list[RawEvent]:

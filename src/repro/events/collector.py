@@ -28,6 +28,7 @@ from typing import Iterator
 from .channel import AsyncChannel, Channel, SynchronousChannel
 from .event import materialize
 from .profile import AllocationSite, RuntimeProfile
+from .sampling import RecordAll, SamplingPolicy
 from .types import AccessKind, OperationKind, StructureKind
 
 
@@ -39,20 +40,34 @@ class EventCollector:
     channel:
         Event transport; defaults to a :class:`SynchronousChannel`.
         Pass an :class:`AsyncChannel` to decouple recording from
-        accumulation the way the paper's analysis process does.
+        accumulation the way the paper's analysis process does, or a
+        :class:`~repro.events.batching.BatchingChannel` for the
+        low-overhead batched pipeline.
     capture_wall_time:
         When true, each event also carries ``time.perf_counter()``.
         Off by default: the analyses need only ordering, and logical
         time keeps experiments deterministic.
+    sampling:
+        Optional :class:`~repro.events.sampling.SamplingPolicy` applied
+        before the channel post.  ``None`` (and :class:`RecordAll`)
+        keep the full-capture hot path unchanged — not even a policy
+        call is paid.
     """
 
     def __init__(
         self,
         channel: Channel | None = None,
         capture_wall_time: bool = False,
+        sampling: SamplingPolicy | None = None,
     ) -> None:
         self._channel: Channel = channel if channel is not None else SynchronousChannel()
+        self._post = self._channel.post
+        self._tls = threading.local()
         self._capture_wall_time = capture_wall_time
+        if sampling is not None and type(sampling) is RecordAll:
+            sampling = None
+        self._sampler = sampling
+        self._sampled_out = 0
         self._lock = threading.Lock()
         self._next_instance_id = 0
         self._profiles: dict[int, RuntimeProfile] = {}
@@ -85,6 +100,22 @@ class EventCollector:
                 tid = self._thread_ids.setdefault(native, len(self._thread_ids))
         return tid
 
+    def _thread_state(self) -> tuple[int, Channel]:
+        """Register the calling thread and cache its hot-path pair
+        ``(dense thread id, produce callable)`` in a thread-local.
+
+        ``produce`` is the channel's per-thread :meth:`producer` fast
+        path when it offers one (the batching channel), otherwise the
+        bound ``post``; either way :meth:`record` pays one thread-local
+        getattr per event instead of ``get_ident`` + dict probe +
+        channel dispatch."""
+        tid = self._dense_thread_id()
+        producer = getattr(self._channel, "producer", None)
+        produce = producer() if producer is not None else self._post
+        state = (tid, produce)
+        self._tls.state = state
+        return state
+
     # -- hot recording path ----------------------------------------------
 
     def record(
@@ -96,10 +127,17 @@ class EventCollector:
         size: int,
     ) -> None:
         """Record one access event (called by tracked structures)."""
+        sampler = self._sampler
+        if sampler is not None and not sampler.admit(instance_id):
+            self._sampled_out += 1
+            return
+        tls = self._tls
+        try:
+            tid, produce = tls.state
+        except AttributeError:
+            tid, produce = self._thread_state()
         wall = time.perf_counter() if self._capture_wall_time else None
-        self._channel.post(
-            (instance_id, int(op), int(kind), position, size, self._dense_thread_id(), wall)
-        )
+        produce((instance_id, int(op), int(kind), position, size, tid, wall))
 
     # -- post-mortem assembly ---------------------------------------------
 
@@ -135,6 +173,22 @@ class EventCollector:
     @property
     def finished(self) -> bool:
         return self._finished
+
+    @property
+    def channel(self) -> Channel:
+        """The event transport this collector records into."""
+        return self._channel
+
+    @property
+    def sampling(self) -> SamplingPolicy | None:
+        """The active sampling policy (``None`` means full capture)."""
+        return self._sampler
+
+    @property
+    def sampled_out(self) -> int:
+        """Events the sampling policy skipped (approximate while
+        recording is concurrent; exact once the workload quiesces)."""
+        return self._sampled_out
 
     @property
     def event_count(self) -> int:
@@ -200,6 +254,7 @@ def collecting(
     channel: Channel | None = None,
     capture_wall_time: bool = False,
     asynchronous: bool = False,
+    sampling: SamplingPolicy | None = None,
 ) -> Iterator[EventCollector]:
     """Install a fresh collector for the duration of the block.
 
@@ -208,7 +263,9 @@ def collecting(
     """
     if channel is None and asynchronous:
         channel = AsyncChannel()
-    collector = EventCollector(channel=channel, capture_wall_time=capture_wall_time)
+    collector = EventCollector(
+        channel=channel, capture_wall_time=capture_wall_time, sampling=sampling
+    )
     push_collector(collector)
     try:
         yield collector

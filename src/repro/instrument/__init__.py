@@ -10,12 +10,6 @@ from .autotransform import (
     suggest_transforms,
     transform_source,
 )
-from .decorators import analyze_function, instrumented
-from .import_hook import (
-    InstrumentingFinder,
-    instrument_imports,
-    reimport_instrumented,
-)
 from .corpus import (
     DYNAMIC_KINDS,
     CorpusStats,
@@ -23,6 +17,12 @@ from .corpus import (
     count_loc,
     scan_corpus,
     scan_program,
+)
+from .decorators import analyze_function, instrumented
+from .import_hook import (
+    InstrumentingFinder,
+    instrument_imports,
+    reimport_instrumented,
 )
 from .rewriter import RewriteConfig, RewriteResult, rewrite_source
 from .runner import (

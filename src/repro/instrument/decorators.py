@@ -31,7 +31,7 @@ import inspect
 import textwrap
 from typing import Any, Callable, TypeVar
 
-from ..events.collector import EventCollector, collecting, get_collector
+from ..events.collector import EventCollector, get_collector
 from ..usecases.engine import UseCaseEngine, UseCaseReport
 from .rewriter import RewriteConfig, _Rewriter, _import_header
 

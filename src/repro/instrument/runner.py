@@ -17,6 +17,7 @@ from typing import Any, Callable, Mapping
 from ..events.channel import Channel
 from ..events.collector import EventCollector, collecting
 from ..events.profile import RuntimeProfile
+from ..events.sampling import SamplingPolicy
 from .rewriter import RewriteConfig, RewriteResult, rewrite_source
 
 
@@ -64,6 +65,7 @@ def run_instrumented(
     args: tuple = (),
     config: RewriteConfig | None = None,
     channel: Channel | None = None,
+    sampling: SamplingPolicy | None = None,
     extra_globals: Mapping[str, Any] | None = None,
 ) -> InstrumentedRun:
     """Instrument ``source``, execute it, and collect all profiles.
@@ -78,10 +80,14 @@ def run_instrumented(
     config:
         Rewrite configuration (lists+arrays by default).
     channel:
-        Event transport for the capture (synchronous by default).
+        Event transport for the capture (synchronous by default; pass a
+        :class:`~repro.events.batching.BatchingChannel` for the batched
+        low-overhead pipeline).
+    sampling:
+        Optional sampling policy applied before each channel post.
     """
     rewrite = rewrite_source(source, config=config)
-    with collecting(channel=channel) as collector:
+    with collecting(channel=channel, sampling=sampling) as collector:
         result, duration = _execute(rewrite.source, entry, args, extra_globals)
     return InstrumentedRun(
         collector=collector, result=result, duration=duration, rewrite=rewrite
@@ -93,10 +99,17 @@ def run_instrumented_file(
     entry: str | None = None,
     args: tuple = (),
     config: RewriteConfig | None = None,
+    channel: Channel | None = None,
+    sampling: SamplingPolicy | None = None,
 ) -> InstrumentedRun:
     """Instrument and execute a program from disk."""
     return run_instrumented(
-        Path(path).read_text(encoding="utf-8"), entry=entry, args=args, config=config
+        Path(path).read_text(encoding="utf-8"),
+        entry=entry,
+        args=args,
+        config=config,
+        channel=channel,
+        sampling=sampling,
     )
 
 

@@ -17,7 +17,6 @@ from .machine import (
     amdahl,
 )
 from .parallel_list import ParallelList, ParallelQueue, parallel_sorted
-from .validate import ValidationPoint, measure_point, validate_machine_model
 from .transforms import (
     SPEEDUP_SUCCESS_THRESHOLD,
     TransformOutcome,
@@ -25,6 +24,7 @@ from .transforms import (
     apply_recommendation,
     estimate_region,
 )
+from .validate import ValidationPoint, measure_point, validate_machine_model
 
 __all__ = [
     "ContendedMachine",

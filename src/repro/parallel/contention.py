@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .machine import MachineConfig, ParallelRegion, SimulatedMachine, WorkDecomposition
+from .machine import MachineConfig, SimulatedMachine, WorkDecomposition
 
 
 @dataclass(frozen=True, slots=True)

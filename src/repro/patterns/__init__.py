@@ -5,10 +5,10 @@ eight primitive pattern types, and judges whether a profile "contains
 regularity".
 """
 
+from .compare import ProfileDiff, ReportDiff, compare_profiles, compare_reports
 from .detector import DetectorConfig, PatternDetector, classify_run, detect
 from .model import AccessPattern, PatternAnalysis, PatternType
 from .phases import Run, segment
-from .compare import ProfileDiff, ReportDiff, compare_profiles, compare_reports
 from .regularity import RegularityClassifier, RegularityConfig, RegularityVerdict
 from .statistics import (
     EndAffinity,

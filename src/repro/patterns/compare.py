@@ -10,7 +10,7 @@ persisted, or appeared".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..events.profile import RuntimeProfile
 from .detector import PatternDetector

@@ -109,6 +109,27 @@ class AccessPattern:
             return 0.0
         return min(self.distinct_positions / self.size_at_end, 1.0)
 
+    @property
+    def span(self) -> int:
+        """Width of the position interval the run traversed.
+
+        For a strict-adjacency directional run (``max_gap=1``) this
+        equals ``distinct_positions``; under a decimated capture with a
+        widened ``max_gap`` it keeps estimating the *original* extent
+        of the run, because sampling drops events but not distance."""
+        return abs(self.last_position - self.first_position) + 1
+
+    @property
+    def span_coverage(self) -> float:
+        """Fraction of the structure the run *traversed* (by span).
+
+        Identical to :attr:`coverage` for strict-adjacency directional
+        runs; the sampling-robust estimator for decimated captures,
+        where ``distinct_positions`` undercounts by the stride."""
+        if self.size_at_end <= 0:
+            return 0.0
+        return min(self.span / self.size_at_end, 1.0)
+
     def describe(self) -> str:
         return (
             f"{self.pattern_type.value} events[{self.start}:{self.stop}] "

@@ -1,5 +1,6 @@
 """The empirical study (§II–III): Tables I–III and Figure 1."""
 
+from .consistency import ConsistencyIssue, verify_study_data
 from .domains import (
     FIG1_PROGRAMS,
     KIND_TOTALS,
@@ -17,7 +18,6 @@ from .domains import (
     RegularityRow,
     SurveyRow,
 )
-from .consistency import ConsistencyIssue, verify_study_data
 from .figures import figure1_svg, save_figure1
 from .occurrence import OccurrenceStudy, run_occurrence_study
 from .regularities import (

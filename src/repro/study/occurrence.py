@@ -19,7 +19,6 @@ from .domains import (
     FIG1_PROGRAMS,
     KIND_TOTALS,
     TABLE1_DOMAINS,
-    TOTAL_DYNAMIC_INSTANCES,
 )
 
 #: Domain presentation order of Table I (ascending LOC).

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from ..events.collector import EventCollector
 from ..events.profile import RuntimeProfile
+from ..events.sampling import SamplingPolicy
 from ..patterns.detector import DetectorConfig, PatternDetector
 from .model import UseCase, UseCaseKind
 from .rules import ALL_RULES, Rule
@@ -139,5 +140,89 @@ class UseCaseEngine:
         )
 
     def analyze_collector(self, collector: EventCollector) -> UseCaseReport:
-        """Analyze everything a collector captured."""
-        return self.analyze(collector.profiles())
+        """Analyze everything a collector captured.
+
+        When the collector recorded under a decimating sampling policy,
+        each instance is routed to the engine that matches how it was
+        captured — callers using the default engine on a sampled
+        capture get correct results without knowing about sampling:
+
+        - Instances the policy captured **exactly** (everything under a
+          :class:`~repro.events.sampling.Burst` policy's keep limit)
+          are analyzed with this engine, unmodified.
+        - Decimated instances are analyzed with the recalibrated
+          :meth:`for_sampling` engine, after dropping the full-rate
+          burst prefix from the profile: the prefix over-represents
+          whatever the instance did first (usually its initial fill),
+          which would bias every fraction-based rule, while the
+          remaining tail is a uniform 1-in-stride sample the
+          recalibrated thresholds are built for.
+        """
+        policy = collector.sampling
+        profiles = collector.profiles()
+        if (
+            policy is None
+            or policy.stride <= 1
+            or self.thresholds is not PAPER_THRESHOLDS
+            or self.detector.config.max_gap >= 2 * policy.stride - 1
+        ):
+            return self.analyze(profiles)
+        sampled_engine = UseCaseEngine.for_sampling(policy, rules=self.rules)
+        use_cases: list[UseCase] = []
+        for profile in profiles:
+            if policy.is_exact(profile.instance_id):
+                use_cases.extend(self.analyze_profile(profile))
+            else:
+                prefix = policy.exact_prefix(profile.instance_id)
+                use_cases.extend(
+                    sampled_engine.analyze_profile(_drop_prefix(profile, prefix))
+                )
+        return UseCaseReport(
+            use_cases=tuple(use_cases), instances_analyzed=len(profiles)
+        )
+
+    @classmethod
+    def for_sampling(
+        cls,
+        policy: SamplingPolicy,
+        rules: tuple[Rule, ...] = ALL_RULES,
+        thresholds: Thresholds = PAPER_THRESHOLDS,
+    ) -> UseCaseEngine:
+        """An engine calibrated for a decimated capture.
+
+        Jittered 1-in-N decimation stretches a Read-Forward scan's
+        position delta from 1 to anywhere in ``[1, 2N-1]`` (adjacent
+        samples sit at pseudo-random offsets of consecutive N-blocks)
+        and shrinks every event count by ~N, so the paper's
+        strict-adjacency detector (``max_gap=1``) and absolute count
+        thresholds would both go blind.  This constructor widens
+        ``max_gap`` to ``2*stride - 1`` and recalibrates the thresholds
+        via :meth:`~repro.usecases.thresholds.Thresholds.decimated`
+        (event counts scale, pattern counts and positional spans don't),
+        which is what keeps the detected use-case sets stable between
+        full and sampled captures.
+        """
+        stride = policy.stride
+        if stride <= 1:
+            return cls(thresholds=thresholds, rules=rules)
+        return cls(
+            thresholds=thresholds.decimated(stride),
+            detector=PatternDetector(DetectorConfig(max_gap=2 * stride - 1)),
+            rules=rules,
+        )
+
+
+def _drop_prefix(profile: RuntimeProfile, prefix: int) -> RuntimeProfile:
+    """A copy of ``profile`` without its first ``prefix`` events (the
+    full-rate burst head); the original when there is nothing to drop."""
+    if prefix <= 0:
+        return profile
+    tail = RuntimeProfile(
+        profile.instance_id,
+        kind=profile.kind,
+        site=profile.site,
+        label=profile.label,
+    )
+    for event in profile.events[prefix:]:
+        tail.append(event)
+    return tail

@@ -13,11 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..events.profile import RuntimeProfile
-from ..patterns.detector import PatternDetector
 from ..patterns.statistics import compute_stats
 from .engine import UseCaseEngine
 from .model import UseCase, UseCaseKind
-from .rules import ALL_RULES
 from .thresholds import Thresholds
 
 
@@ -62,7 +60,6 @@ def _criteria_for(
 ) -> tuple[Criterion, ...]:
     """Measured-vs-threshold pairs for the five parallel rules."""
     from ..events.types import OperationKind
-    from ..patterns.model import PatternType
 
     if kind is UseCaseKind.LONG_INSERT:
         inserts = [p for p in analysis.patterns if p.pattern_type.is_insert]
@@ -79,8 +76,9 @@ def _criteria_for(
             p
             for p in analysis.patterns
             if p.pattern_type.is_read
-            and p.coverage >= th.flr_min_coverage
+            and p.span_coverage >= th.flr_min_coverage
             and p.length >= th.flr_min_pattern_length
+            and p.span >= th.flr_min_pattern_span
         ]
         return (
             Criterion("long read patterns", len(long_reads), th.flr_min_patterns,

@@ -15,7 +15,7 @@ import numpy as np
 
 from ..events.profile import NO_POSITION
 from ..events.types import AccessKind, OperationKind, StructureKind
-from ..patterns.model import AccessPattern, PatternAnalysis, PatternType
+from ..patterns.model import AccessPattern, PatternAnalysis
 from .model import Recommendation, UseCaseKind
 from .thresholds import Thresholds
 
@@ -263,11 +263,15 @@ class FrequentLongReadRule:
         profile = analysis.profile
         if not len(profile):
             return None
+        # span-based coverage and the span floor coincide with the
+        # event-count versions on strict-adjacency runs, but stay
+        # meaningful on decimated captures (see Thresholds.decimated).
         long_reads = [
             p
             for p in _read_patterns(analysis)
-            if p.coverage >= th.flr_min_coverage
+            if p.span_coverage >= th.flr_min_coverage
             and p.length >= th.flr_min_pattern_length
+            and p.span >= th.flr_min_pattern_span
         ]
         if len(long_reads) <= th.flr_min_patterns:
             return None
@@ -276,7 +280,7 @@ class FrequentLongReadRule:
         return {
             "long_read_patterns": len(long_reads),
             "read_fraction": profile.read_fraction,
-            "mean_coverage": float(np.mean([p.coverage for p in long_reads])),
+            "mean_coverage": float(np.mean([p.span_coverage for p in long_reads])),
         }
 
     def recommend(self, evidence: Evidence) -> Recommendation:

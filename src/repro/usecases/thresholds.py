@@ -76,6 +76,14 @@ class Thresholds:
     #: (e.g. a 4-slot Whetstone array read in full every cycle) would
     #: drown the result set in unparallelizable "long" reads.
     flr_min_pattern_length: int = 8
+    #: Positional twin of ``flr_min_pattern_length``: a qualifying read
+    #: pattern must also *traverse* at least this many positions.  For
+    #: full captures (strict adjacency) the two floors coincide, so the
+    #: default changes nothing; under a decimated capture the length
+    #: floor shrinks with the sampling rate while the span floor does
+    #: not — it is what keeps a tiny ring buffer's stitched-together
+    #: micro-reads from impersonating a long scan.
+    flr_min_pattern_span: int = 8
 
     # Insert/Delete-Front (sequential)
     idf_min_churn_ops: int = 8
@@ -106,12 +114,51 @@ class Thresholds:
             flr_min_pattern_length=max(
                 int(self.flr_min_pattern_length * factor), 2
             ),
+            flr_min_pattern_span=max(int(self.flr_min_pattern_span * factor), 2),
             idf_min_churn_ops=max(int(self.idf_min_churn_ops * factor), 1),
             idf_min_resizes=max(int(self.idf_min_resizes * factor), 1),
             si_min_inserts=max(int(self.si_min_inserts * factor), 1),
             si_min_deletes=max(int(self.si_min_deletes * factor), 1),
             iq_min_ops_per_end=max(int(self.iq_min_ops_per_end * factor), 1),
             wwr_min_trailing_writes=max(int(self.wwr_min_trailing_writes * factor), 1),
+        )
+
+    def decimated(self, stride: int) -> "Thresholds":
+        """Thresholds recalibrated for a 1-in-``stride`` decimated capture.
+
+        Different from :meth:`scaled`, which shrinks a *workload*:
+        decimation thins the event stream but leaves the workload's
+        macroscopic structure intact, so the knobs split three ways.
+
+        - Knobs that count **events** (phase lengths, op counts, the
+          pattern-length floor) scale by ``1/stride`` — each run or
+          phase keeps roughly every ``stride``-th of its events.
+        - Knobs that count **patterns** (``flr_min_patterns``,
+          ``idf_min_resizes``) do *not* scale — a scan is still one
+          scan after decimation, only thinner.
+        - **Fractions** don't scale, and the *positional* span floor
+          (``flr_min_pattern_span``) doesn't either: sampling drops
+          events, not distance.
+        """
+        if stride <= 1:
+            return self
+        factor = 1.0 / stride
+        return replace(
+            self,
+            li_long_phase=max(int(self.li_long_phase * factor), 2),
+            sai_long_phase=max(int(self.sai_long_phase * factor), 2),
+            fs_min_search_ops=max(int(self.fs_min_search_ops * factor), 1),
+            flr_min_pattern_length=max(
+                int(self.flr_min_pattern_length * factor), 2
+            ),
+            idf_min_churn_ops=max(int(self.idf_min_churn_ops * factor), 1),
+            idf_min_resizes=max(int(self.idf_min_resizes * factor), 1),
+            si_min_inserts=max(int(self.si_min_inserts * factor), 1),
+            si_min_deletes=max(int(self.si_min_deletes * factor), 1),
+            iq_min_ops_per_end=max(int(self.iq_min_ops_per_end * factor), 1),
+            wwr_min_trailing_writes=max(
+                int(self.wwr_min_trailing_writes * factor), 1
+            ),
         )
 
 

@@ -23,6 +23,7 @@ from .generators import (
     gen_write_without_read,
 )
 from .gpdotnet import GPdotNET, GPResult
+from .mandelbrot import Mandelbrot, MandelbrotResult, escape_iterations
 from .parallel_variants import (
     ALL_PARALLEL_VARIANTS,
     ParallelRunOutcome,
@@ -32,7 +33,6 @@ from .parallel_variants import (
     verify_all,
     wordwheel_parallel,
 )
-from .mandelbrot import Mandelbrot, MandelbrotResult, escape_iterations
 from .wordwheel import WordWheelResult, WordWheelSolver, can_form
 
 #: The seven Table IV workloads in the paper's row order.

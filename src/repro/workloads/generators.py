@@ -13,7 +13,6 @@ call them inside :func:`repro.events.collecting`.
 
 from __future__ import annotations
 
-from ..events.collector import EventCollector
 from ..structures import TrackedArray, TrackedList
 from .base import deterministic_rng
 

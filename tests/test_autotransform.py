@@ -4,8 +4,6 @@ from __future__ import annotations
 
 import textwrap
 
-import pytest
-
 from repro.instrument import suggest_transforms, transform_source
 
 

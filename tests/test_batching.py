@@ -1,0 +1,366 @@
+"""Tests for the low-overhead recording pipeline: batching channel,
+sampling policies, spill format, and the CI overhead gate."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.events import (
+    AccessKind,
+    AsyncChannel,
+    BatchingChannel,
+    Burst,
+    Decimate,
+    EventCollector,
+    OperationKind,
+    ProcessChannel,
+    RecordAll,
+    SpillWriter,
+    StructureKind,
+    collecting,
+    iter_spill_events,
+    make_channel,
+    parse_sampling,
+    read_spill_raw,
+)
+from repro.structures import TrackedList
+from repro.usecases import UseCaseEngine
+from repro.usecases.rules import PARALLEL_RULES
+from repro.workloads import EVALUATION_WORKLOADS
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def raw(instance_id: int, position: int, thread_id: int = 0):
+    return (
+        instance_id,
+        int(OperationKind.READ),
+        int(AccessKind.READ),
+        position,
+        1000,
+        thread_id,
+        None,
+    )
+
+
+class TestBatchingChannel:
+    def test_flush_on_drain_preserves_order(self):
+        channel = BatchingChannel(batch_size=64)
+        for i in range(10_000):
+            channel.post(raw(1, i))
+        events = channel.drain()
+        assert [r[3] for r in events] == list(range(10_000))
+
+    def test_drain_is_idempotent_and_closes(self):
+        channel = BatchingChannel()
+        channel.post(raw(1, 0))
+        assert len(channel.drain()) == 1
+        assert len(channel.drain()) == 1
+        with pytest.raises(RuntimeError, match="drained"):
+            channel.post(raw(1, 1))
+
+    def test_snapshot_sees_everything_posted_before_it(self):
+        channel = BatchingChannel()
+        produce = channel.producer()
+        for i in range(5_000):
+            produce(raw(1, i))
+        snap = channel.snapshot()
+        assert len(snap) == 5_000
+        for i in range(5_000, 6_000):
+            produce(raw(1, i))
+        assert len(channel.drain()) == 6_000
+
+    def test_multithread_interleaving_keeps_per_thread_order(self):
+        channel = BatchingChannel(flush_interval=0.001)
+
+        def worker(tid: int, count: int) -> None:
+            produce = channel.producer()
+            for i in range(count):
+                produce(raw(tid, i, thread_id=tid))
+
+        threads = [
+            threading.Thread(target=worker, args=(tid, 5_000)) for tid in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        events = channel.drain()
+        assert len(events) == 20_000
+        for tid in range(4):
+            positions = [r[3] for r in events if r[0] == tid]
+            assert positions == list(range(5_000))
+
+    def test_drop_policy_bounds_memory_and_counts_drops(self):
+        channel = BatchingChannel(
+            max_buffered=1_000, policy="drop", flush_interval=0.001
+        )
+        produce = channel.producer()
+        for i in range(20_000):
+            produce(raw(1, i))
+        events = channel.drain()
+        assert len(events) == 1_000
+        assert channel.dropped == 19_000
+        assert channel.pending == 20_000
+
+    def test_block_policy_raises_when_pipeline_is_wedged(self):
+        channel = BatchingChannel(
+            max_buffered=100,
+            policy="block",
+            flush_interval=0.001,
+            block_timeout=0.2,
+        )
+        produce = channel.producer()
+        with pytest.raises(RuntimeError, match="backpressure"):
+            for i in range(100_000):
+                produce(raw(1, i))
+        channel.drain()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            BatchingChannel(batch_size=0)
+        with pytest.raises(ValueError, match="policy"):
+            BatchingChannel(policy="panic")
+
+    def test_collector_integration(self):
+        with collecting(channel=BatchingChannel()) as session:
+            xs = TrackedList(label="batched")
+            for i in range(500):
+                xs.append(i)
+            for i in range(500):
+                _ = xs[i]
+        profile = session.profiles_by_label()["batched"]
+        # 500 appends + 500 reads + the construction event
+        assert len(profile) == 1_001
+
+    def test_make_channel_factory(self):
+        assert isinstance(make_channel("sync"), type(make_channel("sync")))
+        assert isinstance(make_channel("batch"), BatchingChannel)
+        assert isinstance(make_channel("async"), AsyncChannel)
+        with pytest.raises(ValueError, match="unknown channel"):
+            make_channel("teleport")
+
+
+class TestSpill:
+    def test_spill_roundtrip_equals_in_memory_capture(self, tmp_path):
+        events = [raw(7, i) for i in range(20_000)]
+        memory = BatchingChannel()
+        spilled = BatchingChannel(spill=tmp_path / "capture.spill")
+        for channel in (memory, spilled):
+            produce = channel.producer()
+            for r in events:
+                produce(r)
+        assert spilled.drain() == memory.drain() == events
+
+    def test_spill_preserves_none_position_and_wall_time(self, tmp_path):
+        path = tmp_path / "x.spill"
+        rows = [
+            (1, int(OperationKind.CLEAR), int(AccessKind.WRITE), None, 0, 0, None),
+            (2, int(OperationKind.READ), int(AccessKind.READ), 5, 10, 1, 0.25),
+        ]
+        with SpillWriter(path) as writer:
+            writer.write_batch(rows)
+        assert read_spill_raw(path) == rows
+
+    def test_spill_reader_rehydrates_access_events(self, tmp_path):
+        path = tmp_path / "x.spill"
+        with SpillWriter(path) as writer:
+            writer.write_batch([raw(3, i) for i in range(10)])
+        events = list(iter_spill_events(path))
+        assert [e.position for e in events] == list(range(10))
+        assert [e.seq for e in events] == list(range(10))
+        assert events[0].op is OperationKind.READ
+
+    def test_spill_reader_tolerates_truncated_tail(self, tmp_path):
+        path = tmp_path / "x.spill"
+        with SpillWriter(path) as writer:
+            writer.write_batch([raw(1, i) for i in range(5)])
+        data = path.read_bytes()
+        path.write_bytes(data[:-7])
+        assert len(read_spill_raw(path)) == 4
+
+    def test_cli_spill_requires_batch_channel(self, tmp_path):
+        from repro.cli import main
+
+        program = tmp_path / "prog.py"
+        program.write_text("xs = [i for i in range(10)]\n", encoding="utf-8")
+        rc = main(
+            ["analyze", str(program), "--spill", str(tmp_path / "x.spill")]
+        )
+        assert rc == 2
+
+
+class TestSamplingPolicies:
+    def test_decimate_rate_is_exactly_one_in_n(self):
+        policy = Decimate(10)
+        admitted = sum(policy.admit(1) for _ in range(10_000))
+        assert admitted == 1_000
+
+    def test_decimate_counts_per_instance(self):
+        policy = Decimate(10)
+        for _ in range(100):
+            policy.admit(1)
+        assert sum(policy.admit(2) for _ in range(10)) == 1
+
+    def test_decimate_jitter_breaks_phase_alignment(self):
+        # A period-2 op stream strided 1-in-10 would capture only one
+        # phase; jittered decimation must admit both parities.
+        policy = Decimate(10)
+        parities = {i % 2 for i in range(10_000) if policy.admit(1)}
+        assert parities == {0, 1}
+
+    def test_burst_keeps_first_k_exactly_then_decimates(self):
+        policy = Burst(100, 10)
+        flags = [policy.admit(1) for _ in range(1_100)]
+        assert all(flags[:100])
+        assert sum(flags[100:]) == 100
+        assert not policy.is_exact(1)
+        assert policy.exact_prefix(1) == 100
+
+    def test_burst_small_instances_are_exact(self):
+        policy = Burst(100, 10)
+        assert all(policy.admit(5) for _ in range(100))
+        assert policy.is_exact(5)
+        assert policy.exact_prefix(5) == 0
+
+    def test_parse_sampling_specs(self):
+        assert isinstance(parse_sampling("all"), RecordAll)
+        assert parse_sampling("1/10").n == 10
+        assert parse_sampling("1:4").n == 4
+        burst = parse_sampling("burst:1000/10")
+        assert (burst.keep, burst.n) == (1000, 10)
+        for bad in ("2/10", "sometimes", "burst:", "1/0"):
+            with pytest.raises(ValueError, match="sampling spec"):
+                parse_sampling(bad)
+
+    def test_collector_counts_sampled_out_events(self):
+        collector = EventCollector(sampling=Decimate(10))
+        iid = collector.register_instance(StructureKind.LIST)
+        for i in range(1_000):
+            collector.record(iid, OperationKind.READ, AccessKind.READ, i, 1_000)
+        assert collector.sampled_out == 900
+        assert len(collector.finish()[iid]) == 100
+
+    def test_record_all_costs_nothing(self):
+        collector = EventCollector(sampling=RecordAll())
+        assert collector.sampling is None
+
+
+class TestSamplingDetectionFidelity:
+    """1-in-10 sampling must detect the same use cases as full capture."""
+
+    @pytest.mark.parametrize(
+        "workload", EVALUATION_WORKLOADS, ids=lambda w: w.name
+    )
+    def test_burst_sampling_matches_full_capture(self, workload):
+        engine = UseCaseEngine(rules=PARALLEL_RULES)
+        with collecting() as full:
+            workload.run_tracked(scale=0.5)
+        full_cases = {
+            (u.profile.label, u.kind)
+            for u in engine.analyze_collector(full).use_cases
+        }
+        with collecting(
+            channel=BatchingChannel(), sampling=Burst(1_000, 10)
+        ) as sampled:
+            workload.run_tracked(scale=0.5)
+        sampled_cases = {
+            (u.profile.label, u.kind)
+            for u in engine.analyze_collector(sampled).use_cases
+        }
+        assert sampled.sampled_out > 0
+        assert sampled_cases == full_cases
+
+    def test_decimation_matches_full_capture_on_synthetic_usecases(self):
+        from repro.workloads.generators import (
+            gen_frequent_long_read,
+            gen_long_insert,
+        )
+
+        engine = UseCaseEngine()
+        for generator in (gen_frequent_long_read, gen_long_insert):
+            with collecting() as full:
+                generator(label="g")
+            full_kinds = {
+                u.kind for u in engine.analyze_collector(full).use_cases
+            }
+            with collecting(sampling=Decimate(10)) as sampled:
+                generator(label="g")
+            sampled_kinds = {
+                u.kind for u in engine.analyze_collector(sampled).use_cases
+            }
+            assert sampled_kinds == full_kinds
+
+    def test_for_sampling_recalibrates_detector_and_thresholds(self):
+        engine = UseCaseEngine.for_sampling(Decimate(10))
+        assert engine.detector.config.max_gap == 19
+        assert engine.thresholds.li_long_phase == 10
+        # pattern counts and positional spans deliberately don't scale
+        assert engine.thresholds.flr_min_patterns == 10
+        assert engine.thresholds.flr_min_pattern_span == 8
+
+
+class TestChannelRobustness:
+    def test_async_snapshot_midstream_is_complete(self):
+        channel = AsyncChannel()
+        for i in range(2_000):
+            channel.post(raw(1, i))
+        snap = channel.snapshot()
+        assert [r[3] for r in snap] == list(range(2_000))
+        channel.post(raw(1, 2_000))
+        assert len(channel.drain()) == 2_001
+
+    def test_process_channel_dead_child_raises_clear_error(self):
+        channel = ProcessChannel(drain_timeout=3.0)
+        channel.post(raw(1, 0))
+        channel._process.terminate()
+        channel._process.join(timeout=5.0)
+        with pytest.raises(RuntimeError, match="died before drain"):
+            channel.drain()
+
+
+class TestOverheadGate:
+    def _doc(self, value: float) -> dict:
+        return {
+            "schema": 2,
+            "derived": {"batching_vs_plain": value},
+            "channels": {},
+        }
+
+    def _run_gate(self, tmp_path, current: float, baseline: float) -> int:
+        current_path = tmp_path / "current.json"
+        baseline_path = tmp_path / "baseline.json"
+        current_path.write_text(json.dumps(self._doc(current)))
+        baseline_path.write_text(json.dumps(self._doc(baseline)))
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "examples" / "ci_gate.py"),
+                "--overhead",
+                str(current_path),
+                "--baseline",
+                str(baseline_path),
+                "--max-regression",
+                "0.25",
+            ],
+            env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+            capture_output=True,
+            text=True,
+        )
+        return proc.returncode
+
+    def test_gate_passes_at_baseline(self, tmp_path):
+        assert self._run_gate(tmp_path, current=3.0, baseline=3.0) == 0
+
+    def test_gate_fails_on_injected_2x_regression(self, tmp_path):
+        assert self._run_gate(tmp_path, current=6.0, baseline=3.0) == 1
+
+    def test_gate_allows_regression_inside_budget(self, tmp_path):
+        assert self._run_gate(tmp_path, current=3.6, baseline=3.0) == 0

@@ -5,13 +5,10 @@ from __future__ import annotations
 import pytest
 
 from repro.parallel import (
-    PAPER_CONTENDED_MACHINE,
     ContendedMachine,
     ContentionConfig,
     MachineConfig,
-    ParallelRegion,
     SimulatedMachine,
-    WorkDecomposition,
     speedup_under_contention,
 )
 
@@ -121,5 +118,7 @@ class TestPaperBand:
             speedup_under_contention(w.decomposition(scale=0.3))
             for w in EVALUATION_WORKLOADS
         ]
-        err = lambda xs: sum(abs(a - b) for a, b in zip(xs, paper)) / len(paper)
+        def err(xs):
+            return sum(abs(a - b) for a, b in zip(xs, paper)) / len(paper)
+
         assert err(contended) < err(plain)

@@ -3,8 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
-
 from repro.events import OperationKind, RuntimeProfile
 from repro.instrument import scan_program
 from repro.viz import density_grid, render_density

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.eval import (
-    EVAL_MACHINE,
     TABLE6_PAPER_ROWS,
     evaluate_workload,
     fractions_explain_speedups,

@@ -4,11 +4,9 @@ from __future__ import annotations
 
 import threading
 
-import numpy as np
 import pytest
 
 from repro.events import (
-    AccessEvent,
     AccessKind,
     AllocationSite,
     AsyncChannel,

@@ -19,7 +19,6 @@ from repro.events import (
     OperationKind,
     StructureKind,
     collecting,
-    get_collector,
     pop_collector,
     push_collector,
 )

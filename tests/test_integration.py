@@ -10,8 +10,6 @@ from __future__ import annotations
 import textwrap
 import threading
 
-import pytest
-
 from repro.events import collecting, read_profiles, save_collector
 from repro.instrument import run_instrumented, transform_source
 from repro.patterns import PatternType, detect

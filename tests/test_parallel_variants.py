@@ -7,8 +7,6 @@ results versus the sequential original.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.parallel import ParallelExecutor
 from repro.workloads import (
     algorithmia_parallel_pq,

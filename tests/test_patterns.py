@@ -4,14 +4,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.events import OperationKind, StructureKind, collecting
+from repro.events import OperationKind, collecting
 from repro.patterns import (
     DetectorConfig,
-    PatternDetector,
     PatternType,
     RegularityClassifier,
     RegularityConfig,
-    classify_run,
     detect,
     segment,
 )

@@ -23,7 +23,7 @@ from repro.structures import (
     TrackedStack,
 )
 
-from .conftest import make_event, make_profile
+from .conftest import make_profile
 
 # -- TrackedArray vs list model ------------------------------------------------
 

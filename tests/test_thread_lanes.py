@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.events import OperationKind, RuntimeProfile
 from repro.viz import render_thread_lanes, thread_interleaving_ratio
 

@@ -8,8 +8,6 @@ assertions are strict.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.parallel import measure_point, validate_machine_model
 
 
