@@ -18,7 +18,10 @@ is *normalized*: ``batching_vs_plain`` is the batched per-event cost
 divided by a bare ``list.append`` measured on the same machine in the
 same process.  ``batching_vs_async`` is the speedup of the batched
 pipeline over the per-event-queue AsyncChannel — the paper-architecture
-baseline this pipeline is designed to beat.
+baseline this pipeline is designed to beat.  ``remote_vs_plain`` gates
+the networked transport the same way: a ``RemoteChannel`` shipping to a
+loopback :class:`~repro.service.ProfilingDaemon` must keep its producer
+hot path within budget of the in-process batched pipeline.
 """
 
 from __future__ import annotations
@@ -41,6 +44,7 @@ from repro.events import (
     StructureKind,
     SynchronousChannel,
 )
+from repro.service import ProfilingDaemon, RemoteChannel
 
 SCHEMA_VERSION = 2
 
@@ -128,6 +132,20 @@ def run_overhead_benchmark(events: int = 100_000, repeats: int = 3) -> dict:
             "total_s": total_s,
             "per_event_ns": total_s / events * 1e9,
         }
+    # The networked transport: same producer hot path as "batching",
+    # plus loopback shipping to a live daemon (one daemon reused across
+    # repeats; every repeat is a fresh session, and drain() includes the
+    # FIN handshake so the full capture cost is measured).
+    with ProfilingDaemon(port=0, session_linger=0.1) as daemon:
+        total_s = _best(
+            lambda: _time_channel(lambda: RemoteChannel(daemon.address), events),
+            repeats,
+        )
+    doc["channels"]["remote"] = {
+        "total_s": total_s,
+        "per_event_ns": total_s / events * 1e9,
+    }
+
     for name, (factory, make_policy) in recorders.items():
         total_s = _best(
             lambda: _time_record(
@@ -150,6 +168,8 @@ def run_overhead_benchmark(events: int = 100_000, repeats: int = 3) -> dict:
         "batching_drop_vs_async": async_ns / drop_ns,
         # Machine-normalized cost multiples — the CI-gated metrics.
         "batching_vs_plain": batching_ns / doc["plain_append_ns"],
+        "remote_vs_plain": doc["channels"]["remote"]["per_event_ns"]
+        / doc["plain_append_ns"],
         "record_batching_vs_plain": doc["recording"]["batching"]["per_event_ns"]
         / doc["plain_append_ns"],
     }
@@ -175,7 +195,9 @@ def main(argv: list[str] | None = None) -> int:
         f"batching: {doc['channels']['batching']['per_event_ns']:.0f} ns/event "
         f"({derived['batching_vs_plain']:.1f}x a plain append; "
         f"{derived['batching_vs_async']:.1f}x faster than async, "
-        f"{derived['batching_drop_vs_async']:.1f}x with the drop policy)",
+        f"{derived['batching_drop_vs_async']:.1f}x with the drop policy); "
+        f"remote: {doc['channels']['remote']['per_event_ns']:.0f} ns/event "
+        f"({derived['remote_vs_plain']:.1f}x a plain append)",
         file=sys.stderr,
     )
     return 0

@@ -10,11 +10,12 @@ Two gates share this entry point:
 ``python examples/ci_gate.py --overhead CUR.json --baseline BASE.json``
     The recording-overhead gate: compare a fresh
     ``benchmarks/overhead.py`` JSON against the checked-in baseline and
-    fail when the batched pipeline's per-event cost regressed by more
-    than ``--max-regression`` (default 25%).  The compared metric is
-    ``derived.batching_vs_plain`` — batched cost as a multiple of a
-    plain ``list.append`` measured on the same machine — so the gate is
-    portable across CI runners with different absolute clock speeds.
+    fail when a gated transport's per-event cost regressed by more
+    than ``--max-regression`` (default 25%).  The compared metrics are
+    ``derived.batching_vs_plain`` and ``derived.remote_vs_plain`` —
+    recording cost as a multiple of a plain ``list.append`` measured on
+    the same machine — so the gate is portable across CI runners with
+    different absolute clock speeds.
 """
 
 from __future__ import annotations
@@ -25,36 +26,50 @@ import sys
 import tempfile
 from pathlib import Path
 
-#: The machine-normalized metric the overhead gate enforces.
-GATED_METRIC = "batching_vs_plain"
+#: The machine-normalized metrics the overhead gate enforces: the
+#: in-process batched pipeline and the networked RemoteChannel, each as
+#: a cost multiple of a plain ``list.append`` on the same machine.
+GATED_METRICS = ("batching_vs_plain", "remote_vs_plain")
 
 
 def overhead_gate(
     current_path: Path, baseline_path: Path, max_regression: float
 ) -> int:
-    """Fail (1) when the normalized batched-recording cost regressed."""
+    """Fail (1) when any gated normalized recording cost regressed."""
     current = json.loads(Path(current_path).read_text(encoding="utf-8"))
     baseline = json.loads(Path(baseline_path).read_text(encoding="utf-8"))
-    try:
-        cur = float(current["derived"][GATED_METRIC])
-        base = float(baseline["derived"][GATED_METRIC])
-    except KeyError as exc:
-        print(f"overhead gate: missing {exc} in benchmark JSON", file=sys.stderr)
-        return 2
-    limit = base * (1.0 + max_regression)
-    regression = cur / base - 1.0
-    print(
-        f"overhead gate: {GATED_METRIC} = {cur:.2f} "
-        f"(baseline {base:.2f}, change {regression:+.1%}, "
-        f"allowed +{max_regression:.0%})"
-    )
+    failed = []
+    for metric in GATED_METRICS:
+        in_current = metric in current.get("derived", {})
+        in_baseline = metric in baseline.get("derived", {})
+        if not in_current and not in_baseline:
+            print(f"overhead gate: {metric} absent from both documents, skipped")
+            continue
+        if not (in_current and in_baseline):
+            print(
+                f"overhead gate: {metric} missing from "
+                f"{'current' if not in_current else 'baseline'} benchmark JSON",
+                file=sys.stderr,
+            )
+            return 2
+        cur = float(current["derived"][metric])
+        base = float(baseline["derived"][metric])
+        regression = cur / base - 1.0
+        print(
+            f"overhead gate: {metric} = {cur:.2f} "
+            f"(baseline {base:.2f}, change {regression:+.1%}, "
+            f"allowed +{max_regression:.0%})"
+        )
+        if cur > base * (1.0 + max_regression):
+            failed.append((metric, regression))
     for name, entry in sorted(current.get("channels", {}).items()):
         print(f"  {name:<14} {entry['per_event_ns']:8.0f} ns/event")
-    if cur > limit:
-        print(
-            f"CI GATE: FAILED — batched recording is {regression:+.1%} "
-            f"vs baseline (limit +{max_regression:.0%})"
-        )
+    if failed:
+        for metric, regression in failed:
+            print(
+                f"CI GATE: FAILED — {metric} is {regression:+.1%} "
+                f"vs baseline (limit +{max_regression:.0%})"
+            )
         return 1
     print("CI GATE: passed")
     return 0

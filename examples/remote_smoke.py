@@ -1,0 +1,125 @@
+"""Scenario: one profiling daemon, several instrumented programs.
+
+The CI integration smoke for the service layer: the parent process
+starts a :class:`~repro.service.ProfilingDaemon` on a free port, then
+launches two *separate* instrumented Python processes (re-invoking this
+script with ``--worker``), each recording a different Table-V-style
+workload through a :class:`~repro.service.RemoteChannel`.  When both
+finish, the parent queries the daemon's STATS endpoint — the same data
+``dsspy sessions`` renders — and asserts the merged view: two finished
+sessions, one flagging Long Insert and one flagging Frequent Long
+Read.
+
+Run directly::
+
+    PYTHONPATH=src python examples/remote_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+WORKLOADS = ("long_insert", "frequent_long_read")
+
+#: Use-case abbreviation each worker's workload must trigger.
+EXPECTED = {"long_insert": "LI", "frequent_long_read": "FLR"}
+
+
+def run_worker(name: str, address: str) -> int:
+    """Child process: record one workload through a RemoteChannel."""
+    from repro.events import EventCollector, pop_collector, push_collector
+    from repro.service import RemoteChannel
+    from repro.workloads import gen_frequent_long_read, gen_long_insert
+
+    generators = {
+        "long_insert": gen_long_insert,
+        "frequent_long_read": gen_frequent_long_read,
+    }
+    channel = RemoteChannel(address)
+    collector = EventCollector(channel=channel)
+    push_collector(collector)
+    try:
+        generators[name](label=name)
+    finally:
+        pop_collector()
+    profiles = collector.finish()
+    ack = channel.final_ack
+    if ack is None:
+        print(f"worker {name}: FIN handshake failed", file=sys.stderr)
+        return 1
+    events = sum(len(p) for p in profiles.values())
+    print(
+        f"worker {name}: session {ack['session']} shipped {ack['received']} "
+        f"events ({events} recorded locally)"
+    )
+    return 0 if ack["received"] == events else 1
+
+
+def run_orchestrator() -> int:
+    from repro.service import ProfilingDaemon, fetch_stats
+
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p
+    )
+
+    with ProfilingDaemon(port=0) as daemon:
+        print(f"daemon listening on {daemon.address}")
+        procs = [
+            subprocess.Popen(
+                [sys.executable, __file__, "--worker", name, daemon.address],
+                env=env,
+            )
+            for name in WORKLOADS
+        ]
+        failures = sum(proc.wait(timeout=120) != 0 for proc in procs)
+        if failures:
+            print(f"SMOKE: FAILED — {failures} worker(s) exited non-zero")
+            return 1
+
+        stats = fetch_stats(daemon.address)
+        print(json.dumps(stats, indent=2))
+        sessions = stats["sessions"]
+        if len(sessions) != len(WORKLOADS):
+            print(f"SMOKE: FAILED — expected {len(WORKLOADS)} sessions")
+            return 1
+        if any(s["state"] != "finished" for s in sessions):
+            print("SMOKE: FAILED — not every session finished")
+            return 1
+        flagged = {
+            abbrev for s in sessions for kinds in s["flagged"].values()
+            for abbrev in kinds
+        }
+        missing = set(EXPECTED.values()) - flagged
+        if missing:
+            print(f"SMOKE: FAILED — merged report is missing {sorted(missing)}")
+            return 1
+    print(f"SMOKE: passed — merged report flags {sorted(flagged)}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--worker",
+        nargs=2,
+        metavar=("NAME", "ADDRESS"),
+        default=None,
+        help="internal: run one instrumented workload against ADDRESS",
+    )
+    args = parser.parse_args(argv)
+    if args.worker:
+        return run_worker(*args.worker)
+    return run_orchestrator()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

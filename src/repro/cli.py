@@ -16,6 +16,15 @@ Subcommands:
 
 ``dsspy demo``
     A 5-second end-to-end demonstration on a synthetic profile.
+
+``dsspy serve``
+    Run the profiling daemon: many instrumented processes stream
+    events to it concurrently (``dsspy analyze --remote``), and it
+    analyzes incrementally with bounded memory.
+
+``dsspy sessions ADDRESS``
+    Query a running daemon for per-session statistics (events/sec,
+    drop counts, flagged use cases) as a table or JSON.
 """
 
 from __future__ import annotations
@@ -42,12 +51,27 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if args.spill and args.channel != "batch":
         print("--spill requires --channel batch", file=sys.stderr)
         return 2
+    if args.remote and args.spill:
+        print("--remote and --spill are mutually exclusive", file=sys.stderr)
+        return 2
     try:
         sampling = parse_sampling(args.sample)
-        channel = make_channel(
-            args.channel, batch_size=args.batch_size, spill=args.spill
-        )
-    except ValueError as exc:
+        if args.remote:
+            from .service import RemoteChannel
+
+            try:
+                channel = RemoteChannel(args.remote, batch_size=args.batch_size)
+            except OSError as exc:
+                print(
+                    f"cannot reach profiling daemon at {args.remote}: {exc}",
+                    file=sys.stderr,
+                )
+                return 2
+        else:
+            channel = make_channel(
+                args.channel, batch_size=args.batch_size, spill=args.spill
+            )
+    except (ValueError, OSError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
 
@@ -77,6 +101,18 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     print(format_table_v(report, title=f"DSspy use cases for {args.file}"))
     print()
     print(format_summary(report, name=str(args.file)))
+    if args.remote:
+        ack = getattr(channel, "final_ack", None)
+        if ack is None:
+            print(f"remote: daemon at {args.remote} unreachable at session end")
+        else:
+            from .usecases import summarize_json
+
+            print(
+                f"remote: session {ack['session']} streamed {ack['received']} "
+                f"events to {args.remote}; daemon found "
+                f"{summarize_json(ack['report'])}"
+            )
     if args.charts:
         for profile in run.collector.nonempty_profiles():
             print()
@@ -219,6 +255,64 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0 if report.headline_ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ProfilingDaemon
+
+    daemon = ProfilingDaemon(
+        host=args.host,
+        port=args.port,
+        unix_socket=args.unix,
+        heartbeat_timeout=args.heartbeat_timeout,
+        session_linger=args.linger,
+        max_pending_events=args.max_pending,
+        overflow=args.overflow,
+        report_dir=args.report_dir,
+    )
+    print(f"dsspy daemon listening on {daemon.address}")
+    if args.report_dir:
+        print(f"session reports will be written to {args.report_dir}")
+    print("press Ctrl-C or send SIGTERM to shut down")
+    daemon.serve_forever()
+    print("daemon shut down; all sessions flushed")
+    return 0
+
+
+def _cmd_sessions(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .service import fetch_stats
+
+    try:
+        stats = fetch_stats(args.address)
+    except OSError as exc:
+        print(f"cannot reach daemon at {args.address}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(stats, indent=2))
+        return 0
+    print(f"daemon {stats['address']}, up {stats['uptime_sec']}s")
+    sessions = stats["sessions"]
+    if not sessions:
+        print("no sessions")
+        return 0
+    header = (
+        f"{'session':<14} {'state':<9} {'received':>10} {'ev/s':>8} "
+        f"{'dup':>6} {'decim':>6} {'spill':>6} {'inst':>5}  flagged"
+    )
+    print(header)
+    print("-" * len(header))
+    for s in sessions:
+        flagged = ", ".join(
+            f"#{iid}:{'/'.join(kinds)}" for iid, kinds in sorted(s["flagged"].items())
+        ) or "-"
+        print(
+            f"{s['session']:<14} {s['state']:<9} {s['received']:>10} "
+            f"{s['events_per_sec']:>8} {s['duplicates']:>6} {s['decimated']:>6} "
+            f"{s['spilled']:>6} {s['instances']:>5}  {flagged}"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="dsspy",
@@ -257,6 +351,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1024,
         help="events buffered per thread before a batched flush",
+    )
+    analyze.add_argument(
+        "--remote",
+        default=None,
+        metavar="HOST:PORT",
+        help="stream events to a dsspy daemon (see 'dsspy serve') instead of "
+        "keeping the capture purely in-process; overrides --channel",
     )
     analyze.set_defaults(fn=_cmd_analyze)
 
@@ -304,6 +405,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-slowdown", action="store_true", help="skip timing the baselines"
     )
     report.set_defaults(fn=_cmd_report)
+
+    serve = sub.add_parser(
+        "serve", help="run the profiling daemon for remote event streams"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7569)
+    serve.add_argument(
+        "--unix", default=None, metavar="PATH", help="listen on a Unix socket instead"
+    )
+    serve.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=30.0,
+        help="seconds of client silence before its connection is dropped",
+    )
+    serve.add_argument(
+        "--linger",
+        type=float,
+        default=60.0,
+        help="seconds a detached session waits for resume before finalizing",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=200_000,
+        help="per-session events buffered ahead of the analyzer",
+    )
+    serve.add_argument(
+        "--overflow",
+        choices=("block", "decimate", "spill"),
+        default="block",
+        help="policy when a client outpaces analysis",
+    )
+    serve.add_argument(
+        "--report-dir",
+        default=None,
+        metavar="DIR",
+        help="write each finalized session's report JSON here",
+    )
+    serve.set_defaults(fn=_cmd_serve)
+
+    sessions = sub.add_parser(
+        "sessions", help="query a running daemon for session statistics"
+    )
+    sessions.add_argument("address", metavar="ADDRESS", help="HOST:PORT or unix:PATH")
+    sessions.add_argument("--json", action="store_true", help="raw JSON output")
+    sessions.set_defaults(fn=_cmd_sessions)
     return parser
 
 

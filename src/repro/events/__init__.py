@@ -43,11 +43,15 @@ from .serialize import (
     save_profiles,
 )
 from .spill import (
+    RECORD_SIZE,
     SpillWriter,
     iter_spill_events,
     iter_spill_raw,
+    pack_record,
     read_spill_events,
     read_spill_raw,
+    record_is_plausible,
+    unpack_record,
 )
 from .types import FRONT, AccessKind, OperationKind, StructureKind, end_of
 
@@ -66,6 +70,7 @@ __all__ = [
     "OperationKind",
     "ProcessChannel",
     "RECORD_ALL",
+    "RECORD_SIZE",
     "RecordAll",
     "RuntimeProfile",
     "SamplingPolicy",
@@ -83,13 +88,16 @@ __all__ = [
     "materialize",
     "merge_archives",
     "merge_profiles",
+    "pack_record",
     "parse_sampling",
     "pop_collector",
     "push_collector",
     "read_profiles",
     "read_spill_events",
     "read_spill_raw",
+    "record_is_plausible",
     "reset_ambient",
+    "unpack_record",
     "save_collector",
     "save_profiles",
 ]

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import threading
 from pathlib import Path
+from typing import Callable
 
 from .event import RawEvent
 from .spill import SpillWriter, read_spill_raw
@@ -76,6 +77,14 @@ class BatchingChannel:
     block_timeout:
         Seconds a gated producer waits before raising — turns a wedged
         pipeline into a diagnosable error instead of a silent hang.
+    sink:
+        Optional callable invoked *on the drainer thread* with each
+        absorbed batch, after the batch landed in the master buffer (or
+        spill file).  This is the hook subclasses like
+        :class:`~repro.service.client.RemoteChannel` use to forward
+        events as they are harvested.  A raising sink never kills the
+        drainer: the exception is stashed in :attr:`sink_error` and
+        harvesting continues (the events are still retained locally).
     """
 
     def __init__(
@@ -86,6 +95,7 @@ class BatchingChannel:
         policy: str = "block",
         spill: str | Path | None = None,
         block_timeout: float = 30.0,
+        sink: Callable[[list[RawEvent]], None] | None = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -105,6 +115,8 @@ class BatchingChannel:
         self._registry_lock = threading.Lock()
         self._tls = threading.local()
         self._master: list[RawEvent] = []
+        self._sink = sink
+        self._sink_error: BaseException | None = None
         self._absorbed = 0
         self._dropped = 0
         self._closed = False
@@ -231,6 +243,7 @@ class BatchingChannel:
         if self._writer is not None:
             self._writer.write_batch(batch)
             self._absorbed += len(batch)
+            self._notify_sink(batch)
             return
         if self._policy == "drop":
             room = self._max_buffered - len(self._master)
@@ -242,6 +255,15 @@ class BatchingChannel:
                 batch = batch[:room]
         self._master.extend(batch)
         self._absorbed += len(batch)
+        self._notify_sink(batch)
+
+    def _notify_sink(self, batch: list[RawEvent]) -> None:
+        if self._sink is None or not batch:
+            return
+        try:
+            self._sink(batch)
+        except Exception as exc:
+            self._sink_error = exc
 
     # -- drain / snapshot ------------------------------------------------
 
@@ -291,6 +313,11 @@ class BatchingChannel:
     def dropped(self) -> int:
         """Events discarded under the ``drop`` backpressure policy."""
         return self._dropped
+
+    @property
+    def sink_error(self) -> BaseException | None:
+        """Last exception a ``sink`` callback raised, if any."""
+        return self._sink_error
 
     @property
     def batch_size(self) -> int:

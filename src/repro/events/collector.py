@@ -83,13 +83,22 @@ class EventCollector:
         site: AllocationSite | None = None,
         label: str = "",
     ) -> int:
-        """Assign an instance id and create its (empty) profile."""
+        """Assign an instance id and create its (empty) profile.
+
+        Channels exposing an ``on_register`` hook (the service layer's
+        :class:`~repro.service.client.RemoteChannel`) are notified after
+        the id is assigned, so a remote analyzer learns each instance's
+        kind/site/label without those ever entering the hot event path.
+        """
         with self._lock:
             instance_id = self._next_instance_id
             self._next_instance_id += 1
             self._profiles[instance_id] = RuntimeProfile(
                 instance_id, kind=kind, site=site, label=label
             )
+        notify = getattr(self._channel, "on_register", None)
+        if notify is not None:
+            notify(instance_id, kind, site, label)
         return instance_id
 
     def _dense_thread_id(self) -> int:

@@ -32,10 +32,12 @@ profile-by-profile.
 from __future__ import annotations
 
 import struct
+import warnings
 from pathlib import Path
 from typing import BinaryIO, Iterable, Iterator
 
 from .event import AccessEvent, RawEvent, materialize
+from .types import AccessKind, OperationKind
 
 MAGIC = b"DSPYSP01"
 
@@ -44,9 +46,19 @@ RECORD_SIZE = _RECORD.size
 
 _HAS_POSITION = 1
 _HAS_WALL = 2
+_KNOWN_FLAGS = _HAS_POSITION | _HAS_WALL
+
+_MAX_OP = max(OperationKind)
+_MAX_KIND = max(AccessKind)
 
 
-def _pack(raw: RawEvent) -> bytes:
+def pack_record(raw: RawEvent) -> bytes:
+    """Pack one raw event tuple into a fixed-width spill record.
+
+    Also the payload encoding of the service wire protocol's EVENTS
+    frames (:mod:`repro.service.protocol`), so client and daemon agree
+    with the spill files byte for byte.
+    """
     instance_id, op, kind, position, size, thread_id, wall = raw
     flags = 0
     if position is not None:
@@ -60,7 +72,8 @@ def _pack(raw: RawEvent) -> bytes:
     return _RECORD.pack(instance_id, position, size, thread_id, op, kind, flags, wall)
 
 
-def _unpack(chunk: bytes) -> RawEvent:
+def unpack_record(chunk: bytes) -> RawEvent:
+    """Inverse of :func:`pack_record` (exactly ``RECORD_SIZE`` bytes)."""
     instance_id, position, size, thread_id, op, kind, flags, wall = _RECORD.unpack(chunk)
     return (
         instance_id,
@@ -70,6 +83,31 @@ def _unpack(chunk: bytes) -> RawEvent:
         size,
         thread_id,
         wall if flags & _HAS_WALL else None,
+    )
+
+
+# Backwards-compatible private aliases (pre-service internal names).
+_pack = pack_record
+_unpack = unpack_record
+
+
+def record_is_plausible(chunk: bytes) -> bool:
+    """Cheap validity screen for one packed record.
+
+    The format has no per-record checksum, so after a torn write (a
+    daemon crash mid-batch) the reader can land mid-record and decode
+    garbage.  Field-range checks catch essentially all such
+    misalignments: op and kind must be valid enum values, flags must
+    only use defined bits, and size must be non-negative.
+    """
+    _, position, size, thread_id, op, kind, flags, _ = _RECORD.unpack(chunk)
+    return (
+        op <= _MAX_OP
+        and kind <= _MAX_KIND
+        and flags & ~_KNOWN_FLAGS == 0
+        and size >= 0
+        and position >= 0
+        and thread_id >= 0
     )
 
 
@@ -122,7 +160,20 @@ class SpillWriter:
 
 
 def iter_spill_raw(path: str | Path) -> Iterator[RawEvent]:
-    """Stream raw event tuples back from a spill file, in file order."""
+    """Stream raw event tuples back from a spill file, in file order.
+
+    A bad magic header still raises (the file is not a spill file at
+    all), and a truncated tail still ends the stream silently, but a
+    corrupt record in the middle of the file — a torn write from a
+    crashed daemon, a flipped byte on disk — is *skipped* rather than
+    poisoning every later record: its slot is dropped, the skip is
+    counted, and one :class:`RuntimeWarning` summarizing the count is
+    emitted when the stream ends.  Validity is judged by
+    :func:`record_is_plausible`; record boundaries are assumed intact
+    (the format is fixed-width append-only, so corruption overwrites
+    bytes in place rather than shifting them).
+    """
+    skipped = 0
     with Path(path).open("rb") as fh:
         magic = fh.read(len(MAGIC))
         if magic != MAGIC:
@@ -130,14 +181,24 @@ def iter_spill_raw(path: str | Path) -> Iterator[RawEvent]:
         while True:
             chunk = fh.read(RECORD_SIZE * 4096)
             if not chunk:
-                return
+                break
             complete = len(chunk) - len(chunk) % RECORD_SIZE
             for offset in range(0, complete, RECORD_SIZE):
-                yield _unpack(chunk[offset:offset + RECORD_SIZE])
+                record = chunk[offset:offset + RECORD_SIZE]
+                if record_is_plausible(record):
+                    yield unpack_record(record)
+                else:
+                    skipped += 1
             if complete != len(chunk):
                 # Append-only file truncated mid-record (e.g. a killed
                 # capture); everything before the tear is still valid.
-                return
+                break
+    if skipped:
+        warnings.warn(
+            f"{path}: skipped {skipped} corrupt spill record(s)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
 
 
 def read_spill_raw(path: str | Path) -> list[RawEvent]:

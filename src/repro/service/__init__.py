@@ -1,0 +1,60 @@
+"""Client/server profiling service.
+
+The paper's DSspy streams access events from the instrumented program
+to a separate analysis process over an asynchronous channel; this
+package is that separation for the reproduction.  A long-running
+:class:`ProfilingDaemon` accepts length-prefixed binary event streams
+from many concurrent clients, keeps one :class:`Session` per client,
+and analyzes incrementally with :class:`StreamingUseCaseEngine` — a
+bounded-memory fold that converges to the exact batch
+:class:`~repro.usecases.UseCaseEngine` report.
+
+Producer side, :class:`RemoteChannel` drops into the existing
+collector/channel seam: same hot path as
+:class:`~repro.events.batching.BatchingChannel`, network I/O on the
+drainer thread, transparent reconnect-and-retransmit on failure.
+"""
+
+from .client import RemoteChannel, ServiceClient, fetch_stats, parse_address
+from .daemon import ProfilingDaemon
+from .protocol import (
+    MAX_EVENTS_PER_FRAME,
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    MessageType,
+    ProtocolError,
+    decode_events,
+    decode_json,
+    encode_events,
+    encode_frame,
+    encode_json,
+    recv_frame,
+    send_frame,
+)
+from .session import IngestPipeline, RateMeter, Session, SessionState
+from .streaming import StreamingUseCaseEngine
+
+__all__ = [
+    "FrameDecoder",
+    "IngestPipeline",
+    "MAX_EVENTS_PER_FRAME",
+    "MAX_FRAME_BYTES",
+    "MessageType",
+    "ProfilingDaemon",
+    "ProtocolError",
+    "RateMeter",
+    "RemoteChannel",
+    "ServiceClient",
+    "Session",
+    "SessionState",
+    "StreamingUseCaseEngine",
+    "decode_events",
+    "decode_json",
+    "encode_events",
+    "encode_frame",
+    "encode_json",
+    "fetch_stats",
+    "parse_address",
+    "recv_frame",
+    "send_frame",
+]

@@ -1,0 +1,344 @@
+"""Client side of the profiling service.
+
+:class:`ServiceClient` is the thin protocol speaker: connect, HELLO,
+ship frames, strict request/response for the control messages.
+:class:`RemoteChannel` is what instrumented programs actually use — a
+:class:`~repro.events.batching.BatchingChannel` whose drainer-thread
+sink forwards each harvested batch to the daemon, so the hot recording
+path stays the same bare ``list.append`` as the in-process pipeline
+and all network cost is paid off-thread.
+
+Fault tolerance lives here, not in user code: the channel keeps every
+event in its master buffer until drained, tracks how much of it the
+server acknowledged receiving, and on a broken connection silently
+reconnects with the same session id and retransmits from the server's
+``received`` cursor.  The daemon's overlap-skip
+(:meth:`~repro.service.session.Session.ingest`) makes the retransmit
+idempotent, so an abrupt mid-stream disconnect costs nothing but
+latency.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any
+
+from ..events.batching import BatchingChannel
+from ..events.event import RawEvent
+from ..events.profile import AllocationSite
+from ..events.types import StructureKind
+from .protocol import (
+    MAX_EVENTS_PER_FRAME,
+    MessageType,
+    ProtocolError,
+    decode_json,
+    encode_events,
+    encode_json,
+    recv_frame,
+)
+
+
+def parse_address(text: str) -> tuple[int, Any]:
+    """Parse ``host:port``, ``unix:<path>``, or a filesystem path into
+    ``(address_family, connect_arg)``."""
+    text = text.strip()
+    if text.startswith("unix:"):
+        return socket.AF_UNIX, text[5:]
+    if "/" in text:
+        return socket.AF_UNIX, text
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(
+            f"bad service address {text!r}; expected HOST:PORT or unix:PATH"
+        )
+    return socket.AF_INET, (host or "127.0.0.1", int(port))
+
+
+class ServiceClient:
+    """One connection-with-session to a profiling daemon.
+
+    All I/O is serialized under one lock; the server only ever speaks
+    when spoken to (strict request/response), so a reply always belongs
+    to the request just sent.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        session_id: str | None = None,
+        timeout: float = 10.0,
+    ) -> None:
+        self.address = address
+        family, connect_arg = parse_address(address)
+        self._io_lock = threading.RLock()
+        self._sock = socket.socket(family, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(connect_arg)
+        if family == socket.AF_INET:
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        ack = self._request(
+            MessageType.HELLO,
+            {"session": session_id} if session_id else {},
+        )
+        self.session_id: str = ack["session"]
+        self.server_received: int = int(ack.get("received", 0))
+        self.resumed: bool = bool(ack.get("resumed", False))
+
+    # -- plumbing --------------------------------------------------------
+
+    def _request(self, mtype: int, obj: dict[str, Any]) -> dict[str, Any]:
+        with self._io_lock:
+            self._sock.sendall(encode_json(mtype, obj))
+            return self._read_ack()
+
+    def _read_ack(self) -> dict[str, Any]:
+        frame = recv_frame(self._sock)
+        if frame is None:
+            raise ProtocolError("server closed the connection")
+        rtype, payload = frame
+        obj = decode_json(payload)
+        if rtype == MessageType.ERROR:
+            raise ProtocolError(f"server error: {obj.get('error', '?')}")
+        if rtype != MessageType.ACK:
+            raise ProtocolError(f"expected ACK, got {MessageType.name(rtype)}")
+        return obj
+
+    # -- protocol verbs --------------------------------------------------
+
+    def register_instances(self, instances: list[dict[str, Any]]) -> None:
+        """Fire-and-forget instance declarations (no reply)."""
+        with self._io_lock:
+            self._sock.sendall(
+                encode_json(MessageType.REGISTER, {"instances": instances})
+            )
+
+    def send_events(self, start: int, raws: list[RawEvent]) -> None:
+        """Ship a window of raw events (no reply); chunks as needed."""
+        with self._io_lock:
+            for offset in range(0, len(raws), MAX_EVENTS_PER_FRAME):
+                chunk = raws[offset : offset + MAX_EVENTS_PER_FRAME]
+                self._sock.sendall(encode_events(start + offset, chunk))
+
+    def heartbeat(self) -> dict[str, Any]:
+        return self._request(MessageType.HEARTBEAT, {})
+
+    def fin(self) -> dict[str, Any]:
+        """End the session; the ACK carries the final report dict."""
+        return self._request(MessageType.FIN, {})
+
+    def stats(self) -> dict[str, Any]:
+        return self._request(MessageType.STATS, {})
+
+    def close(self) -> None:
+        with self._io_lock:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+
+def fetch_stats(address: str, timeout: float = 10.0) -> dict[str, Any]:
+    """One-shot STATS query (used by ``dsspy sessions``).
+
+    Speaks STATS before HELLO — the daemon answers observability
+    queries without creating a session.
+    """
+    family, connect_arg = parse_address(address)
+    sock = socket.socket(family, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    try:
+        sock.connect(connect_arg)
+        sock.sendall(encode_json(MessageType.STATS, {}))
+        frame = recv_frame(sock)
+        if frame is None:
+            raise ProtocolError("server closed the connection")
+        rtype, payload = frame
+        obj = decode_json(payload)
+        if rtype != MessageType.ACK:
+            raise ProtocolError(f"expected ACK, got {MessageType.name(rtype)}")
+        return obj
+    finally:
+        sock.close()
+
+
+def _site_to_dict(site: AllocationSite | None) -> dict[str, Any] | None:
+    if site is None:
+        return None
+    return {
+        "filename": site.filename,
+        "lineno": site.lineno,
+        "function": site.function,
+        "variable": site.variable,
+    }
+
+
+class RemoteChannel(BatchingChannel):
+    """Batching channel that streams its harvests to a daemon.
+
+    Producer side is untouched :class:`BatchingChannel` (same ~25 ns
+    append); the drainer's ``sink`` hook ships each batch.  The master
+    buffer retains everything (``block`` policy, no spill), serving as
+    the retransmission source: on any socket error the channel marks
+    itself disconnected and the next harvest reconnects with the same
+    session id, rewinds its cursor to the server's ``received`` count,
+    and resends the tail.
+
+    ``drain()`` performs the handshake ending the session: final ship,
+    FIN, and stores the server's report in :attr:`final_ack`.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        session_id: str | None = None,
+        heartbeat_interval: float = 2.0,
+        **batching_kwargs: Any,
+    ) -> None:
+        if batching_kwargs.pop("spill", None) is not None:
+            raise ValueError(
+                "RemoteChannel keeps its retransmission source in RAM; "
+                "spill is not supported (use the daemon-side spill instead)"
+            )
+        batching_kwargs.setdefault("policy", "block")
+        self.address = address
+        self.final_ack: dict[str, Any] | None = None
+        self._client: ServiceClient | None = None
+        self._session_id = session_id
+        self._shipped = 0
+        self._ship_lock = threading.Lock()
+        self._registered: list[dict[str, Any]] = []
+        self._registered_sent = 0
+        self._reconnects = 0
+        self._connect()  # fail fast: a bad address raises here, not mid-run
+        super().__init__(sink=self._ship, **batching_kwargs)
+        self._hb_stop = threading.Event()
+        self._hb_thread = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(heartbeat_interval,),
+            name="dsspy-remote-heartbeat",
+            daemon=True,
+        )
+        self._hb_thread.start()
+
+    # -- collector hook --------------------------------------------------
+
+    def on_register(
+        self,
+        instance_id: int,
+        kind: StructureKind,
+        site: AllocationSite | None,
+        label: str,
+    ) -> None:
+        """Called by the collector for each new instance; forwards the
+        declaration so the daemon knows the instance's identity."""
+        entry = {
+            "id": instance_id,
+            "kind": kind.value,
+            "site": _site_to_dict(site),
+            "label": label,
+        }
+        with self._ship_lock:
+            self._registered.append(entry)
+            self._flush_registrations()
+
+    def _flush_registrations(self) -> None:
+        """Send not-yet-delivered registrations (caller holds the lock)."""
+        client = self._client
+        if client is None:
+            return
+        pending = self._registered[self._registered_sent :]
+        if not pending:
+            return
+        try:
+            client.register_instances(pending)
+            self._registered_sent = len(self._registered)
+        except (OSError, ProtocolError):
+            self._disconnect()
+
+    # -- shipping (drainer thread) ---------------------------------------
+
+    def _connect(self) -> None:
+        client = ServiceClient(self.address, session_id=self._session_id)
+        self._client = client
+        self._session_id = client.session_id
+        if client.resumed:
+            # The server's cursor is authoritative: anything past it
+            # was lost in flight and must be resent from the master.
+            self._shipped = min(self._shipped, client.server_received)
+            self._reconnects += 1
+        # A fresh session (e.g. the old one was reaped) starts at zero.
+        elif self._shipped:
+            self._shipped = 0
+        self._registered_sent = 0
+        self._flush_registrations()
+
+    def _disconnect(self) -> None:
+        client, self._client = self._client, None
+        if client is not None:
+            client.close()
+
+    def _ship(self, batch: list[RawEvent]) -> None:  # noqa: ARG002
+        """Sink hook: forward everything harvested but not yet shipped.
+
+        Works from the master buffer rather than the batch argument so
+        a failed send is automatically retried by the next harvest."""
+        with self._ship_lock:
+            self._ship_pending()
+
+    def _ship_pending(self) -> None:
+        if self._client is None:
+            try:
+                self._connect()
+            except (OSError, ProtocolError):
+                return  # still down; retry on the next harvest
+        pending = self._master[self._shipped :]
+        if not pending:
+            return
+        try:
+            self._client.send_events(self._shipped, pending)
+            self._shipped += len(pending)
+        except (OSError, ProtocolError):
+            self._disconnect()
+
+    def _heartbeat_loop(self, interval: float) -> None:
+        while not self._hb_stop.wait(interval):
+            with self._ship_lock:
+                client = self._client
+                if client is None:
+                    continue
+                try:
+                    client.heartbeat()
+                except (OSError, ProtocolError):
+                    self._disconnect()
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def session_id(self) -> str | None:
+        return self._session_id
+
+    @property
+    def reconnects(self) -> int:
+        return self._reconnects
+
+    def drain(self) -> list[RawEvent]:
+        """Final harvest + final ship + FIN.  Returns the locally
+        retained events (so in-process analysis still works), with the
+        server's report available in :attr:`final_ack`."""
+        master = super().drain()
+        self._hb_stop.set()
+        self._hb_thread.join(timeout=5.0)
+        with self._ship_lock:
+            for _ in range(3):  # a retransmit cycle may need a reconnect
+                self._ship_pending()
+                if self._client is not None and self._shipped == len(master):
+                    break
+            client = self._client
+            if client is not None:
+                try:
+                    self.final_ack = client.fin()
+                except (OSError, ProtocolError):
+                    self.final_ack = None
+                self._disconnect()
+        return master

@@ -1,0 +1,422 @@
+"""The profiling daemon: many instrumented clients, one analyzer.
+
+:class:`ProfilingDaemon` listens on TCP (or a Unix socket), speaks the
+frame protocol of :mod:`~repro.service.protocol`, and keeps one
+:class:`~repro.service.session.Session` — engine, cursor, stats — per
+client.  Each accepted connection gets its own handler thread; a
+background *reaper* enforces the time-based guarantees:
+
+- an ACTIVE session whose client went silent past ``heartbeat_timeout``
+  has its connection closed (the session detaches and can resume);
+- a DETACHED session past ``session_linger`` is finalized — the daemon
+  emits a report for the events it *did* receive, which is what makes
+  an abrupt client death non-fatal to the capture;
+- a FINISHED session past ``session_linger`` is evicted from memory.
+
+Shutdown is a first-class path, not process teardown: ``SIGTERM`` and
+``SIGINT`` (when :meth:`serve_forever` installs handlers) stop the
+accept loop, close every live connection, flush and finalize every
+session (reports optionally land in ``report_dir``), and remove the
+Unix socket file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Any
+
+from ..patterns.detector import DetectorConfig
+from ..usecases.rules import ALL_RULES, Rule
+from ..usecases.thresholds import PAPER_THRESHOLDS, Thresholds
+from .protocol import (
+    MessageType,
+    ProtocolError,
+    decode_events,
+    decode_json,
+    encode_json,
+    recv_frame,
+)
+from .session import Session, SessionState
+from .streaming import StreamingUseCaseEngine
+
+
+class ProfilingDaemon:
+    """Long-running analysis service for remote event streams.
+
+    Parameters
+    ----------
+    host, port:
+        TCP listen address; ``port=0`` picks a free port (see
+        :attr:`address`).  Ignored when ``unix_socket`` is given.
+    unix_socket:
+        Path for an ``AF_UNIX`` listener instead of TCP.
+    heartbeat_timeout:
+        Seconds of client silence before its connection is closed.
+    session_linger:
+        Seconds a detached session waits for a resume before being
+        finalized, and a finished one stays queryable before eviction.
+    max_pending_events / overflow / spill_dir:
+        Per-session ingest bounds, see
+        :class:`~repro.service.session.IngestPipeline`.
+    report_dir:
+        When set, every finalized session writes
+        ``<report_dir>/<session>.json``.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        unix_socket: str | Path | None = None,
+        *,
+        heartbeat_timeout: float = 30.0,
+        session_linger: float = 60.0,
+        max_pending_events: int = 200_000,
+        overflow: str = "block",
+        spill_dir: str | None = None,
+        report_dir: str | Path | None = None,
+        thresholds: Thresholds = PAPER_THRESHOLDS,
+        detector_config: DetectorConfig | None = None,
+        rules: tuple[Rule, ...] = ALL_RULES,
+    ) -> None:
+        self.heartbeat_timeout = heartbeat_timeout
+        self.session_linger = session_linger
+        self._max_pending_events = max_pending_events
+        self._overflow = overflow
+        self._spill_dir = spill_dir
+        self._report_dir = Path(report_dir) if report_dir is not None else None
+        self._thresholds = thresholds
+        self._detector_config = detector_config
+        self._rules = rules
+
+        self.sessions: dict[str, Session] = {}
+        self._sessions_lock = threading.Lock()
+        self._conns: dict[int, socket.socket] = {}
+        self._conn_sessions: dict[int, str] = {}
+        self._conns_lock = threading.Lock()
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self.started_at = time.time()
+        self._shutdown = threading.Event()
+
+        self.unix_socket_path: Path | None = None
+        if unix_socket is not None:
+            self.unix_socket_path = Path(unix_socket)
+            if self.unix_socket_path.exists():
+                self.unix_socket_path.unlink()
+            self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._listener.bind(str(self.unix_socket_path))
+            self.host, self.port = None, None
+        else:
+            self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            self._listener.bind((host, port))
+            self.host, self.port = self._listener.getsockname()[:2]
+        self._listener.listen(64)
+
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="dsspy-daemon-accept", daemon=True
+        )
+        self._accept_thread.start()
+        self._reaper_thread = threading.Thread(
+            target=self._reap_loop, name="dsspy-daemon-reaper", daemon=True
+        )
+        self._reaper_thread.start()
+
+    # -- addresses -------------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        """Dialable address string (``host:port`` or ``unix:<path>``)."""
+        if self.unix_socket_path is not None:
+            return f"unix:{self.unix_socket_path}"
+        return f"{self.host}:{self.port}"
+
+    # -- accept / handle -------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            thread = threading.Thread(
+                target=self._handle,
+                args=(conn,),
+                name="dsspy-daemon-conn",
+                daemon=True,
+            )
+            thread.start()
+
+    def _handle(self, conn: socket.socket) -> None:
+        key = id(conn)
+        with self._conns_lock:
+            self._conns[key] = conn
+        session: Session | None = None
+        try:
+            while True:
+                frame = recv_frame(conn)
+                if frame is None:
+                    break  # clean EOF
+                mtype, payload = frame
+                if mtype == MessageType.HELLO:
+                    session = self._hello(conn, payload)
+                    with self._conns_lock:
+                        self._conn_sessions[key] = session.session_id
+                elif mtype == MessageType.STATS:
+                    conn.sendall(encode_json(MessageType.ACK, self.stats()))
+                elif session is None:
+                    raise ProtocolError(
+                        f"{MessageType.name(mtype)} before HELLO"
+                    )
+                elif mtype == MessageType.REGISTER:
+                    self._register(session, payload)
+                elif mtype == MessageType.EVENTS:
+                    start, raws = decode_events(payload)
+                    session.ingest(start, raws)
+                elif mtype == MessageType.HEARTBEAT:
+                    session.touch()
+                    conn.sendall(
+                        encode_json(
+                            MessageType.ACK,
+                            {"session": session.session_id,
+                             "received": session.received},
+                        )
+                    )
+                elif mtype == MessageType.FIN:
+                    report = session.finish()
+                    self._write_report(session)
+                    conn.sendall(
+                        encode_json(
+                            MessageType.ACK,
+                            {
+                                "session": session.session_id,
+                                "received": session.received,
+                                "report": report,
+                            },
+                        )
+                    )
+                else:
+                    raise ProtocolError(
+                        f"unexpected message type {MessageType.name(mtype)}"
+                    )
+        except ProtocolError as exc:
+            try:
+                conn.sendall(encode_json(MessageType.ERROR, {"error": str(exc)}))
+            except OSError:
+                pass
+        except OSError:
+            pass  # abrupt disconnect: fall through to detach
+        finally:
+            with self._conns_lock:
+                self._conns.pop(key, None)
+                self._conn_sessions.pop(key, None)
+            try:
+                conn.close()
+            except OSError:
+                pass
+            if session is not None:
+                session.detach()
+
+    def _hello(self, conn: socket.socket, payload: bytes) -> Session:
+        obj = decode_json(payload)
+        session_id = obj.get("session") or uuid.uuid4().hex[:12]
+        if not isinstance(session_id, str):
+            raise ProtocolError("HELLO 'session' must be a string")
+        with self._sessions_lock:
+            session = self.sessions.get(session_id)
+            if session is None:
+                session = Session(
+                    session_id,
+                    StreamingUseCaseEngine(
+                        thresholds=self._thresholds,
+                        detector_config=self._detector_config,
+                        rules=self._rules,
+                    ),
+                    max_pending_events=self._max_pending_events,
+                    overflow=self._overflow,
+                    spill_dir=self._spill_dir,
+                )
+                self.sessions[session_id] = session
+                resumed = False
+            else:
+                resumed = session.resume()
+        conn.sendall(
+            encode_json(
+                MessageType.ACK,
+                {
+                    "session": session_id,
+                    "received": session.received,
+                    "resumed": resumed,
+                },
+            )
+        )
+        return session
+
+    def _register(self, session: Session, payload: bytes) -> None:
+        from ..events.profile import AllocationSite
+        from ..events.types import StructureKind
+
+        obj = decode_json(payload)
+        for inst in obj.get("instances", ()):
+            try:
+                instance_id = int(inst["id"])
+                kind = StructureKind(inst.get("kind", "list"))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ProtocolError(f"bad REGISTER entry: {exc}") from exc
+            site_obj = inst.get("site")
+            site = (
+                AllocationSite(
+                    filename=site_obj.get("filename", "?"),
+                    lineno=int(site_obj.get("lineno", 0)),
+                    function=site_obj.get("function", "<module>"),
+                    variable=site_obj.get("variable", ""),
+                )
+                if isinstance(site_obj, dict)
+                else None
+            )
+            session.register(instance_id, kind, site, str(inst.get("label", "")))
+
+    # -- reaper ----------------------------------------------------------
+
+    def _reap_loop(self) -> None:
+        while not self._shutdown.wait(min(1.0, self.heartbeat_timeout / 4)):
+            self.reap()
+
+    def reap(self) -> None:
+        """One maintenance pass (also called directly by tests)."""
+        now = time.monotonic()
+        with self._sessions_lock:
+            sessions = list(self.sessions.values())
+        stale_ids = set()
+        for session in sessions:
+            if (
+                session.state == SessionState.ACTIVE
+                and now - session.last_seen > self.heartbeat_timeout
+            ):
+                stale_ids.add(session.session_id)
+            elif (
+                session.state == SessionState.DETACHED
+                and session.detached_at is not None
+                and now - session.detached_at > self.session_linger
+            ):
+                session.finish()
+                self._write_report(session)
+            elif (
+                session.state == SessionState.FINISHED
+                and session.finished_at is not None
+                and now - session.finished_at > self.session_linger
+            ):
+                with self._sessions_lock:
+                    self.sessions.pop(session.session_id, None)
+        if stale_ids:
+            with self._conns_lock:
+                stale_conns = [
+                    conn
+                    for key, conn in self._conns.items()
+                    if self._conn_sessions.get(key) in stale_ids
+                ]
+            for conn in stale_conns:
+                try:  # handler thread unblocks with an OSError and detaches
+                    conn.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+
+    def _write_report(self, session: Session) -> None:
+        if self._report_dir is None:
+            return
+        self._report_dir.mkdir(parents=True, exist_ok=True)
+        path = self._report_dir / f"{session.session_id}.json"
+        path.write_text(json.dumps(session.finish(), indent=2))
+
+    # -- observability ---------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        with self._sessions_lock:
+            sessions = list(self.sessions.values())
+        return {
+            "address": self.address,
+            "uptime_sec": round(time.time() - self.started_at, 1),
+            "sessions": [s.stats() for s in sessions],
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    def serve_forever(self, install_signals: bool = True) -> None:
+        """Block until :meth:`shutdown` or a termination signal."""
+        if install_signals:
+            try:
+                signal.signal(signal.SIGTERM, self.handle_signal)
+                signal.signal(signal.SIGINT, self.handle_signal)
+            except ValueError:
+                pass  # not the main thread; caller drives shutdown
+        try:
+            self._shutdown.wait()
+        finally:
+            self.close()
+
+    def handle_signal(self, signum, frame) -> None:  # noqa: ARG002
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Request shutdown (signal-safe: just sets an event)."""
+        self._shutdown.set()
+
+    def close(self) -> None:
+        """Stop listening, flush and finalize every session, remove the
+        Unix socket file.  Idempotent and safe to call from any thread."""
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._shutdown.set()
+        try:
+            # close() alone does not wake a thread blocked in accept()
+            # (the in-flight syscall pins the open file description);
+            # shutdown() forces accept() to return so the thread exits.
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._accept_thread.join(timeout=5.0)
+        self._reaper_thread.join(timeout=5.0)
+        with self._conns_lock:
+            conns = list(self._conns.values())
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            with self._conns_lock:
+                if not self._conns:
+                    break
+            time.sleep(0.01)
+        with self._sessions_lock:
+            sessions = list(self.sessions.values())
+        for session in sessions:
+            if session.state != SessionState.FINISHED:
+                session.finish()
+            self._write_report(session)
+        if self.unix_socket_path is not None:
+            try:
+                self.unix_socket_path.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __enter__(self) -> "ProfilingDaemon":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,233 @@
+"""Length-prefixed binary wire protocol of the profiling service.
+
+A conversation is a sequence of *frames*, each::
+
+    4 bytes   big-endian uint32: frame length = 1 + len(payload)
+    1 byte    message type (:class:`MessageType`)
+    N bytes   payload
+
+Control frames (HELLO, ACK, REGISTER, HEARTBEAT, FIN, STATS, ERROR)
+carry UTF-8 JSON payloads — they are rare, so readability beats
+compactness.  EVENTS frames carry the hot data and reuse the spill
+file's fixed-width record packing (:func:`~repro.events.spill.pack_record`)
+verbatim::
+
+    8 bytes   big-endian uint64: stream index of the first event
+    4 bytes   big-endian uint32: record count
+    N * 39    spill records (little-endian, as on disk)
+
+The stream index is the client's cumulative event counter; together
+with the server's ``received`` high-water mark it makes retransmission
+after a reconnect idempotent — the server skips the overlap instead of
+double-counting.
+
+Framing is deliberately strict: a declared length of zero (no type
+byte) or beyond :data:`MAX_FRAME_BYTES` is a protocol error, not a
+huge allocation.  :class:`FrameDecoder` is a plain incremental byte
+feeder so it can sit on top of any transport and is trivially
+property-testable against partial reads.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Iterable
+
+from ..events.event import RawEvent
+from ..events.spill import RECORD_SIZE, pack_record, unpack_record
+
+
+class ProtocolError(Exception):
+    """A malformed frame or an out-of-protocol message sequence."""
+
+
+class MessageType:
+    """Frame type codes.  An ``IntEnum`` in spirit; plain ints on the
+    wire (one byte) and in decoder output, named constants here."""
+
+    HELLO = 1
+    ACK = 2
+    REGISTER = 3
+    EVENTS = 4
+    HEARTBEAT = 5
+    FIN = 6
+    STATS = 7
+    ERROR = 8
+
+    _NAMES = {
+        1: "HELLO",
+        2: "ACK",
+        3: "REGISTER",
+        4: "EVENTS",
+        5: "HEARTBEAT",
+        6: "FIN",
+        7: "STATS",
+        8: "ERROR",
+    }
+
+    @classmethod
+    def name(cls, code: int) -> str:
+        return cls._NAMES.get(code, f"UNKNOWN({code})")
+
+
+_LENGTH = struct.Struct("!I")
+_EVENTS_HEADER = struct.Struct("!QI")
+
+#: Hard ceiling on one frame (length prefix value).  Big enough for the
+#: largest EVENTS batch a client ships, small enough that a corrupt or
+#: hostile length prefix cannot trigger a giant allocation.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: Largest EVENTS batch that fits one frame.
+MAX_EVENTS_PER_FRAME = (MAX_FRAME_BYTES - 1 - _EVENTS_HEADER.size) // RECORD_SIZE
+
+
+def encode_frame(mtype: int, payload: bytes = b"") -> bytes:
+    """One wire frame: length prefix + type byte + payload."""
+    length = 1 + len(payload)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
+        )
+    return _LENGTH.pack(length) + bytes((mtype,)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame reassembly from an arbitrary byte stream.
+
+    ``feed`` accepts any chunking — single bytes, half frames, many
+    frames at once — and returns every frame completed so far.  State
+    between calls is just the undigested byte tail.
+    """
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[tuple[int, bytes]]:
+        """Absorb ``data``; return all newly completed ``(type, payload)``."""
+        self._buffer += data
+        frames: list[tuple[int, bytes]] = []
+        buf = self._buffer
+        while True:
+            if len(buf) < _LENGTH.size:
+                break
+            (length,) = _LENGTH.unpack_from(buf)
+            if length < 1:
+                raise ProtocolError("frame length prefix < 1 (no type byte)")
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"frame length prefix {length} exceeds "
+                    f"MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
+                )
+            end = _LENGTH.size + length
+            if len(buf) < end:
+                break
+            mtype = buf[_LENGTH.size]
+            payload = bytes(buf[_LENGTH.size + 1 : end])
+            del buf[:end]
+            frames.append((mtype, payload))
+        return frames
+
+
+# -- JSON control payloads ---------------------------------------------------
+
+
+def encode_json(mtype: int, obj: dict[str, Any]) -> bytes:
+    return encode_frame(mtype, json.dumps(obj, separators=(",", ":")).encode("utf-8"))
+
+
+def decode_json(payload: bytes) -> dict[str, Any]:
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed JSON control payload: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("control payload must be a JSON object")
+    return obj
+
+
+# -- EVENTS payloads ---------------------------------------------------------
+
+
+def encode_events(start: int, raws: Iterable[RawEvent]) -> bytes:
+    """EVENTS frame for ``raws`` starting at stream index ``start``."""
+    body = bytearray()
+    count = 0
+    for raw in raws:
+        body += pack_record(raw)
+        count += 1
+    if count > MAX_EVENTS_PER_FRAME:
+        raise ProtocolError(
+            f"{count} events exceed MAX_EVENTS_PER_FRAME ({MAX_EVENTS_PER_FRAME})"
+        )
+    return encode_frame(
+        MessageType.EVENTS, _EVENTS_HEADER.pack(start, count) + bytes(body)
+    )
+
+
+def decode_events(payload: bytes) -> tuple[int, list[RawEvent]]:
+    """Inverse of :func:`encode_events`: ``(start, raw event tuples)``."""
+    if len(payload) < _EVENTS_HEADER.size:
+        raise ProtocolError("EVENTS payload shorter than its header")
+    start, count = _EVENTS_HEADER.unpack_from(payload)
+    body = payload[_EVENTS_HEADER.size :]
+    if len(body) != count * RECORD_SIZE:
+        raise ProtocolError(
+            f"EVENTS payload declares {count} records but carries "
+            f"{len(body)} body bytes (expected {count * RECORD_SIZE})"
+        )
+    return start, [
+        unpack_record(body[offset : offset + RECORD_SIZE])
+        for offset in range(0, len(body), RECORD_SIZE)
+    ]
+
+
+# -- blocking socket transport ----------------------------------------------
+
+
+def send_frame(sock: socket.socket, mtype: int, payload: bytes = b"") -> None:
+    sock.sendall(encode_frame(mtype, payload))
+
+
+def send_raw_frame(sock: socket.socket, frame: bytes) -> None:
+    sock.sendall(frame)
+
+
+def _recv_exact(sock: socket.socket, n: int, *, at_boundary: bool) -> bytes | None:
+    """Read exactly ``n`` bytes; ``None`` on clean EOF before the first
+    byte of a frame, :class:`ProtocolError` on EOF mid-frame."""
+    chunks = bytearray()
+    while len(chunks) < n:
+        chunk = sock.recv(n - len(chunks))
+        if not chunk:
+            if at_boundary and not chunks:
+                return None
+            raise ProtocolError("connection closed mid-frame")
+        chunks += chunk
+    return bytes(chunks)
+
+
+def recv_frame(sock: socket.socket) -> tuple[int, bytes] | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    header = _recv_exact(sock, _LENGTH.size, at_boundary=True)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length < 1:
+        raise ProtocolError("frame length prefix < 1 (no type byte)")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length prefix {length} exceeds MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
+        )
+    body = _recv_exact(sock, length, at_boundary=False)
+    assert body is not None
+    return body[0], body[1:]

@@ -1,0 +1,398 @@
+"""Per-client session state of the profiling daemon.
+
+A *session* is the server-side life of one instrumented process: its
+streaming engine, its resume cursor, and its ingest statistics.  The
+session outlives any single TCP connection — a client that loses its
+link reconnects with the same session id, the daemon reports how many
+events it already accepted (``received``), and the client retransmits
+from there; :meth:`Session.ingest` drops the overlap, so a
+retransmitted window is never double-counted.
+
+Between the socket and the engine sits an :class:`IngestPipeline`: a
+bounded hand-off that decouples frame receipt from event folding.  Its
+``overflow`` policy is the daemon's last line of defense when clients
+outpace analysis:
+
+``"block"``
+    the connection thread waits for the folder — backpressure
+    propagates to the client through TCP (lossless).
+``"decimate"``
+    keep 1-in-``stride`` events and count the rest as ``decimated`` —
+    the same graceful degradation the in-process pipeline uses
+    (:class:`~repro.events.sampling.Decimate`), trading exactness for
+    liveness.
+``"spill"``
+    append overflow windows to a binary spill file
+    (:class:`~repro.events.spill.SpillWriter`) and fold them during the
+    next :meth:`~IngestPipeline.flush` — lossless and bounded-RAM, at
+    the price of deferred analysis.  Once a window spills, every later
+    window spills too until the file is replayed, preserving
+    per-instance event order.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+from collections import deque
+from typing import Any, Callable
+
+from ..events.event import RawEvent
+from ..events.spill import SpillWriter, iter_spill_raw
+from .protocol import ProtocolError
+from .streaming import StreamingUseCaseEngine
+
+
+class SessionState:
+    """Lifecycle of a session (plain string constants for JSON)."""
+
+    ACTIVE = "active"  # a connection is attached
+    DETACHED = "detached"  # connection lost; waiting for resume or reaper
+    FINISHED = "finished"  # FIN received or reaper finalized it
+
+
+class RateMeter:
+    """Sliding-window events/sec estimate (for STATS output)."""
+
+    __slots__ = ("_window", "_samples", "_total")
+
+    def __init__(self, window: float = 10.0) -> None:
+        self._window = window
+        self._samples: deque[tuple[float, int]] = deque()
+        self._total = 0
+
+    def tick(self, n: int) -> None:
+        now = time.monotonic()
+        self._samples.append((now, n))
+        self._total += n
+        horizon = now - self._window
+        while self._samples and self._samples[0][0] < horizon:
+            _, dropped = self._samples.popleft()
+            self._total -= dropped
+
+    def rate(self) -> float:
+        if not self._samples:
+            return 0.0
+        now = time.monotonic()
+        horizon = now - self._window
+        while self._samples and self._samples[0][0] < horizon:
+            _, dropped = self._samples.popleft()
+            self._total -= dropped
+        if not self._samples:
+            return 0.0
+        span = max(now - self._samples[0][0], 1e-9)
+        return self._total / span
+
+
+class IngestPipeline:
+    """Bounded hand-off between a receiving thread and a folding worker."""
+
+    def __init__(
+        self,
+        fold: Callable[[list[RawEvent]], None],
+        max_pending_events: int = 200_000,
+        overflow: str = "block",
+        decimate_stride: int = 10,
+        spill_dir: str | None = None,
+        block_timeout: float = 30.0,
+    ) -> None:
+        if overflow not in ("block", "decimate", "spill"):
+            raise ValueError(
+                f"overflow must be 'block', 'decimate' or 'spill', got {overflow!r}"
+            )
+        if decimate_stride < 1:
+            raise ValueError(f"decimate_stride must be >= 1, got {decimate_stride}")
+        self._fold = fold
+        self._max_pending = max_pending_events
+        self._overflow = overflow
+        self._stride = decimate_stride
+        self._spill_dir = spill_dir
+        self._block_timeout = block_timeout
+
+        self._lock = threading.Lock()
+        self._has_work = threading.Condition(self._lock)
+        self._has_room = threading.Condition(self._lock)
+        self._queue: deque[list[RawEvent]] = deque()
+        self._pending = 0
+        self._accepted = 0
+        self._folded = 0
+        self._closing = False
+
+        self.decimated = 0
+        self.spilled = 0
+        self._decim_counter = 0
+        self._spill_writer: SpillWriter | None = None
+        self._spill_path: str | None = None
+        self._spill_backlog = 0
+
+        self._worker = threading.Thread(
+            target=self._run, name="dsspy-ingest-folder", daemon=True
+        )
+        self._worker.start()
+
+    # -- receiving side --------------------------------------------------
+
+    def submit(self, batch: list[RawEvent]) -> None:
+        """Hand one window to the folder, applying the overflow policy."""
+        if not batch:
+            return
+        with self._lock:
+            if self._closing:
+                raise RuntimeError("ingest pipeline already closed")
+            over = self._pending + len(batch) > self._max_pending
+            if self._overflow == "spill" and (over or self._spill_backlog):
+                self._spill_locked(batch)
+                return
+            if over and self._overflow == "decimate":
+                batch, dropped = self._decimate(batch)
+                self.decimated += dropped
+                if not batch:
+                    return
+            elif over:  # block
+                deadline = time.monotonic() + self._block_timeout
+                while self._pending + len(batch) > self._max_pending:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TimeoutError(
+                            "ingest folder did not catch up within "
+                            f"{self._block_timeout}s"
+                        )
+                    self._has_room.wait(remaining)
+                    if self._closing:
+                        raise RuntimeError("ingest pipeline already closed")
+            self._queue.append(batch)
+            self._pending += len(batch)
+            self._accepted += len(batch)
+            self._has_work.notify()
+
+    def _decimate(self, batch: list[RawEvent]) -> tuple[list[RawEvent], int]:
+        stride = self._stride
+        counter = self._decim_counter
+        kept = [raw for i, raw in enumerate(batch, counter) if i % stride == 0]
+        self._decim_counter = counter + len(batch)
+        return kept, len(batch) - len(kept)
+
+    def _spill_locked(self, batch: list[RawEvent]) -> None:
+        if self._spill_writer is None:
+            fd, path = tempfile.mkstemp(
+                prefix="dsspy-ingest-", suffix=".spill", dir=self._spill_dir
+            )
+            os.close(fd)
+            self._spill_writer = SpillWriter(path)
+            self._spill_path = path
+        self._spill_writer.write_batch(batch)
+        self._spill_backlog += len(batch)
+        self.spilled += len(batch)
+        self._accepted += len(batch)
+
+    # -- folding side ----------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._closing:
+                    self._has_work.wait()
+                if not self._queue and self._closing:
+                    return
+                batch = self._queue.popleft()
+            try:
+                self._fold(batch)
+            finally:
+                with self._lock:
+                    self._pending -= len(batch)
+                    self._folded += len(batch)
+                    self._has_room.notify_all()
+                    self._has_work.notify_all()  # flush waiters
+
+    def _replay_spill(self) -> None:
+        """Fold the spill backlog (receiver must be quiescent or keep
+        spilling, which :meth:`submit` guarantees via the backlog flag)."""
+        with self._lock:
+            writer = self._spill_writer
+            if writer is None:
+                return
+            writer.close()
+            path = self._spill_path
+            self._spill_writer = None
+            self._spill_path = None
+            backlog = self._spill_backlog
+        window: list[RawEvent] = []
+        for raw in iter_spill_raw(path):
+            window.append(raw)
+            if len(window) >= 4096:
+                self._fold(window)
+                self._folded += len(window)
+                window = []
+        if window:
+            self._fold(window)
+            self._folded += len(window)
+        os.unlink(path)
+        with self._lock:
+            self._spill_backlog -= backlog
+
+    def flush(self, timeout: float = 30.0) -> None:
+        """Block until everything accepted so far has been folded."""
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            while self._queue or self._pending:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError("ingest folder did not drain in time")
+                self._has_work.wait(remaining)
+        if self._spill_backlog:
+            self._replay_spill()
+
+    @property
+    def accepted(self) -> int:
+        return self._accepted
+
+    @property
+    def folded(self) -> int:
+        return self._folded
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return self._pending + self._spill_backlog
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Flush, then stop the worker thread.  Idempotent."""
+        if self._closing and not self._worker.is_alive():
+            return
+        self.flush(timeout)
+        with self._lock:
+            self._closing = True
+            self._has_work.notify_all()
+            self._has_room.notify_all()
+        self._worker.join(timeout)
+
+
+class Session:
+    """One client's engine + resume cursor + statistics."""
+
+    def __init__(
+        self,
+        session_id: str,
+        engine: StreamingUseCaseEngine,
+        max_pending_events: int = 200_000,
+        overflow: str = "block",
+        spill_dir: str | None = None,
+    ) -> None:
+        self.session_id = session_id
+        self.engine = engine
+        self.state = SessionState.ACTIVE
+        self.received = 0  # stream-index high-water mark (accepted)
+        self.duplicates = 0
+        self.started_at = time.time()
+        self.last_seen = time.monotonic()
+        self.detached_at: float | None = None
+        self.finished_at: float | None = None
+        self.rate = RateMeter()
+        self._lock = threading.RLock()
+        self._report_dict: dict[str, Any] | None = None
+        self.pipeline = IngestPipeline(
+            engine.feed_window,
+            max_pending_events=max_pending_events,
+            overflow=overflow,
+            spill_dir=spill_dir,
+        )
+
+    # -- ingest ----------------------------------------------------------
+
+    def touch(self) -> None:
+        self.last_seen = time.monotonic()
+
+    def ingest(self, start: int, raws: list[RawEvent]) -> int:
+        """Accept one EVENTS window; returns how many events were new.
+
+        ``start`` is the stream index of the window's first event.  A
+        window that begins past the high-water mark means events were
+        lost in transit (a client bug — the protocol retransmits from
+        ``received``), which is a hard protocol error.  A window that
+        begins below it is a retransmission; the overlap is skipped.
+        """
+        with self._lock:
+            if self.state == SessionState.FINISHED:
+                raise ProtocolError(f"session {self.session_id} already finished")
+            if start > self.received:
+                raise ProtocolError(
+                    f"event gap: window starts at {start} but only "
+                    f"{self.received} events were received"
+                )
+            skip = self.received - start
+            if skip >= len(raws):
+                self.duplicates += len(raws)
+                return 0
+            fresh = raws[skip:] if skip else raws
+            self.duplicates += skip
+            self.received += len(fresh)
+            self.touch()
+            # Submit under the session lock: the cursor advance and the
+            # hand-off must be atomic or two racing windows could fold
+            # out of order.  (The folder never takes this lock, so
+            # blocking backpressure cannot deadlock.)
+            self.pipeline.submit(fresh)
+            self.rate.tick(len(fresh))
+        return len(fresh)
+
+    def register(self, instance_id: int, kind, site, label) -> None:
+        with self._lock:
+            self.engine.register_instance(instance_id, kind, site=site, label=label)
+            self.touch()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def detach(self) -> None:
+        with self._lock:
+            if self.state == SessionState.ACTIVE:
+                self.state = SessionState.DETACHED
+                self.detached_at = time.monotonic()
+
+    def resume(self) -> bool:
+        """Reattach a connection; ``True`` if this was a resume."""
+        with self._lock:
+            if self.state == SessionState.FINISHED:
+                raise ProtocolError(f"session {self.session_id} already finished")
+            resumed = self.state == SessionState.DETACHED
+            self.state = SessionState.ACTIVE
+            self.detached_at = None
+            self.touch()
+            return resumed
+
+    def finish(self) -> dict[str, Any]:
+        """Flush the pipeline, freeze the final report, return it as a
+        JSON-ready dict.  Idempotent — a second FIN gets the same
+        report."""
+        from ..usecases.json_export import report_to_dict
+
+        with self._lock:
+            if self._report_dict is None:
+                self.pipeline.close()
+                self._report_dict = report_to_dict(self.engine.report())
+                self.state = SessionState.FINISHED
+                self.finished_at = time.monotonic()
+            return self._report_dict
+
+    # -- observability ---------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            engine = self.engine
+            return {
+                "session": self.session_id,
+                "state": self.state,
+                "received": self.received,
+                "folded": engine.events_folded,
+                "pending": self.pipeline.pending,
+                "duplicates": self.duplicates,
+                "decimated": self.pipeline.decimated,
+                "spilled": self.pipeline.spilled,
+                "dropped_unknown_instance": engine.unknown_instance_events,
+                "instances": engine.instances_analyzed,
+                "events_per_sec": round(self.rate.rate(), 1),
+                "flagged": {
+                    str(iid): kinds for iid, kinds in engine.flagged_kinds().items()
+                },
+            }

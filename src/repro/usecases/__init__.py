@@ -4,7 +4,8 @@ Eight rules (five with parallel potential) applied to pattern analyses,
 each yielding a recommendation with its supporting evidence.
 """
 
-from .engine import UseCaseEngine, UseCaseReport
+from .engine import UseCaseEngine, UseCaseReport, evaluate_rules
+from .features import ProfileFeatures, end_purity, features_of
 from .explain import (
     Criterion,
     RuleExplanation,
@@ -50,6 +51,7 @@ __all__ = [
     "LongInsertRule",
     "PAPER_THRESHOLDS",
     "PARALLEL_RULES",
+    "ProfileFeatures",
     "Recommendation",
     "Rule",
     "SEQUENTIAL_RULES",
@@ -62,6 +64,9 @@ __all__ = [
     "UseCaseKind",
     "UseCaseReport",
     "WriteWithoutReadRule",
+    "end_purity",
+    "evaluate_rules",
+    "features_of",
     "format_summary",
     "format_table_v",
     "format_use_case",

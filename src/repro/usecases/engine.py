@@ -15,9 +15,38 @@ from ..events.collector import EventCollector
 from ..events.profile import RuntimeProfile
 from ..events.sampling import SamplingPolicy
 from ..patterns.detector import DetectorConfig, PatternDetector
+from .features import ProfileFeatures, features_of
 from .model import UseCase, UseCaseKind
-from .rules import ALL_RULES, Rule
+from .rules import ALL_RULES, Evidence, Rule
 from .thresholds import PAPER_THRESHOLDS, Thresholds
+
+
+def evaluate_rules(
+    features: ProfileFeatures,
+    thresholds: Thresholds,
+    rules: tuple[Rule, ...] = ALL_RULES,
+) -> list[tuple[Rule, Evidence]]:
+    """Apply a rule set to one profile's features.
+
+    Categories are exclusive where one subsumes another:
+    Sort-After-Insert implies a long insertion phase, so when SAI fires,
+    the plain Long-Insert diagnosis is suppressed (its recommendation —
+    parallelize the insert — is contained in SAI's).
+
+    Shared by the batch :class:`UseCaseEngine` and the streaming
+    :class:`~repro.service.streaming.StreamingUseCaseEngine`, so a
+    use-case decision is made in exactly one place.
+    """
+    fired: list[tuple[Rule, Evidence]] = []
+    for rule in rules:
+        evidence = rule.evaluate_features(features, thresholds)
+        if evidence is not None:
+            fired.append((rule, evidence))
+    if any(rule.kind is UseCaseKind.SORT_AFTER_INSERT for rule, _ in fired):
+        fired = [
+            (rule, ev) for rule, ev in fired if rule.kind is not UseCaseKind.LONG_INSERT
+        ]
+    return fired
 
 
 @dataclass(frozen=True)
@@ -107,23 +136,17 @@ class UseCaseEngine:
         SAI's).
         """
         analysis = self.detector.detect(profile)
-        found: list[UseCase] = []
-        for rule in self.rules:
-            evidence = rule.evaluate(analysis, self.thresholds)
-            if evidence is None:
-                continue
-            found.append(
-                UseCase(
-                    kind=rule.kind,
-                    profile=profile,
-                    analysis=analysis,
-                    recommendation=rule.recommend(evidence),
-                    evidence=evidence,
-                )
+        features = features_of(analysis)
+        return [
+            UseCase(
+                kind=rule.kind,
+                profile=profile,
+                analysis=analysis,
+                recommendation=rule.recommend(evidence),
+                evidence=evidence,
             )
-        if any(u.kind is UseCaseKind.SORT_AFTER_INSERT for u in found):
-            found = [u for u in found if u.kind is not UseCaseKind.LONG_INSERT]
-        return found
+            for rule, evidence in evaluate_rules(features, self.thresholds, self.rules)
+        ]
 
     def analyze(self, profiles: list[RuntimeProfile]) -> UseCaseReport:
         """Analyze a batch of profiles into a report.

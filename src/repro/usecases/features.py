@@ -1,0 +1,214 @@
+"""Scalar profile features shared by batch and streaming analysis.
+
+The use-case rules originally reached straight into a profile's numpy
+arrays, which ties them to a fully materialized event history.  The
+streaming service (:mod:`repro.service`) cannot afford that — it folds
+each event into per-instance state and discards it — so every quantity
+a rule thresholds is factored out here into :class:`ProfileFeatures`,
+an exact, order-insensitive summary small enough to keep per instance.
+
+Two producers exist:
+
+- :func:`features_of` extracts the features from a batch
+  :class:`~repro.patterns.model.PatternAnalysis` with the same
+  vectorized numpy expressions the rules used inline, and
+- :class:`~repro.service.streaming.StreamingUseCaseEngine` accumulates
+  the identical quantities incrementally, one event at a time.
+
+Because both paths feed the same
+:meth:`~repro.usecases.rules.Rule.evaluate_features` implementations,
+streaming and batch analysis cannot drift apart: equal features imply
+equal use cases *and* equal evidence dictionaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from ..events.profile import NO_POSITION
+from ..events.types import AccessKind, OperationKind, StructureKind
+from ..patterns.model import AccessPattern
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..patterns.model import PatternAnalysis
+
+
+@dataclass(frozen=True, slots=True)
+class ProfileFeatures:
+    """Everything the eight use-case rules measure, as plain scalars.
+
+    Attributes
+    ----------
+    kind:
+        Container species of the instance.
+    total_events:
+        Number of events in the profile (all operations, including
+        transparent ``Init``/``ForAll`` markers).
+    read_kind_events:
+        Events whose trivial :class:`AccessKind` is ``READ``.
+    op_counts:
+        Event count per compound :class:`OperationKind` (zero entries
+        may be omitted; use :meth:`count`).
+    insert_front / insert_back (and delete/read twins):
+        Positional events of that operation targeting the front
+        (``position == 0``) resp. the back (``position >= size - 1``).
+        An event can hit both ends of a one-element structure and then
+        counts in both, exactly like the numpy masks it replaces.
+    end_events:
+        Events that hit the front or the back (each counted once).
+    sort_count / last_sort_index:
+        ``Sort`` operations seen, and the profile-relative index of the
+        last one (``-1`` when none) — the Sort-After-Insert rule only
+        needs the latest sort to decide "a sort follows this phase".
+    trailing_writes / trailing_ops / trailing_distinct_positions /
+    trailing_max_size:
+        State of the write-without-read tail: non-``Init`` events after
+        the last read-kind event, the operation kinds among them, how
+        many distinct positions they touched, and the largest structure
+        size they observed.
+    patterns:
+        The detected access patterns (maximal consistent runs), in
+        ``start`` order.
+    """
+
+    kind: StructureKind
+    total_events: int
+    read_kind_events: int = 0
+    op_counts: Mapping[OperationKind, int] = field(default_factory=dict)
+    insert_front: int = 0
+    insert_back: int = 0
+    delete_front: int = 0
+    delete_back: int = 0
+    read_front: int = 0
+    read_back: int = 0
+    end_events: int = 0
+    sort_count: int = 0
+    last_sort_index: int = -1
+    trailing_writes: int = 0
+    trailing_ops: frozenset = frozenset()
+    trailing_distinct_positions: int = 0
+    trailing_max_size: int = 0
+    patterns: tuple[AccessPattern, ...] = ()
+
+    # -- derived quantities the rules threshold --------------------------
+
+    def count(self, op: OperationKind) -> int:
+        """Events with the given compound operation kind."""
+        return self.op_counts.get(op, 0)
+
+    @property
+    def read_fraction(self) -> float:
+        """Share of events that are trivial reads; 0.0 when empty."""
+        if self.total_events == 0:
+            return 0.0
+        return self.read_kind_events / self.total_events
+
+    @property
+    def end_fraction(self) -> float:
+        """Share of events that hit the front or back of the structure."""
+        if self.total_events == 0:
+            return 0.0
+        return self.end_events / self.total_events
+
+    def patterns_where(self, predicate) -> list[AccessPattern]:
+        return [p for p in self.patterns if predicate(p)]
+
+    def events_in(self, predicate) -> int:
+        """Total events across patterns selected by ``predicate``."""
+        return sum(p.length for p in self.patterns if predicate(p))
+
+    def fraction_in(self, predicate) -> float:
+        """Share of the profile's events inside matching patterns."""
+        if self.total_events == 0:
+            return 0.0
+        return self.events_in(predicate) / self.total_events
+
+
+def end_purity(count: int, front: int, back: int) -> tuple[str | None, float, int]:
+    """Which end an operation targets and how consistently.
+
+    Mirrors the rules' historical ``_end_purity`` mask arithmetic:
+    ``count`` is every event of the operation (positional or not),
+    ``front``/``back`` the positional subsets.  Returns ``(end, purity,
+    count)`` where ``end`` is ``"front"`` / ``"back"`` / ``None``.
+    """
+    if count == 0:
+        return None, 0.0, 0
+    if front >= back:
+        return "front", front / count, count
+    return "back", back / count, count
+
+
+def features_of(analysis: "PatternAnalysis") -> ProfileFeatures:
+    """Extract :class:`ProfileFeatures` from a batch pattern analysis.
+
+    Every expression matches what the rules previously computed inline
+    from the profile's numpy arrays, so refactored rules return
+    bit-identical evidence.
+    """
+    profile = analysis.profile
+    n = len(profile)
+    if n == 0:
+        return ProfileFeatures(
+            kind=profile.kind, total_events=0, patterns=analysis.patterns
+        )
+
+    ops = profile.ops
+    kinds = profile.kinds
+    positions = profile.positions
+    sizes = profile.sizes
+
+    has_pos = positions != NO_POSITION
+    at_front = has_pos & (positions == 0)
+    at_back = has_pos & (positions >= sizes - 1)
+
+    def _front_back(op: OperationKind) -> tuple[int, int]:
+        mask = ops == op
+        return (
+            int(np.count_nonzero(mask & at_front)),
+            int(np.count_nonzero(mask & at_back)),
+        )
+
+    insert_front, insert_back = _front_back(OperationKind.INSERT)
+    delete_front, delete_back = _front_back(OperationKind.DELETE)
+    read_front, read_back = _front_back(OperationKind.READ)
+
+    sort_indices = np.flatnonzero(ops == OperationKind.SORT)
+
+    # Write-without-read tail: non-Init events after the last read.
+    reads = np.flatnonzero(kinds == AccessKind.READ)
+    first_trailing = int(reads[-1]) + 1 if reads.size else 0
+    trailing = [
+        i
+        for i in range(first_trailing, n)
+        if OperationKind(int(ops[i])) is not OperationKind.INIT
+    ]
+    trailing_ops = frozenset(OperationKind(int(ops[i])) for i in trailing)
+    trailing_positions = {
+        int(positions[i]) for i in trailing if positions[i] != NO_POSITION
+    }
+    trailing_max_size = max((int(sizes[i]) for i in trailing), default=0)
+
+    return ProfileFeatures(
+        kind=profile.kind,
+        total_events=n,
+        read_kind_events=int(np.count_nonzero(kinds == AccessKind.READ)),
+        op_counts=profile.op_histogram(),
+        insert_front=insert_front,
+        insert_back=insert_back,
+        delete_front=delete_front,
+        delete_back=delete_back,
+        read_front=read_front,
+        read_back=read_back,
+        end_events=int(np.count_nonzero(at_front | at_back)),
+        sort_count=int(sort_indices.size),
+        last_sort_index=int(sort_indices[-1]) if sort_indices.size else -1,
+        trailing_writes=len(trailing),
+        trailing_ops=trailing_ops,
+        trailing_distinct_positions=len(trailing_positions),
+        trailing_max_size=trailing_max_size,
+        patterns=analysis.patterns,
+    )

@@ -1,10 +1,20 @@
 """The eight use-case rules.
 
-Each rule inspects a :class:`~repro.patterns.model.PatternAnalysis` and
-either returns an *evidence* dictionary (the measured quantities that
-crossed the thresholds) or ``None``.  Rule definitions follow §III-B of
-the paper verbatim; where the paper is qualitative (IDF, SI, WWR) the
+Each rule thresholds a :class:`~repro.usecases.features.ProfileFeatures`
+summary — the exact scalar quantities of one profile — and either
+returns an *evidence* dictionary (the measured quantities that crossed
+the thresholds) or ``None``.  Rule definitions follow §III-B of the
+paper verbatim; where the paper is qualitative (IDF, SI, WWR) the
 operationalization is documented inline.
+
+Rules deliberately never touch raw event arrays: the same
+``evaluate_features`` implementations serve the batch engine (features
+extracted from a full :class:`~repro.patterns.model.PatternAnalysis`
+via :func:`~repro.usecases.features.features_of`) and the streaming
+service engine (features accumulated event-by-event with bounded
+memory), which is what guarantees the two analysis modes converge to
+identical reports.  ``evaluate(analysis, th)`` remains as a
+convenience wrapper for callers holding a full analysis.
 """
 
 from __future__ import annotations
@@ -13,9 +23,9 @@ from typing import Any, Protocol
 
 import numpy as np
 
-from ..events.profile import NO_POSITION
-from ..events.types import AccessKind, OperationKind, StructureKind
+from ..events.types import OperationKind, StructureKind
 from ..patterns.model import AccessPattern, PatternAnalysis
+from .features import ProfileFeatures, end_purity, features_of
 from .model import Recommendation, UseCaseKind
 from .thresholds import Thresholds
 
@@ -25,70 +35,54 @@ Evidence = dict[str, Any]
 class Rule(Protocol):
     kind: UseCaseKind
 
-    def evaluate(self, analysis: PatternAnalysis, th: Thresholds) -> Evidence | None:
+    def evaluate_features(
+        self, features: ProfileFeatures, th: Thresholds
+    ) -> Evidence | None:
         """Evidence dict when the rule fires, else ``None``."""
+
+    def evaluate(self, analysis: PatternAnalysis, th: Thresholds) -> Evidence | None:
+        """Convenience wrapper: extract features, then evaluate them."""
+
+
+class _FeatureRule:
+    """Shared ``evaluate`` plumbing: analysis → features → thresholds."""
+
+    def evaluate(self, analysis: PatternAnalysis, th: Thresholds) -> Evidence | None:
+        return self.evaluate_features(features_of(analysis), th)
 
 
 # -- shared helpers ---------------------------------------------------------
 
 
-def _positional_masks(analysis: PatternAnalysis):
-    """(has_position, at_front, at_back) boolean masks over all events."""
-    profile = analysis.profile
-    positions = profile.positions
-    sizes = profile.sizes
-    has_pos = positions != NO_POSITION
-    at_front = has_pos & (positions == 0)
-    at_back = has_pos & (positions >= sizes - 1)
-    return has_pos, at_front, at_back
+def _insert_patterns(features: ProfileFeatures) -> list[AccessPattern]:
+    return features.patterns_where(lambda p: p.pattern_type.is_insert)
 
 
-def _end_purity(ops: np.ndarray, mask_op, at_front, at_back) -> tuple[str | None, float, int]:
-    """Which end an operation targets and how consistently.
-
-    Returns ``(end, purity, count)`` where ``end`` is ``"front"`` /
-    ``"back"`` / ``None`` and purity is the share of the operation's
-    events that hit that end.
-    """
-    count = int(np.count_nonzero(mask_op))
-    if count == 0:
-        return None, 0.0, 0
-    front = int(np.count_nonzero(mask_op & at_front))
-    back = int(np.count_nonzero(mask_op & at_back))
-    if front >= back:
-        return "front", front / count, count
-    return "back", back / count, count
+def _read_patterns(features: ProfileFeatures) -> list[AccessPattern]:
+    return features.patterns_where(lambda p: p.pattern_type.is_read)
 
 
-def _insert_patterns(analysis: PatternAnalysis) -> list[AccessPattern]:
-    return [p for p in analysis.patterns if p.pattern_type.is_insert]
-
-
-def _read_patterns(analysis: PatternAnalysis) -> list[AccessPattern]:
-    return [p for p in analysis.patterns if p.pattern_type.is_read]
-
-
-def _is_linear(analysis: PatternAnalysis) -> bool:
-    return analysis.profile.kind.is_linear
+def _is_linear(features: ProfileFeatures) -> bool:
+    return features.kind.is_linear
 
 
 # -- the five parallel-potential rules ------------------------------------------
 
 
-class LongInsertRule:
+class LongInsertRule(_FeatureRule):
     """LI: an insertion pattern from either end inserting more than one
     element, with frequent insertion phases (>30% of runtime) of which
     at least one is long (≥100 consecutive access events)."""
 
     kind = UseCaseKind.LONG_INSERT
 
-    def evaluate(self, analysis: PatternAnalysis, th: Thresholds) -> Evidence | None:
-        if not _is_linear(analysis):
+    def evaluate_features(self, f: ProfileFeatures, th: Thresholds) -> Evidence | None:
+        if not _is_linear(f):
             return None
-        inserts = _insert_patterns(analysis)
+        inserts = _insert_patterns(f)
         if not inserts:
             return None
-        insert_fraction = analysis.fraction_in(lambda p: p.pattern_type.is_insert)
+        insert_fraction = f.fraction_in(lambda p: p.pattern_type.is_insert)
         if insert_fraction <= th.li_insert_fraction:
             return None
         longest = max(p.length for p in inserts)
@@ -112,28 +106,25 @@ class LongInsertRule:
         )
 
 
-class ImplementQueueRule:
+class ImplementQueueRule(_FeatureRule):
     """IQ: the structure is used like a queue but implemented as a list
     -- a high amount of reads and writes (>60% in sum) affect two
     *different* ends."""
 
     kind = UseCaseKind.IMPLEMENT_QUEUE
 
-    def evaluate(self, analysis: PatternAnalysis, th: Thresholds) -> Evidence | None:
-        profile = analysis.profile
-        if profile.kind not in (StructureKind.LIST, StructureKind.ARRAY_LIST):
+    def evaluate_features(self, f: ProfileFeatures, th: Thresholds) -> Evidence | None:
+        if f.kind not in (StructureKind.LIST, StructureKind.ARRAY_LIST):
             return None
-        if not len(profile):
+        if f.total_events == 0:
             return None
-        has_pos, at_front, at_back = _positional_masks(analysis)
-        ops = profile.ops
-
-        insert_end, insert_purity, insert_count = _end_purity(
-            ops, ops == OperationKind.INSERT, at_front, at_back
+        insert_end, insert_purity, insert_count = end_purity(
+            f.count(OperationKind.INSERT), f.insert_front, f.insert_back
         )
-        removal_mask = (ops == OperationKind.DELETE) | (ops == OperationKind.READ)
-        removal_end, removal_purity, removal_count = _end_purity(
-            ops, removal_mask, at_front, at_back
+        removal_end, removal_purity, removal_count = end_purity(
+            f.count(OperationKind.DELETE) + f.count(OperationKind.READ),
+            f.delete_front + f.read_front,
+            f.delete_back + f.read_back,
         )
         if insert_end is None or removal_end is None or insert_end == removal_end:
             return None
@@ -141,7 +132,7 @@ class ImplementQueueRule:
             return None
         if insert_purity < th.iq_end_purity or removal_purity < th.iq_end_purity:
             return None
-        end_fraction = int(np.count_nonzero(at_front | at_back)) / len(profile)
+        end_fraction = f.end_fraction
         if end_fraction <= th.iq_rw_fraction:
             return None
         return {
@@ -166,28 +157,27 @@ class ImplementQueueRule:
         )
 
 
-class SortAfterInsertRule:
+class SortAfterInsertRule(_FeatureRule):
     """SAI: the structure is sorted after a long insertion phase (>30%
     of runtime, >100 consecutive events); insertion order is obviously
     unimportant, so both insert and search phases can be parallelized."""
 
     kind = UseCaseKind.SORT_AFTER_INSERT
 
-    def evaluate(self, analysis: PatternAnalysis, th: Thresholds) -> Evidence | None:
-        if not _is_linear(analysis):
+    def evaluate_features(self, f: ProfileFeatures, th: Thresholds) -> Evidence | None:
+        if not _is_linear(f):
             return None
-        profile = analysis.profile
-        sort_indices = np.flatnonzero(profile.ops == OperationKind.SORT)
-        if sort_indices.size == 0:
+        if f.sort_count == 0:
             return None
-        insert_fraction = analysis.fraction_in(lambda p: p.pattern_type.is_insert)
+        insert_fraction = f.fraction_in(lambda p: p.pattern_type.is_insert)
         if insert_fraction <= th.sai_insert_fraction:
             return None
+        # "a sort follows the phase" ⇔ the latest sort is at or past the
+        # phase's end index.
         qualifying = [
             p
-            for p in _insert_patterns(analysis)
-            if p.length >= th.sai_long_phase
-            and any(int(s) >= p.stop for s in sort_indices)
+            for p in _insert_patterns(f)
+            if p.length >= th.sai_long_phase and f.last_sort_index >= p.stop
         ]
         if not qualifying:
             return None
@@ -195,7 +185,7 @@ class SortAfterInsertRule:
         return {
             "insert_fraction": insert_fraction,
             "longest_phase": longest,
-            "sort_count": int(sort_indices.size),
+            "sort_count": f.sort_count,
         }
 
     def recommend(self, evidence: Evidence) -> Recommendation:
@@ -211,7 +201,7 @@ class SortAfterInsertRule:
         )
 
 
-class FrequentSearchRule:
+class FrequentSearchRule(_FeatureRule):
     """FS: the program often searches a linear structure (>1000 search
     operations); searches are *frequent* when at least 2% of all access
     events belong to Read-Forward/Backward patterns or explicit
@@ -219,17 +209,16 @@ class FrequentSearchRule:
 
     kind = UseCaseKind.FREQUENT_SEARCH
 
-    def evaluate(self, analysis: PatternAnalysis, th: Thresholds) -> Evidence | None:
-        if not _is_linear(analysis):
+    def evaluate_features(self, f: ProfileFeatures, th: Thresholds) -> Evidence | None:
+        if not _is_linear(f):
             return None
-        profile = analysis.profile
-        if not len(profile):
+        if f.total_events == 0:
             return None
-        search_ops = profile.count(OperationKind.SEARCH)
+        search_ops = f.count(OperationKind.SEARCH)
         if search_ops <= th.fs_min_search_ops:
             return None
-        read_pattern_events = analysis.events_in(lambda p: p.pattern_type.is_read)
-        frequency = (search_ops + read_pattern_events) / len(profile)
+        read_pattern_events = f.events_in(lambda p: p.pattern_type.is_read)
+        frequency = (search_ops + read_pattern_events) / f.total_events
         if frequency < th.fs_pattern_fraction:
             return None
         return {
@@ -250,36 +239,35 @@ class FrequentSearchRule:
         )
 
 
-class FrequentLongReadRule:
+class FrequentLongReadRule(_FeatureRule):
     """FLR: more than 10 sequential read patterns recur, ≥50% of all
     access types are Read or Search, and each pattern reads at least
     50% of the data structure — a disguised search."""
 
     kind = UseCaseKind.FREQUENT_LONG_READ
 
-    def evaluate(self, analysis: PatternAnalysis, th: Thresholds) -> Evidence | None:
-        if not _is_linear(analysis):
+    def evaluate_features(self, f: ProfileFeatures, th: Thresholds) -> Evidence | None:
+        if not _is_linear(f):
             return None
-        profile = analysis.profile
-        if not len(profile):
+        if f.total_events == 0:
             return None
         # span-based coverage and the span floor coincide with the
         # event-count versions on strict-adjacency runs, but stay
         # meaningful on decimated captures (see Thresholds.decimated).
         long_reads = [
             p
-            for p in _read_patterns(analysis)
+            for p in _read_patterns(f)
             if p.span_coverage >= th.flr_min_coverage
             and p.length >= th.flr_min_pattern_length
             and p.span >= th.flr_min_pattern_span
         ]
         if len(long_reads) <= th.flr_min_patterns:
             return None
-        if profile.read_fraction < th.flr_read_fraction:
+        if f.read_fraction < th.flr_read_fraction:
             return None
         return {
             "long_read_patterns": len(long_reads),
-            "read_fraction": profile.read_fraction,
+            "read_fraction": f.read_fraction,
             "mean_coverage": float(np.mean([p.span_coverage for p in long_reads])),
         }
 
@@ -299,7 +287,7 @@ class FrequentLongReadRule:
 # -- the three sequential-optimization rules ------------------------------------
 
 
-class InsertDeleteFrontRule:
+class InsertDeleteFrontRule(_FeatureRule):
     """IDF: insert/delete churn on a fixed-size array causes repeated
     reallocate+copy overhead; a dynamic structure fits better.
 
@@ -310,13 +298,12 @@ class InsertDeleteFrontRule:
 
     kind = UseCaseKind.INSERT_DELETE_FRONT
 
-    def evaluate(self, analysis: PatternAnalysis, th: Thresholds) -> Evidence | None:
-        profile = analysis.profile
-        if profile.kind is not StructureKind.ARRAY:
+    def evaluate_features(self, f: ProfileFeatures, th: Thresholds) -> Evidence | None:
+        if f.kind is not StructureKind.ARRAY:
             return None
-        inserts = profile.count(OperationKind.INSERT)
-        deletes = profile.count(OperationKind.DELETE)
-        resizes = profile.count(OperationKind.RESIZE)
+        inserts = f.count(OperationKind.INSERT)
+        deletes = f.count(OperationKind.DELETE)
+        resizes = f.count(OperationKind.RESIZE)
         if inserts == 0 or deletes == 0:
             return None
         if inserts + deletes < th.idf_min_churn_ops or resizes < th.idf_min_resizes:
@@ -335,7 +322,7 @@ class InsertDeleteFrontRule:
         )
 
 
-class StackImplementationRule:
+class StackImplementationRule(_FeatureRule):
     """SI: insert and delete operations always access a common end of a
     list — the list implements a stack.
 
@@ -344,19 +331,16 @@ class StackImplementationRule:
 
     kind = UseCaseKind.STACK_IMPLEMENTATION
 
-    def evaluate(self, analysis: PatternAnalysis, th: Thresholds) -> Evidence | None:
-        profile = analysis.profile
-        if profile.kind not in (StructureKind.LIST, StructureKind.ARRAY_LIST):
+    def evaluate_features(self, f: ProfileFeatures, th: Thresholds) -> Evidence | None:
+        if f.kind not in (StructureKind.LIST, StructureKind.ARRAY_LIST):
             return None
-        if not len(profile):
+        if f.total_events == 0:
             return None
-        has_pos, at_front, at_back = _positional_masks(analysis)
-        ops = profile.ops
-        insert_end, insert_purity, insert_count = _end_purity(
-            ops, ops == OperationKind.INSERT, at_front, at_back
+        insert_end, insert_purity, insert_count = end_purity(
+            f.count(OperationKind.INSERT), f.insert_front, f.insert_back
         )
-        delete_end, delete_purity, delete_count = _end_purity(
-            ops, ops == OperationKind.DELETE, at_front, at_back
+        delete_end, delete_purity, delete_count = end_purity(
+            f.count(OperationKind.DELETE), f.delete_front, f.delete_back
         )
         if insert_count < th.si_min_inserts or delete_count < th.si_min_deletes:
             return None
@@ -383,7 +367,7 @@ class StackImplementationRule:
         )
 
 
-class WriteWithoutReadRule:
+class WriteWithoutReadRule(_FeatureRule):
     """WWR: the profile ends with write accesses whose results are never
     read — cleanup work better left to deallocation.
 
@@ -393,38 +377,27 @@ class WriteWithoutReadRule:
 
     kind = UseCaseKind.WRITE_WITHOUT_READ
 
-    def evaluate(self, analysis: PatternAnalysis, th: Thresholds) -> Evidence | None:
-        profile = analysis.profile
-        n = len(profile)
-        if n == 0:
+    def evaluate_features(self, f: ProfileFeatures, th: Thresholds) -> Evidence | None:
+        if f.total_events == 0:
             return None
-        kinds = profile.kinds
-        reads = np.flatnonzero(kinds == AccessKind.READ)
-        first_trailing = int(reads[-1]) + 1 if reads.size else 0
-        ops = profile.ops
-        # The Init event is construction, not cleanup.
-        trailing = [
-            i
-            for i in range(first_trailing, n)
-            if OperationKind(int(ops[i])) is not OperationKind.INIT
-        ]
-        if len(trailing) < th.wwr_min_trailing_writes:
+        if f.trailing_writes < th.wwr_min_trailing_writes:
             return None
-        trailing_ops = {OperationKind(int(ops[i])) for i in trailing}
         # Cleanup means overwriting or clearing; trailing inserts/sorts
         # are a build phase, not a write-without-read.
-        if not trailing_ops <= {OperationKind.WRITE, OperationKind.CLEAR}:
+        if not f.trailing_ops <= {OperationKind.WRITE, OperationKind.CLEAR}:
             return None
-        positions = profile.positions
-        distinct = {int(positions[i]) for i in trailing if positions[i] != NO_POSITION}
-        base_size = max(int(profile.sizes[i]) for i in trailing)
-        coverage = len(distinct) / base_size if base_size else 0.0
-        if OperationKind.CLEAR not in trailing_ops and coverage < th.wwr_min_coverage:
+        coverage = (
+            f.trailing_distinct_positions / f.trailing_max_size
+            if f.trailing_max_size
+            else 0.0
+        )
+        includes_clear = OperationKind.CLEAR in f.trailing_ops
+        if not includes_clear and coverage < th.wwr_min_coverage:
             return None
         return {
-            "trailing_writes": len(trailing),
+            "trailing_writes": f.trailing_writes,
             "coverage": coverage,
-            "includes_clear": OperationKind.CLEAR in trailing_ops,
+            "includes_clear": includes_clear,
         }
 
     def recommend(self, evidence: Evidence) -> Recommendation:

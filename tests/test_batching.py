@@ -328,9 +328,11 @@ class TestChannelRobustness:
 
 class TestOverheadGate:
     def _doc(self, value: float) -> dict:
+        # Both gated metrics move together here, so a regression in
+        # either would trip the gate.
         return {
             "schema": 2,
-            "derived": {"batching_vs_plain": value},
+            "derived": {"batching_vs_plain": value, "remote_vs_plain": value},
             "channels": {},
         }
 

@@ -1,0 +1,138 @@
+"""StreamingUseCaseEngine must converge to the batch engine exactly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import EventCollector, collecting
+from repro.service import StreamingUseCaseEngine
+from repro.usecases import UseCaseEngine
+from repro.workloads import EVALUATION_WORKLOADS, USE_CASE_GENERATORS
+
+WINDOW = 256
+
+
+def _raw(event):
+    return (
+        event.instance_id,
+        int(event.op),
+        int(event.kind),
+        event.position,
+        event.size,
+        event.thread_id,
+        event.wall_time,
+    )
+
+
+def _stream_collector(collector: EventCollector, window: int = WINDOW):
+    """Replay a finished collector into a fresh streaming engine the way
+    the daemon would see it: registrations first, then windowed events
+    in global capture order."""
+    engine = StreamingUseCaseEngine()
+    profiles = collector.profiles()
+    for profile in profiles:
+        engine.register_instance(
+            profile.instance_id, profile.kind, profile.site, profile.label
+        )
+    events = sorted(
+        (event for profile in profiles for event in profile), key=lambda e: e.seq
+    )
+    batch: list = []
+    for event in events:
+        batch.append(_raw(event))
+        if len(batch) >= window:
+            engine.feed_window(batch)
+            batch = []
+    if batch:
+        engine.feed_window(batch)
+    return engine
+
+
+def _signature(report):
+    """Everything that defines a report: per-instance kinds + evidence."""
+    return sorted(
+        (u.instance_id, u.kind.abbreviation, tuple(sorted(u.evidence.items())))
+        for u in report.use_cases
+    )
+
+
+class TestTableVEquivalence:
+    @pytest.mark.parametrize("workload", EVALUATION_WORKLOADS, ids=lambda w: w.name)
+    def test_streaming_matches_batch(self, workload):
+        with collecting() as collector:
+            workload.run_tracked(scale=0.5)
+        batch_report = UseCaseEngine().analyze(collector.profiles())
+
+        engine = _stream_collector(collector)
+        streaming_report = engine.report()
+
+        assert _signature(streaming_report) == _signature(batch_report)
+        assert streaming_report.instances_analyzed == batch_report.instances_analyzed
+        assert (
+            streaming_report.search_space_reduction
+            == batch_report.search_space_reduction
+        )
+        # The bounded-memory claim: the engine never held more than one
+        # window of events at a time.
+        assert engine.peak_resident_events <= WINDOW
+        assert engine.events_folded == sum(len(p) for p in collector.profiles())
+
+
+class TestGeneratorEquivalence:
+    @pytest.mark.parametrize(
+        "generator", USE_CASE_GENERATORS.values(), ids=USE_CASE_GENERATORS.keys()
+    )
+    def test_streaming_matches_batch(self, generator):
+        with collecting() as collector:
+            generator()
+        batch_report = UseCaseEngine().analyze(collector.profiles())
+        streaming_report = _stream_collector(collector, window=64).report()
+        assert _signature(streaming_report) == _signature(batch_report)
+
+
+class TestStreamingBehavior:
+    def test_interim_report_is_non_destructive(self):
+        from repro.workloads import gen_long_insert
+
+        with collecting() as collector:
+            gen_long_insert()
+        engine = StreamingUseCaseEngine()
+        profiles = collector.profiles()
+        for p in profiles:
+            engine.register_instance(p.instance_id, p.kind, p.site, p.label)
+        events = sorted((e for p in profiles for e in p), key=lambda e: e.seq)
+        half = len(events) // 2
+        engine.feed_window([_raw(e) for e in events[:half]])
+        interim = engine.report()  # snapshot mid-stream
+        engine.feed_window([_raw(e) for e in events[half:]])
+        final = engine.report()
+        batch = UseCaseEngine().analyze(profiles)
+        assert _signature(final) == _signature(batch)
+        assert interim.instances_analyzed == final.instances_analyzed
+
+    def test_unknown_instance_events_dropped_and_counted(self):
+        engine = StreamingUseCaseEngine()
+        engine.feed_window([(99, 0, 0, 0, 1, 0, None)] * 5)
+        assert engine.unknown_instance_events == 5
+        assert engine.events_folded == 0
+        assert engine.report().instances_analyzed == 0
+
+    def test_registration_is_idempotent(self):
+        from repro.events import StructureKind
+
+        engine = StreamingUseCaseEngine()
+        engine.register_instance(1, StructureKind.LIST, None, "first")
+        engine.feed_window([(1, 2, 1, 0, 1, 0, None)])
+        engine.register_instance(1, StructureKind.ARRAY, None, "second")
+        report = engine.report()
+        assert engine.events_folded == 1
+        assert report.instances_analyzed == 1
+
+    def test_empty_instances_count_toward_search_space(self):
+        from repro.events import StructureKind
+
+        engine = StreamingUseCaseEngine()
+        engine.register_instance(0, StructureKind.LIST, None, "idle")
+        report = engine.report()
+        assert report.instances_analyzed == 1
+        assert report.use_cases == ()
