@@ -25,6 +25,12 @@ Subcommands:
 ``dsspy sessions ADDRESS``
     Query a running daemon for per-session statistics (events/sec,
     drop counts, flagged use cases) as a table or JSON.
+
+``dsspy selftest``
+    Differential self-verification: N seeded trials, each pushing a
+    randomized trace through batch analysis, the streaming engine, and
+    a live daemon behind a fault-injecting proxy, asserting all three
+    agree exactly.  Failing seeds are shrunk to a minimal trace.
 """
 
 from __future__ import annotations
@@ -55,7 +61,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print("--remote and --spill are mutually exclusive", file=sys.stderr)
         return 2
     try:
-        sampling = parse_sampling(args.sample)
+        sampling = parse_sampling(args.sample, seed=args.sample_seed)
         if args.remote:
             from .service import RemoteChannel
 
@@ -281,9 +287,19 @@ def _cmd_sessions(args: argparse.Namespace) -> int:
     import json as _json
 
     from .service import fetch_stats
+    from .service.protocol import ProtocolError
 
     try:
         stats = fetch_stats(args.address)
+    except ValueError as exc:
+        # Malformed address spec (bad port, empty host, ...).
+        print(f"invalid daemon address {args.address!r}: {exc}", file=sys.stderr)
+        return 1
+    except ProtocolError as exc:
+        # Reached something, but it does not speak the dsspy protocol —
+        # or the daemon rejected the request (e.g. stale socket owner).
+        print(f"daemon at {args.address} sent a bad reply: {exc}", file=sys.stderr)
+        return 1
     except OSError as exc:
         print(f"cannot reach daemon at {args.address}: {exc}", file=sys.stderr)
         return 1
@@ -313,6 +329,69 @@ def _cmd_sessions(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_selftest(args: argparse.Namespace) -> int:
+    from .testing import FAULT_KINDS, DifferentialOracle
+
+    if args.faults == "none":
+        kinds: tuple[str, ...] = ()
+        intensity = 0.0
+    else:
+        kinds = tuple(k.strip() for k in args.faults.split(",") if k.strip())
+        unknown = [k for k in kinds if k not in FAULT_KINDS]
+        if unknown:
+            print(
+                f"unknown fault kind(s) {unknown}; choose from {FAULT_KINDS} or 'none'",
+                file=sys.stderr,
+            )
+            return 2
+        intensity = args.fault_intensity
+    failures = 0
+    trials_run = 0
+    faults_injected = 0
+    events_checked = 0
+    first_failure = None
+    with DifferentialOracle(
+        window=args.window,
+        fault_intensity=intensity,
+        fault_kinds=kinds or ("reset",),
+        max_faults=args.max_faults,
+    ) as oracle:
+        for i in range(args.trials):
+            result = oracle.run_trial(args.seed + i)
+            trials_run += 1
+            faults_injected += result.faults_injected
+            events_checked += result.events
+            if not result.ok:
+                failures += 1
+                print(result.describe())
+                if first_failure is None:
+                    first_failure = result
+                if args.stop_on_failure:
+                    break
+            elif args.progress and trials_run % args.progress == 0:
+                print(
+                    f"  {trials_run}/{args.trials} trials ok "
+                    f"({events_checked} events, {faults_injected} faults)"
+                )
+        print(
+            f"selftest: {trials_run} trials, {failures} failures, "
+            f"{events_checked} events checked, {faults_injected} faults injected"
+        )
+        if first_failure is not None and args.shrink:
+            print("shrinking first failing trace ...")
+            minimal = oracle.shrink_failure(first_failure)
+            print(f"minimal reproduction: {minimal.describe()}")
+            for raw in minimal.events:
+                print(f"  {raw}")
+            print(
+                "reproduce locally with: dsspy selftest "
+                f"--trials 1 --seed {first_failure.seed} "
+                f"--faults {args.faults} --fault-intensity {intensity} "
+                f"--window {args.window}"
+            )
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="dsspy",
@@ -339,6 +418,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="all",
         metavar="SPEC",
         help="sampling policy: 'all', '1/N' (decimate), or 'burst:K/N'",
+    )
+    analyze.add_argument(
+        "--sample-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="seed for the sampling jitter: same seed admits the identical "
+        "event set across runs (omit for the unseeded default)",
     )
     analyze.add_argument(
         "--spill",
@@ -452,6 +539,47 @@ def build_parser() -> argparse.ArgumentParser:
     sessions.add_argument("address", metavar="ADDRESS", help="HOST:PORT or unix:PATH")
     sessions.add_argument("--json", action="store_true", help="raw JSON output")
     sessions.set_defaults(fn=_cmd_sessions)
+
+    selftest = sub.add_parser(
+        "selftest",
+        help="seeded differential trials: batch vs streaming vs faulted daemon",
+    )
+    selftest.add_argument(
+        "--trials", type=int, default=100, help="number of seeded trials"
+    )
+    selftest.add_argument(
+        "--seed", type=int, default=0, help="base seed (trial i uses seed+i)"
+    )
+    selftest.add_argument(
+        "--faults",
+        default="reset,duplicate,reorder,corrupt,chunk,stall",
+        help="comma-separated fault kinds to inject, or 'none'",
+    )
+    selftest.add_argument(
+        "--fault-intensity",
+        type=float,
+        default=0.2,
+        help="per-EVENTS-frame fault probability",
+    )
+    selftest.add_argument(
+        "--max-faults", type=int, default=8, help="fault budget per trial"
+    )
+    selftest.add_argument(
+        "--window", type=int, default=64, help="events per shipped window"
+    )
+    selftest.add_argument(
+        "--progress", type=int, default=50, metavar="N",
+        help="print a progress line every N trials (0 = quiet)",
+    )
+    selftest.add_argument(
+        "--no-shrink", dest="shrink", action="store_false",
+        help="skip minimizing the first failing trace",
+    )
+    selftest.add_argument(
+        "--keep-going", dest="stop_on_failure", action="store_false",
+        help="run all trials even after a failure",
+    )
+    selftest.set_defaults(fn=_cmd_selftest)
     return parser
 
 

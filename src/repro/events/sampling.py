@@ -56,6 +56,17 @@ from __future__ import annotations
 _BLOCK_MIX = 1103515245
 _INSTANCE_MIX = 747796405
 _JITTER_MASK = 0x7FFFFFFF
+_DEFAULT_SALT = 12345
+_SEED_MIX = 0x9E3779B1  # golden-ratio odd constant (Fibonacci hashing)
+
+
+def _salt_from_seed(seed: int | None) -> int:
+    """Additive salt for the jitter hash.  ``None`` keeps the historic
+    constant so unseeded policies admit exactly the events they always
+    have (overhead baselines depend on that)."""
+    if seed is None:
+        return _DEFAULT_SALT
+    return ((seed * _SEED_MIX) + _DEFAULT_SALT) & _JITTER_MASK
 
 
 class SamplingPolicy:
@@ -106,21 +117,30 @@ class RecordAll(SamplingPolicy):
 RECORD_ALL = RecordAll()
 
 
-def _jitter(block: int, instance_id: int, n: int) -> int:
+def _jitter(block: int, instance_id: int, n: int, salt: int = _DEFAULT_SALT) -> int:
     """Deterministic pseudo-random offset in ``[0, n)`` for one block."""
     return (
-        (block * _BLOCK_MIX + instance_id * _INSTANCE_MIX + 12345) & _JITTER_MASK
+        (block * _BLOCK_MIX + instance_id * _INSTANCE_MIX + salt) & _JITTER_MASK
     ) % n
 
 
 class Decimate(SamplingPolicy):
-    """Keep 1 event in every ``n``, counted per instance, with jitter."""
+    """Keep 1 event in every ``n``, counted per instance, with jitter.
 
-    def __init__(self, n: int) -> None:
+    ``seed`` perturbs the jitter hash: runs with the same seed admit
+    bit-identical event sets (reproducible experiments), different
+    seeds draw an independent 1-in-``n`` sample (for averaging out
+    sampling luck across repeated runs).  ``None`` — the default —
+    preserves the historic unseeded jitter exactly.
+    """
+
+    def __init__(self, n: int, seed: int | None = None) -> None:
         if n < 1:
             raise ValueError(f"decimation factor must be >= 1, got {n}")
         self.n = n
         self.stride = n
+        self.seed = seed
+        self._salt = _salt_from_seed(seed)
         self._counts: dict[int, int] = {}
 
     def admit(self, instance_id: int) -> bool:
@@ -130,7 +150,7 @@ class Decimate(SamplingPolicy):
         if self.n == 1:
             return True
         block, offset = divmod(c, self.n)
-        return offset == _jitter(block, instance_id, self.n)
+        return offset == _jitter(block, instance_id, self.n, self._salt)
 
     def is_exact(self, instance_id: int) -> bool:
         return self.n == 1
@@ -140,7 +160,9 @@ class Decimate(SamplingPolicy):
         return self._counts.get(instance_id, 0)
 
     def describe(self) -> str:
-        return f"1-in-{self.n}"
+        if self.seed is None:
+            return f"1-in-{self.n}"
+        return f"1-in-{self.n} (seed {self.seed})"
 
 
 class Burst(SamplingPolicy):
@@ -152,7 +174,7 @@ class Burst(SamplingPolicy):
     same jittered scheme as :class:`Decimate`.
     """
 
-    def __init__(self, keep: int, n: int) -> None:
+    def __init__(self, keep: int, n: int, seed: int | None = None) -> None:
         if keep < 0:
             raise ValueError(f"burst length must be >= 0, got {keep}")
         if n < 1:
@@ -160,6 +182,8 @@ class Burst(SamplingPolicy):
         self.keep = keep
         self.n = n
         self.stride = n
+        self.seed = seed
+        self._salt = _salt_from_seed(seed)
         self._counts: dict[int, int] = {}
 
     def admit(self, instance_id: int) -> bool:
@@ -171,7 +195,7 @@ class Burst(SamplingPolicy):
         if self.n == 1:
             return True
         block, offset = divmod(c - self.keep, self.n)
-        return offset == _jitter(block, instance_id, self.n)
+        return offset == _jitter(block, instance_id, self.n, self._salt)
 
     def is_exact(self, instance_id: int) -> bool:
         return self.n == 1 or self._counts.get(instance_id, 0) <= self.keep
@@ -184,10 +208,12 @@ class Burst(SamplingPolicy):
         return self._counts.get(instance_id, 0)
 
     def describe(self) -> str:
-        return f"burst:{self.keep}/{self.n}"
+        if self.seed is None:
+            return f"burst:{self.keep}/{self.n}"
+        return f"burst:{self.keep}/{self.n} (seed {self.seed})"
 
 
-def parse_sampling(spec: str) -> SamplingPolicy:
+def parse_sampling(spec: str, seed: int | None = None) -> SamplingPolicy:
     """Parse a CLI sampling spec into a policy.
 
     Accepted forms::
@@ -195,6 +221,9 @@ def parse_sampling(spec: str) -> SamplingPolicy:
         all               record everything (default)
         1/N  or  1:N      1-in-N decimation per instance
         burst:K/N         keep the first K events, then 1-in-N
+
+    ``seed`` (CLI ``--sample-seed``) makes the jittered admission
+    bit-reproducible across runs; it is ignored by ``all``.
 
     Raises ``ValueError`` on anything else, with the accepted grammar in
     the message so argparse surfaces a usable error.
@@ -206,12 +235,12 @@ def parse_sampling(spec: str) -> SamplingPolicy:
         if text.startswith("burst:"):
             body = text[len("burst:"):]
             keep_s, _, n_s = body.replace(":", "/").partition("/")
-            return Burst(int(keep_s), int(n_s))
+            return Burst(int(keep_s), int(n_s), seed=seed)
         if "/" in text or ":" in text:
             one, _, n_s = text.replace(":", "/").partition("/")
             if int(one) != 1:
                 raise ValueError(spec)
-            return Decimate(int(n_s))
+            return Decimate(int(n_s), seed=seed)
     except (ValueError, TypeError):
         pass
     raise ValueError(

@@ -28,6 +28,7 @@ from ..events.batching import BatchingChannel
 from ..events.event import RawEvent
 from ..events.profile import AllocationSite
 from ..events.types import StructureKind
+from ..testing.clock import SYSTEM_CLOCK, Clock
 from .protocol import (
     MAX_EVENTS_PER_FRAME,
     MessageType,
@@ -193,6 +194,7 @@ class RemoteChannel(BatchingChannel):
         address: str,
         session_id: str | None = None,
         heartbeat_interval: float = 2.0,
+        clock: Clock = SYSTEM_CLOCK,
         **batching_kwargs: Any,
     ) -> None:
         if batching_kwargs.pop("spill", None) is not None:
@@ -202,6 +204,7 @@ class RemoteChannel(BatchingChannel):
             )
         batching_kwargs.setdefault("policy", "block")
         self.address = address
+        self._clock = clock
         self.final_ack: dict[str, Any] | None = None
         self._client: ServiceClient | None = None
         self._session_id = session_id
@@ -302,7 +305,9 @@ class RemoteChannel(BatchingChannel):
             self._disconnect()
 
     def _heartbeat_loop(self, interval: float) -> None:
-        while not self._hb_stop.wait(interval):
+        # Cadence goes through the clock so tests can trigger (or
+        # suppress) heartbeats deterministically with a SimClock.
+        while not self._clock.wait(self._hb_stop, interval):
             with self._ship_lock:
                 client = self._client
                 if client is None:

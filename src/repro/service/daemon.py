@@ -33,6 +33,7 @@ from pathlib import Path
 from typing import Any
 
 from ..patterns.detector import DetectorConfig
+from ..testing.clock import SYSTEM_CLOCK, Clock
 from ..usecases.rules import ALL_RULES, Rule
 from ..usecases.thresholds import PAPER_THRESHOLDS, Thresholds
 from .protocol import (
@@ -68,6 +69,13 @@ class ProfilingDaemon:
     report_dir:
         When set, every finalized session writes
         ``<report_dir>/<session>.json``.
+    clock:
+        Time source for every policy deadline (heartbeat staleness,
+        linger windows, reaper cadence, uptime).  Defaults to real
+        time; tests pass a :class:`~repro.testing.clock.SimClock` and
+        advance it instead of sleeping.  I/O waits (socket reads,
+        ingest backpressure, close-time connection drain) stay on real
+        time regardless.
     """
 
     def __init__(
@@ -85,7 +93,9 @@ class ProfilingDaemon:
         thresholds: Thresholds = PAPER_THRESHOLDS,
         detector_config: DetectorConfig | None = None,
         rules: tuple[Rule, ...] = ALL_RULES,
+        clock: Clock = SYSTEM_CLOCK,
     ) -> None:
+        self.clock = clock
         self.heartbeat_timeout = heartbeat_timeout
         self.session_linger = session_linger
         self._max_pending_events = max_pending_events
@@ -103,7 +113,7 @@ class ProfilingDaemon:
         self._conns_lock = threading.Lock()
         self._closed = False
         self._close_lock = threading.Lock()
-        self.started_at = time.time()
+        self.started_at = clock.wall()
         self._shutdown = threading.Event()
 
         self.unix_socket_path: Path | None = None
@@ -179,7 +189,12 @@ class ProfilingDaemon:
                 elif mtype == MessageType.REGISTER:
                     self._register(session, payload)
                 elif mtype == MessageType.EVENTS:
-                    start, raws = decode_events(payload)
+                    # validate=True: a corrupted record (torn frame, bad
+                    # proxy, bit rot) is rejected with a ProtocolError —
+                    # tearing down the connection so the client
+                    # retransmits the window — rather than folded into
+                    # the analysis as garbage.
+                    start, raws = decode_events(payload, validate=True)
                     session.ingest(start, raws)
                 elif mtype == MessageType.HEARTBEAT:
                     session.touch()
@@ -243,6 +258,7 @@ class ProfilingDaemon:
                     max_pending_events=self._max_pending_events,
                     overflow=self._overflow,
                     spill_dir=self._spill_dir,
+                    clock=self.clock,
                 )
                 self.sessions[session_id] = session
                 resumed = False
@@ -287,12 +303,13 @@ class ProfilingDaemon:
     # -- reaper ----------------------------------------------------------
 
     def _reap_loop(self) -> None:
-        while not self._shutdown.wait(min(1.0, self.heartbeat_timeout / 4)):
+        interval = min(1.0, self.heartbeat_timeout / 4)
+        while not self.clock.wait(self._shutdown, interval):
             self.reap()
 
     def reap(self) -> None:
         """One maintenance pass (also called directly by tests)."""
-        now = time.monotonic()
+        now = self.clock.monotonic()
         with self._sessions_lock:
             sessions = list(self.sessions.values())
         stale_ids = set()
@@ -343,7 +360,7 @@ class ProfilingDaemon:
             sessions = list(self.sessions.values())
         return {
             "address": self.address,
-            "uptime_sec": round(time.time() - self.started_at, 1),
+            "uptime_sec": round(self.clock.wall() - self.started_at, 1),
             "sessions": [s.stats() for s in sessions],
         }
 

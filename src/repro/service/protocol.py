@@ -36,7 +36,7 @@ import struct
 from typing import Any, Iterable
 
 from ..events.event import RawEvent
-from ..events.spill import RECORD_SIZE, pack_record, unpack_record
+from ..events.spill import RECORD_SIZE, pack_record, record_is_plausible, unpack_record
 
 
 class ProtocolError(Exception):
@@ -174,8 +174,20 @@ def encode_events(start: int, raws: Iterable[RawEvent]) -> bytes:
     )
 
 
-def decode_events(payload: bytes) -> tuple[int, list[RawEvent]]:
-    """Inverse of :func:`encode_events`: ``(start, raw event tuples)``."""
+def decode_events(payload: bytes, validate: bool = False) -> tuple[int, list[RawEvent]]:
+    """Inverse of :func:`encode_events`: ``(start, raw event tuples)``.
+
+    With ``validate=True`` every record is screened with
+    :func:`~repro.events.spill.record_is_plausible` and a frame
+    carrying any implausible record is rejected whole with a
+    :class:`ProtocolError`.  The daemon decodes with validation on:
+    rejecting the frame tears down the connection, the client
+    reconnects and retransmits from the server's ``received`` cursor,
+    and the corrupted window is replaced by a clean copy — whereas
+    silently folding garbage records would corrupt the analysis, and
+    silently *skipping* them would desynchronize the stream-index
+    cursor both sides use for exact resume.
+    """
     if len(payload) < _EVENTS_HEADER.size:
         raise ProtocolError("EVENTS payload shorter than its header")
     start, count = _EVENTS_HEADER.unpack_from(payload)
@@ -185,6 +197,18 @@ def decode_events(payload: bytes) -> tuple[int, list[RawEvent]]:
             f"EVENTS payload declares {count} records but carries "
             f"{len(body)} body bytes (expected {count * RECORD_SIZE})"
         )
+    if validate:
+        bad = sum(
+            1
+            for offset in range(0, len(body), RECORD_SIZE)
+            if not record_is_plausible(body[offset : offset + RECORD_SIZE])
+        )
+        if bad:
+            raise ProtocolError(
+                f"EVENTS frame at stream index {start} carries {bad} "
+                f"implausible record(s) of {count}; rejecting the frame "
+                "for retransmission"
+            )
     return start, [
         unpack_record(body[offset : offset + RECORD_SIZE])
         for offset in range(0, len(body), RECORD_SIZE)

@@ -41,6 +41,7 @@ from typing import Any, Callable
 
 from ..events.event import RawEvent
 from ..events.spill import SpillWriter, iter_spill_raw
+from ..testing.clock import SYSTEM_CLOCK, Clock
 from .protocol import ProtocolError
 from .streaming import StreamingUseCaseEngine
 
@@ -56,15 +57,16 @@ class SessionState:
 class RateMeter:
     """Sliding-window events/sec estimate (for STATS output)."""
 
-    __slots__ = ("_window", "_samples", "_total")
+    __slots__ = ("_window", "_samples", "_total", "_clock")
 
-    def __init__(self, window: float = 10.0) -> None:
+    def __init__(self, window: float = 10.0, clock: Clock = SYSTEM_CLOCK) -> None:
         self._window = window
         self._samples: deque[tuple[float, int]] = deque()
         self._total = 0
+        self._clock = clock
 
     def tick(self, n: int) -> None:
-        now = time.monotonic()
+        now = self._clock.monotonic()
         self._samples.append((now, n))
         self._total += n
         horizon = now - self._window
@@ -75,7 +77,7 @@ class RateMeter:
     def rate(self) -> float:
         if not self._samples:
             return 0.0
-        now = time.monotonic()
+        now = self._clock.monotonic()
         horizon = now - self._window
         while self._samples and self._samples[0][0] < horizon:
             _, dropped = self._samples.popleft()
@@ -279,17 +281,19 @@ class Session:
         max_pending_events: int = 200_000,
         overflow: str = "block",
         spill_dir: str | None = None,
+        clock: Clock = SYSTEM_CLOCK,
     ) -> None:
         self.session_id = session_id
         self.engine = engine
         self.state = SessionState.ACTIVE
         self.received = 0  # stream-index high-water mark (accepted)
         self.duplicates = 0
-        self.started_at = time.time()
-        self.last_seen = time.monotonic()
+        self._clock = clock
+        self.started_at = clock.wall()
+        self.last_seen = clock.monotonic()
         self.detached_at: float | None = None
         self.finished_at: float | None = None
-        self.rate = RateMeter()
+        self.rate = RateMeter(clock=clock)
         self._lock = threading.RLock()
         self._report_dict: dict[str, Any] | None = None
         self.pipeline = IngestPipeline(
@@ -302,7 +306,7 @@ class Session:
     # -- ingest ----------------------------------------------------------
 
     def touch(self) -> None:
-        self.last_seen = time.monotonic()
+        self.last_seen = self._clock.monotonic()
 
     def ingest(self, start: int, raws: list[RawEvent]) -> int:
         """Accept one EVENTS window; returns how many events were new.
@@ -348,7 +352,7 @@ class Session:
         with self._lock:
             if self.state == SessionState.ACTIVE:
                 self.state = SessionState.DETACHED
-                self.detached_at = time.monotonic()
+                self.detached_at = self._clock.monotonic()
 
     def resume(self) -> bool:
         """Reattach a connection; ``True`` if this was a resume."""
@@ -372,7 +376,7 @@ class Session:
                 self.pipeline.close()
                 self._report_dict = report_to_dict(self.engine.report())
                 self.state = SessionState.FINISHED
-                self.finished_at = time.monotonic()
+                self.finished_at = self._clock.monotonic()
             return self._report_dict
 
     # -- observability ---------------------------------------------------

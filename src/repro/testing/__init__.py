@@ -1,0 +1,69 @@
+"""Correctness tooling for the profiling service.
+
+``repro.testing`` makes every failure mode of the recording → wire →
+ingest → analysis path reproducible on demand:
+
+- :mod:`~repro.testing.clock` — a :class:`~repro.testing.clock.Clock`
+  protocol the service's policy timers run on; tests swap in a
+  :class:`~repro.testing.clock.SimClock` and advance virtual time
+  instead of sleeping.
+- :mod:`~repro.testing.traces` — seed-reproducible synthetic event
+  streams mixing all primitive patterns and compound access types.
+- :mod:`~repro.testing.faults` — a scripted man-in-the-middle
+  :class:`~repro.testing.faults.FaultProxy` injecting resets,
+  duplicates, reorders, corrupt records, stalls, and partial frames.
+- :mod:`~repro.testing.oracle` — the differential oracle asserting
+  batch, streaming, and full daemon-round-trip analysis agree exactly.
+- :mod:`~repro.testing.shrink` — delta-debugging minimization of
+  failing traces.
+
+Despite the name this package is shipped, not test-only: the ``dsspy
+selftest`` command runs the oracle against the installed code, and the
+clock module is imported by the service itself.
+
+Only :mod:`~repro.testing.clock` is imported eagerly — it is what the
+service layer needs and it has no dependencies back into ``repro``.
+Everything else resolves lazily (PEP 562) because :mod:`faults` and
+:mod:`oracle` import the service package, which itself imports this
+package for the clock; eager imports here would make that a cycle.
+"""
+
+from .clock import SYSTEM_CLOCK, Clock, SimClock, SystemClock
+
+_LAZY = {
+    "FAULT_KINDS": "faults",
+    "Fault": "faults",
+    "FaultPlan": "faults",
+    "FaultProxy": "faults",
+    "DifferentialOracle": "oracle",
+    "TrialResult": "oracle",
+    "diff_summaries": "oracle",
+    "run_batch_path": "oracle",
+    "run_daemon_path": "oracle",
+    "run_streaming_path": "oracle",
+    "summarize_report": "oracle",
+    "shrink_trace": "shrink",
+    "Trace": "traces",
+    "TraceInstance": "traces",
+    "generate_trace": "traces",
+}
+
+__all__ = [
+    "Clock",
+    "SYSTEM_CLOCK",
+    "SimClock",
+    "SystemClock",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

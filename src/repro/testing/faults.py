@@ -1,0 +1,318 @@
+"""Scripted fault injection between a service client and the daemon.
+
+:class:`FaultProxy` is a TCP man-in-the-middle: clients dial the proxy,
+the proxy dials the real daemon, and bytes flow through a pump that
+reassembles the client→daemon stream into protocol frames and applies
+a seeded :class:`FaultPlan` to the EVENTS frames passing by.  The
+daemon→client direction is forwarded untouched — the guarantees under
+test (exact resume, overlap dedup, corrupt-frame rejection) all
+concern what the *daemon* receives.
+
+Faults are drawn from the failure modes a real deployment meets:
+
+``reset``
+    Both sides of the proxied connection are torn down mid-stream.
+    The client sees a broken socket and must reconnect + retransmit.
+``duplicate``
+    An EVENTS frame is forwarded twice.  The daemon's stream-index
+    dedup must fold it exactly once.
+``reorder``
+    An EVENTS frame is held back and sent *after* its successor.  The
+    daemon sees a stream-index gap — a hard protocol error — and must
+    recover through the reconnect path.
+``corrupt``
+    One record inside an EVENTS frame gets its op byte blown to 0xFF
+    (guaranteed implausible).  The daemon must reject the frame rather
+    than fold garbage.
+``chunk``
+    The frame is dribbled out in single-digit-byte pieces, exercising
+    partial-read reassembly.
+``stall``
+    Forwarding pauses briefly (bounded real time), exercising timeout
+    tolerance without slowing the suite meaningfully.
+
+Every decision comes from ``random.Random(seed)`` at plan-build time,
+so a failing trial is replayed exactly by its seed.  Plans are finite:
+after ``max_faults`` injections the proxy turns transparent, which
+guarantees every trial eventually completes.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..events.spill import RECORD_SIZE
+from ..service.protocol import (
+    _EVENTS_HEADER,
+    FrameDecoder,
+    MessageType,
+    ProtocolError,
+    encode_frame,
+)
+
+FAULT_KINDS = ("reset", "duplicate", "reorder", "corrupt", "chunk", "stall")
+
+#: Byte offset of the op field inside a packed record ("<qqqiBBBd").
+_OP_BYTE_OFFSET = 28
+_STALL_SECONDS = 0.02
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scripted injection: apply ``kind`` to EVENTS frame number
+    ``frame_index`` (counted across all proxied connections)."""
+
+    frame_index: int
+    kind: str
+
+
+@dataclass
+class FaultPlan:
+    """Seed-deterministic schedule of faults over the EVENTS stream."""
+
+    faults: dict[int, str] = field(default_factory=dict)
+    injected: list[Fault] = field(default_factory=list)
+
+    @classmethod
+    def from_seed(
+        cls,
+        seed: int,
+        *,
+        intensity: float = 0.15,
+        horizon: int = 64,
+        max_faults: int = 8,
+        kinds: tuple[str, ...] = FAULT_KINDS,
+    ) -> "FaultPlan":
+        """Roll a fault for each of the first ``horizon`` EVENTS frames
+        with probability ``intensity``, capped at ``max_faults``."""
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {kind!r}; choose from {FAULT_KINDS}")
+        rng = random.Random(seed)
+        faults: dict[int, str] = {}
+        for index in range(horizon):
+            if len(faults) >= max_faults:
+                break
+            if rng.random() < intensity:
+                faults[index] = rng.choice(kinds)
+        return cls(faults=faults)
+
+    @classmethod
+    def transparent(cls) -> "FaultPlan":
+        return cls()
+
+    def action_for(self, frame_index: int) -> str | None:
+        return self.faults.get(frame_index)
+
+    def record(self, frame_index: int, kind: str) -> None:
+        self.injected.append(Fault(frame_index, kind))
+
+    def describe(self) -> str:
+        if not self.faults:
+            return "transparent"
+        return ", ".join(f"#{i}:{k}" for i, k in sorted(self.faults.items()))
+
+
+def _corrupt_events_payload(payload: bytes) -> bytes:
+    """Blow the op byte of the middle record to 0xFF (implausible by
+    construction, so the corruption is always *detectable* — a silent
+    bit flip that stays plausible is outside this harness's contract)."""
+    body_len = len(payload) - _EVENTS_HEADER.size
+    if body_len < RECORD_SIZE:
+        return payload  # empty window: nothing to corrupt
+    count = body_len // RECORD_SIZE
+    offset = _EVENTS_HEADER.size + (count // 2) * RECORD_SIZE + _OP_BYTE_OFFSET
+    blob = bytearray(payload)
+    blob[offset] = 0xFF
+    return bytes(blob)
+
+
+class _ConnectionReset(Exception):
+    """Internal signal: the plan asked for a mid-stream reset."""
+
+
+class FaultProxy:
+    """Man-in-the-middle proxy applying a :class:`FaultPlan`.
+
+    Counts EVENTS frames across *all* connections it ever carries, so
+    a plan keeps progressing through client reconnects.  Thread-safe
+    for one logical client (the oracle's usage); multiple concurrent
+    clients would share one fault schedule.
+    """
+
+    def __init__(self, upstream_address: str, plan: FaultPlan | None = None) -> None:
+        self.upstream_address = upstream_address
+        self.plan = plan if plan is not None else FaultPlan.transparent()
+        self.events_seen = 0
+        self.bytes_forwarded = 0
+        self._lock = threading.Lock()
+        self._closed = False
+        self._pairs: list[tuple[socket.socket, socket.socket]] = []
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(16)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="dsspy-faultproxy-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @property
+    def injected(self) -> list[Fault]:
+        return list(self.plan.injected)
+
+    # -- plumbing --------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        from ..service.client import parse_address
+
+        family, connect_arg = parse_address(self.upstream_address)
+        while True:
+            try:
+                client_sock, _ = self._listener.accept()
+            except OSError:
+                return
+            try:
+                upstream = socket.socket(family, socket.SOCK_STREAM)
+                upstream.connect(connect_arg)
+            except OSError:
+                client_sock.close()
+                continue
+            with self._lock:
+                if self._closed:
+                    client_sock.close()
+                    upstream.close()
+                    return
+                self._pairs.append((client_sock, upstream))
+            threading.Thread(
+                target=self._pump_c2s,
+                args=(client_sock, upstream),
+                name="dsspy-faultproxy-c2s",
+                daemon=True,
+            ).start()
+            threading.Thread(
+                target=self._pump_transparent,
+                args=(upstream, client_sock),
+                name="dsspy-faultproxy-s2c",
+                daemon=True,
+            ).start()
+
+    def _pump_transparent(self, src: socket.socket, dst: socket.socket) -> None:
+        try:
+            while True:
+                data = src.recv(65536)
+                if not data:
+                    break
+                dst.sendall(data)
+        except OSError:
+            pass
+        finally:
+            self._drop(src, dst)
+
+    def _pump_c2s(self, client_sock: socket.socket, upstream: socket.socket) -> None:
+        decoder = FrameDecoder()
+        try:
+            while True:
+                data = client_sock.recv(65536)
+                if not data:
+                    break
+                for mtype, payload in decoder.feed(data):
+                    self._forward(upstream, mtype, payload)
+        except (OSError, ProtocolError, _ConnectionReset):
+            pass
+        finally:
+            self._drop(client_sock, upstream)
+
+    def _forward(self, upstream: socket.socket, mtype: int, payload: bytes) -> None:
+        if mtype != MessageType.EVENTS:
+            upstream.sendall(encode_frame(mtype, payload))
+            return
+        with self._lock:
+            index = self.events_seen
+            self.events_seen += 1
+            action = self.plan.action_for(index)
+            if action is not None:
+                self.plan.record(index, action)
+        frame = encode_frame(mtype, payload)
+        if action is None:
+            upstream.sendall(frame)
+        elif action == "duplicate":
+            upstream.sendall(frame)
+            upstream.sendall(frame)
+        elif action == "corrupt":
+            upstream.sendall(encode_frame(mtype, _corrupt_events_payload(payload)))
+        elif action == "chunk":
+            for offset in range(0, len(frame), 7):
+                upstream.sendall(frame[offset : offset + 7])
+        elif action == "stall":
+            time.sleep(_STALL_SECONDS)
+            upstream.sendall(frame)
+        elif action == "reorder":
+            # Ship the *next* complete EVENTS window first by sending
+            # this frame after a duplicate of itself shifted: simplest
+            # faithful reordering is to swap payload halves when the
+            # window has 2+ records — the daemon sees the later half's
+            # stream indices first, i.e. a gap.
+            upstream.sendall(_swap_halves(payload))
+        elif action == "reset":
+            raise _ConnectionReset
+        self.bytes_forwarded += len(frame)
+
+    def _drop(self, *socks: socket.socket) -> None:
+        for sock in socks:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pairs = list(self._pairs)
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._listener.close()
+        for client_sock, upstream in pairs:
+            self._drop(client_sock, upstream)
+        self._accept_thread.join(timeout=5.0)
+
+    def __enter__(self) -> "FaultProxy":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _swap_halves(payload: bytes) -> bytes:
+    """Split one EVENTS window into two frames and emit them in the
+    wrong order (later stream indices first)."""
+    start, count = _EVENTS_HEADER.unpack_from(payload)
+    body = payload[_EVENTS_HEADER.size :]
+    if count < 2:
+        return encode_frame(MessageType.EVENTS, payload)
+    half = count // 2
+    first = body[: half * RECORD_SIZE]
+    second = body[half * RECORD_SIZE :]
+    late = _EVENTS_HEADER.pack(start + half, count - half) + second
+    early = _EVENTS_HEADER.pack(start, half) + first
+    return encode_frame(MessageType.EVENTS, late) + encode_frame(MessageType.EVENTS, early)
+
+
+__all__ = ["FAULT_KINDS", "Fault", "FaultPlan", "FaultProxy"]

@@ -1,0 +1,100 @@
+"""Minimization of failing differential traces.
+
+When a seeded trial fails, the raw trace behind it can be thousands of
+events across several instances — far more than the actual bug needs.
+:func:`shrink_trace` reduces it with delta debugging: because every
+analysis path consumes the *same* event stream, any subsequence of a
+trace is itself a valid trace, so shrinking is free to drop arbitrary
+events as long as the failure predicate keeps failing.
+
+The strategy is the classic two-phase ddmin-lite:
+
+1. **Instance elimination** — try dropping each instance's entire
+   stream (most differential bugs involve one instance).
+2. **Chunk elimination** — repeatedly try removing contiguous chunks
+   of the remaining stream, halving the chunk size whenever a full
+   pass removes nothing, down to single events.
+
+The predicate receives a candidate :class:`~repro.testing.traces.Trace`
+and returns ``True`` while the failure still reproduces.  Predicates
+are typically a re-run of the differential trial with the same fault
+seed — deterministic by construction, so shrinking is sound.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .traces import Trace, TraceInstance
+
+Predicate = Callable[[Trace], bool]
+
+
+def _candidate(base: Trace, instances: list[TraceInstance], events: list) -> Trace:
+    return Trace(seed=base.seed, instances=instances, events=list(events))
+
+
+def _drop_instances(trace: Trace, still_fails: Predicate) -> Trace:
+    changed = True
+    while changed and len(trace.instances) > 1:
+        changed = False
+        for inst in list(trace.instances):
+            instances = [i for i in trace.instances if i is not inst]
+            events = [raw for raw in trace.events if raw[0] != inst.instance_id]
+            candidate = _candidate(trace, instances, events)
+            if still_fails(candidate):
+                trace = candidate
+                changed = True
+                break
+    return trace
+
+
+def _drop_chunks(trace: Trace, still_fails: Predicate, max_rounds: int) -> Trace:
+    chunk = max(len(trace.events) // 2, 1)
+    rounds = 0
+    while chunk >= 1 and rounds < max_rounds:
+        removed_any = False
+        start = 0
+        while start < len(trace.events):
+            rounds += 1
+            if rounds >= max_rounds:
+                break
+            events = trace.events[:start] + trace.events[start + chunk :]
+            candidate = _candidate(trace, trace.instances, events)
+            if events and still_fails(candidate):
+                trace = candidate
+                removed_any = True
+                # Same start now addresses the next chunk.
+            else:
+                start += chunk
+        if not removed_any:
+            if chunk == 1:
+                break
+            chunk = max(chunk // 2, 1)
+    return trace
+
+
+def shrink_trace(
+    trace: Trace,
+    still_fails: Predicate,
+    *,
+    max_rounds: int = 400,
+) -> Trace:
+    """Minimize ``trace`` while ``still_fails(candidate)`` holds.
+
+    ``max_rounds`` bounds the number of predicate evaluations in the
+    chunk phase — each evaluation replays a full differential trial,
+    so the bound keeps worst-case shrink time predictable.  The result
+    is 1-minimal only if the budget allowed it; it is always a valid
+    failing trace no larger than the input.
+    """
+    if not still_fails(trace):
+        raise ValueError("shrink_trace needs a failing trace to start from")
+    trace = _drop_instances(trace, still_fails)
+    trace = _drop_chunks(trace, still_fails, max_rounds)
+    # Instances may have become silent during chunking; one more pass.
+    trace = _drop_instances(trace, still_fails)
+    return trace
+
+
+__all__ = ["shrink_trace"]

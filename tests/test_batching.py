@@ -240,6 +240,35 @@ class TestSamplingPolicies:
             with pytest.raises(ValueError, match="sampling spec"):
                 parse_sampling(bad)
 
+    def test_seeded_decimate_is_bit_reproducible(self):
+        def pattern(policy):
+            return [policy.admit(1) for _ in range(2_000)]
+
+        assert pattern(Decimate(10, seed=7)) == pattern(Decimate(10, seed=7))
+        assert pattern(Decimate(10, seed=7)) != pattern(Decimate(10, seed=8))
+        # No seed reproduces the historic unseeded jitter exactly.
+        assert pattern(Decimate(10)) == pattern(Decimate(10, seed=None))
+
+    def test_seeded_decimate_keeps_exact_rate(self):
+        policy = Decimate(10, seed=7)
+        assert sum(policy.admit(1) for _ in range(10_000)) == 1_000
+
+    def test_seeded_burst_is_bit_reproducible(self):
+        def pattern(policy):
+            return [policy.admit(1) for _ in range(2_000)]
+
+        assert pattern(Burst(50, 10, seed=3)) == pattern(Burst(50, 10, seed=3))
+        assert pattern(Burst(50, 10, seed=3)) != pattern(Burst(50, 10, seed=4))
+        # The burst prefix is seed-independent by construction.
+        assert all(Burst(50, 10, seed=9).admit(1) for _ in range(50))
+
+    def test_parse_sampling_passes_seed_through(self):
+        assert parse_sampling("1/10", seed=5).seed == 5
+        assert parse_sampling("burst:100/10", seed=5).seed == 5
+        assert parse_sampling("1/10").seed is None
+        assert isinstance(parse_sampling("all", seed=5), RecordAll)
+        assert "seed 5" in parse_sampling("1/10", seed=5).describe()
+
     def test_collector_counts_sampled_out_events(self):
         collector = EventCollector(sampling=Decimate(10))
         iid = collector.register_instance(StructureKind.LIST)

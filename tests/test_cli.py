@@ -180,3 +180,112 @@ class TestQualityCommand:
     def test_quality_gate_can_fail(self, capsys):
         # An impossible bar: macro-F1 cannot exceed 1.
         assert main(["quality", "--min-f1", "1.01"]) == 1
+
+
+class TestSessionsErrorPaths:
+    def test_daemon_down_is_reported_not_raised(self, capsys):
+        # Grab a port that nothing listens on.
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        assert main(["sessions", f"127.0.0.1:{port}"]) == 1
+        err = capsys.readouterr().err
+        assert "cannot reach daemon" in err
+
+    def test_stale_unix_socket_file(self, tmp_path, capsys):
+        # A daemon that died uncleanly leaves the socket file behind;
+        # connecting to it must produce a diagnostic, not a traceback.
+        from repro.service import ProfilingDaemon
+
+        path = tmp_path / "stale.sock"
+        daemon = ProfilingDaemon(unix_socket=path)
+        address = daemon.address
+        daemon.close()
+        path.touch()  # simulate the leftover file
+        assert main(["sessions", address]) == 1
+        assert "cannot reach daemon" in capsys.readouterr().err
+
+    def test_malformed_address(self, capsys):
+        assert main(["sessions", "not-an-address"]) == 1
+        err = capsys.readouterr().err
+        assert "invalid daemon address" in err
+        assert "HOST:PORT" in err
+
+    def test_sessions_against_live_daemon(self, capsys):
+        from repro.service import ProfilingDaemon
+
+        with ProfilingDaemon(port=0) as daemon:
+            assert main(["sessions", daemon.address]) == 0
+            assert "no sessions" in capsys.readouterr().out
+
+
+class TestAnalyzeRemoteErrorPaths:
+    def test_remote_daemon_down(self, legacy_file, capsys):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        rc = main(["analyze", str(legacy_file), "--remote", f"127.0.0.1:{port}"])
+        assert rc == 2
+        assert "cannot reach profiling daemon" in capsys.readouterr().err
+
+    def test_remote_malformed_address(self, legacy_file, capsys):
+        assert main(["analyze", str(legacy_file), "--remote", "nonsense"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_remote_and_spill_conflict(self, legacy_file, tmp_path, capsys):
+        rc = main(
+            [
+                "analyze",
+                str(legacy_file),
+                "--channel",
+                "batch",
+                "--remote",
+                "127.0.0.1:1",
+                "--spill",
+                str(tmp_path / "x.spill"),
+            ]
+        )
+        assert rc == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+
+class TestMalformedHello:
+    def test_non_string_session_id_gets_error_frame(self):
+        import socket as socket_mod
+
+        from repro.service import MessageType, ProfilingDaemon
+        from repro.service.protocol import decode_json, encode_json, recv_frame
+
+        with ProfilingDaemon(port=0) as daemon:
+            sock = socket_mod.create_connection((daemon.host, daemon.port), timeout=5)
+            try:
+                sock.sendall(encode_json(MessageType.HELLO, {"session": 123}))
+                frame = recv_frame(sock)
+                assert frame is not None
+                mtype, payload = frame
+                assert mtype == MessageType.ERROR
+                assert "must be a string" in decode_json(payload)["error"]
+            finally:
+                sock.close()
+
+
+class TestSelftestCommand:
+    def test_selftest_passes_and_reports(self, capsys):
+        rc = main(["selftest", "--trials", "3", "--faults", "duplicate,reset"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "selftest: 3 trials, 0 failures" in out
+
+    def test_selftest_without_faults(self, capsys):
+        assert main(["selftest", "--trials", "2", "--faults", "none"]) == 0
+        assert "0 faults injected" in capsys.readouterr().out
+
+    def test_selftest_rejects_unknown_fault_kind(self, capsys):
+        assert main(["selftest", "--trials", "1", "--faults", "gremlin"]) == 2
+        assert "unknown fault kind" in capsys.readouterr().err

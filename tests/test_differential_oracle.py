@@ -1,0 +1,129 @@
+"""Differential-correctness trials: batch vs streaming vs daemon.
+
+The fast tests here run a few dozen seeded trials with the full fault
+vocabulary on every PR; the 500-trial acceptance sweep is marked
+``slow`` (CI runs it in a dedicated job, locally:
+``pytest -m slow tests/test_differential_oracle.py``).
+
+The harness must not just pass on correct code — it must *fail* on
+broken code.  ``TestOracleCatchesRealBugs`` deliberately breaks the
+daemon's overlap dedup and asserts the oracle notices within a bounded
+number of trials, which is the evidence that the passing runs mean
+something.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.protocol import ProtocolError
+from repro.service.session import Session
+from repro.testing import (
+    DifferentialOracle,
+    generate_trace,
+    run_batch_path,
+    run_streaming_path,
+    summarize_report,
+)
+
+
+class TestPathAgreementNoFaults:
+    def test_batch_and_streaming_agree_over_many_seeds(self):
+        for seed in range(40):
+            trace = generate_trace(seed)
+            batch = summarize_report(run_batch_path(trace))
+            streaming = summarize_report(run_streaming_path(trace))
+            assert batch == streaming, f"seed {seed}: {trace.describe()}"
+
+    def test_window_size_does_not_matter(self):
+        trace = generate_trace(11)
+        reference = summarize_report(run_streaming_path(trace, window=64))
+        for window in (1, 7, 128, 10_000):
+            assert summarize_report(run_streaming_path(trace, window=window)) == (
+                reference
+            ), f"window {window}"
+
+    def test_faultless_oracle_trials(self):
+        with DifferentialOracle(fault_intensity=0.0) as oracle:
+            results = oracle.run_trials(10, base_seed=0)
+        assert all(r.ok for r in results)
+        assert all(r.faults_injected == 0 for r in results)
+
+
+class TestPathAgreementUnderFaults:
+    def test_oracle_trials_with_full_fault_vocabulary(self):
+        with DifferentialOracle(fault_intensity=0.35) as oracle:
+            results = oracle.run_trials(25, base_seed=0)
+        failures = [r for r in results if not r.ok]
+        assert not failures, "\n".join(r.describe() for r in failures)
+        # The run must actually have exercised the fault machinery.
+        assert sum(r.faults_injected for r in results) >= 10
+        kinds = {f.kind for r in results for f in r.plan.injected}
+        assert len(kinds) >= 4
+
+    def test_trials_are_reproducible(self):
+        with DifferentialOracle(fault_intensity=0.35) as oracle:
+            first = oracle.run_trial(3)
+            second = oracle.run_trial(3)
+        assert first.ok and second.ok
+        assert first.trace.events == second.trace.events
+        assert first.plan.faults == second.plan.faults
+
+    @pytest.mark.slow
+    def test_acceptance_sweep_500_trials(self):
+        """The PR's acceptance criterion: 500 seeded trials through the
+        fault proxy, zero divergence between the three paths."""
+        with DifferentialOracle(fault_intensity=0.25) as oracle:
+            results = oracle.run_trials(500, base_seed=0, stop_on_failure=False)
+        failures = [r for r in results if not r.ok]
+        assert not failures, "\n".join(r.describe() for r in failures)
+        assert sum(r.faults_injected for r in results) >= 100
+
+
+def _ingest_without_overlap_skip(self, start, raws):
+    """Session.ingest with the dedup rewind removed: retransmitted
+    overlap is folded again instead of skipped."""
+    with self._lock:
+        if self.state == "finished":
+            raise ProtocolError(f"session {self.session_id} already finished")
+        if start > self.received:
+            raise ProtocolError(
+                f"event gap: window starts at {start} but only "
+                f"{self.received} events were received"
+            )
+        self.received = max(self.received, start + len(raws))
+        self.touch()
+        self.pipeline.submit(raws)  # BUG: folds the overlap twice
+        self.rate.tick(len(raws))
+    return len(raws)
+
+
+class TestOracleCatchesRealBugs:
+    def test_broken_dedup_is_caught_within_50_trials(self, monkeypatch):
+        monkeypatch.setattr(Session, "ingest", _ingest_without_overlap_skip)
+        with DifferentialOracle(
+            fault_intensity=0.4, fault_kinds=("duplicate", "reset")
+        ) as oracle:
+            results = oracle.run_trials(50, base_seed=0, stop_on_failure=True)
+            failures = [r for r in results if not r.ok]
+            assert failures, (
+                "broken overlap dedup survived 50 duplicate/reset trials — "
+                "the oracle has lost its teeth"
+            )
+            first = failures[0]
+            assert first.mismatches
+            # Failing trials shrink to something small to stare at.
+            minimal = oracle.shrink_failure(first, max_rounds=60)
+            assert len(minimal.events) <= len(first.trace.events)
+            assert not oracle.run_trial(first.seed, trace=minimal).ok
+
+    def test_shrunk_failure_replays_with_same_seed(self, monkeypatch):
+        monkeypatch.setattr(Session, "ingest", _ingest_without_overlap_skip)
+        with DifferentialOracle(
+            fault_intensity=0.5, fault_kinds=("duplicate",)
+        ) as oracle:
+            results = oracle.run_trials(50, base_seed=100, stop_on_failure=True)
+            failing = next((r for r in results if not r.ok), None)
+            assert failing is not None
+            # Replay is deterministic: same seed, same verdict.
+            assert not oracle.run_trial(failing.seed, trace=failing.trace).ok

@@ -23,6 +23,7 @@ from repro.service import (
     SessionState,
     fetch_stats,
 )
+from repro.testing import SimClock
 from repro.usecases import UseCaseEngine
 from repro.usecases.json_export import report_to_dict
 from repro.workloads import gen_frequent_long_read, gen_long_insert
@@ -117,8 +118,9 @@ class TestEndToEndRemoteChannel:
 
 class TestDisconnectAndResume:
     def test_abrupt_disconnect_still_emits_report(self, tmp_path):
+        clock = SimClock()
         daemon = ProfilingDaemon(
-            port=0, session_linger=0.05, report_dir=tmp_path
+            port=0, session_linger=30.0, report_dir=tmp_path, clock=clock
         )
         try:
             client = ServiceClient(daemon.address)
@@ -133,7 +135,7 @@ class TestDisconnectAndResume:
             assert _wait_for(
                 lambda: daemon.sessions[sid].state == SessionState.DETACHED
             )
-            time.sleep(0.1)  # past the linger window
+            clock.advance(31.0)  # past the linger window — no real waiting
             daemon.reap()
             session = daemon.sessions[sid]
             assert session.state == SessionState.FINISHED
@@ -189,23 +191,48 @@ class TestDisconnectAndResume:
 
 
 class TestReaper:
+    """Reaper policy runs on the daemon's clock: tests advance a
+    SimClock instead of sleeping, so realistic timeouts (tens of
+    seconds) cost nothing and the tests cannot flake on a slow CI
+    machine racing a 50 ms window."""
+
     def test_silent_client_is_detached_after_heartbeat_timeout(self):
-        with ProfilingDaemon(port=0, heartbeat_timeout=0.05) as daemon:
+        clock = SimClock()
+        with ProfilingDaemon(port=0, heartbeat_timeout=30.0, clock=clock) as daemon:
             client = ServiceClient(daemon.address)
             sid = client.session_id
-            time.sleep(0.15)
+            clock.advance(31.0)
             daemon.reap()
+            # The reap closes the stale connection; the handler thread
+            # notices and detaches — that part is real concurrency.
             assert _wait_for(
                 lambda: daemon.sessions[sid].state == SessionState.DETACHED
             )
+            client.close()
+
+    def test_heartbeat_keeps_session_alive(self):
+        clock = SimClock()
+        with ProfilingDaemon(port=0, heartbeat_timeout=30.0, clock=clock) as daemon:
+            client = ServiceClient(daemon.address)
+            sid = client.session_id
+            for _ in range(3):
+                clock.advance(20.0)  # inside the timeout each time
+                client.heartbeat()
+                daemon.reap()
+                assert daemon.sessions[sid].state == SessionState.ACTIVE
+            client.close()
 
     def test_finished_session_is_evicted_after_linger(self):
-        with ProfilingDaemon(port=0, session_linger=0.05) as daemon:
+        clock = SimClock()
+        with ProfilingDaemon(port=0, session_linger=30.0, clock=clock) as daemon:
             client = ServiceClient(daemon.address)
             sid = client.session_id
             client.fin()
             client.close()
-            time.sleep(0.1)
+            clock.advance(29.0)
+            daemon.reap()
+            assert sid in daemon.sessions  # still inside the linger window
+            clock.advance(2.0)
             daemon.reap()
             assert sid not in daemon.sessions
 
@@ -246,7 +273,7 @@ class TestLifecycle:
             target=daemon.serve_forever, kwargs={"install_signals": False}
         )
         server.start()
-        time.sleep(0.05)
+        assert _wait_for(server.is_alive)
         daemon.handle_signal(15, None)  # what SIGTERM would do
         server.join(timeout=5.0)
         assert not server.is_alive()

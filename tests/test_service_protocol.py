@@ -144,6 +144,26 @@ class TestEventsPayload:
         with pytest.raises(ProtocolError, match="header"):
             decode_events(b"\x00\x00")
 
+    def test_validate_passes_clean_frames(self):
+        rng = random.Random(9)
+        raws = [_random_raw(rng) for _ in range(200)]
+        _, payload = FrameDecoder().feed(encode_events(3, raws))[0]
+        assert decode_events(payload, validate=True) == (3, raws)
+
+    def test_validate_rejects_implausible_record(self):
+        raws = [(1, int(OperationKind.READ), 0, i, 10, 0, None) for i in range(5)]
+        _, payload = FrameDecoder().feed(encode_events(40, raws))[0]
+        blob = bytearray(payload)
+        # Trash the middle record in place.
+        offset = 12 + 2 * RECORD_SIZE
+        blob[offset : offset + RECORD_SIZE] = b"\xff" * RECORD_SIZE
+        with pytest.raises(ProtocolError, match="stream index 40.*1 implausible"):
+            decode_events(bytes(blob), validate=True)
+        # Unvalidated decoding still succeeds — rejection is the
+        # daemon's explicit choice, not a property of the codec.
+        start, decoded = decode_events(bytes(blob))
+        assert start == 40 and len(decoded) == 5
+
 
 class TestSpillCorruptionSkipping:
     def _write(self, path, raws):
@@ -192,3 +212,49 @@ class TestSpillCorruptionSkipping:
         for _ in range(200):
             assert record_is_plausible(pack_record(_random_raw(rng)))
         assert not record_is_plausible(b"\xff" * RECORD_SIZE)
+
+    def test_multiple_corrupt_records_all_counted(self, tmp_path):
+        path = tmp_path / "events.spill"
+        raws = [(i, int(OperationKind.READ), 0, i, 100, 0, None) for i in range(20)]
+        self._write(path, raws)
+        blob = bytearray(path.read_bytes())
+        for index in (2, 9, 15):
+            offset = len(MAGIC) + index * RECORD_SIZE
+            blob[offset : offset + RECORD_SIZE] = b"\xff" * RECORD_SIZE
+        path.write_bytes(bytes(blob))
+        with pytest.warns(RuntimeWarning, match="skipped 3 corrupt"):
+            back = read_spill_raw(path)
+        assert back == [raw for i, raw in enumerate(raws) if i not in (2, 9, 15)]
+
+    def test_corruption_straddling_read_chunk_boundary(self, tmp_path):
+        # iter_spill_raw reads in 4096-record chunks; records 4095 and
+        # 4096 sit on either side of the first boundary and must both
+        # be screened, not conflated with a truncated tail.
+        path = tmp_path / "events.spill"
+        n = 4096 + 50
+        raws = [(i, int(OperationKind.READ), 0, i, n, 0, None) for i in range(n)]
+        self._write(path, raws)
+        blob = bytearray(path.read_bytes())
+        for index in (4095, 4096):
+            offset = len(MAGIC) + index * RECORD_SIZE
+            blob[offset : offset + RECORD_SIZE] = b"\xff" * RECORD_SIZE
+        path.write_bytes(bytes(blob))
+        with pytest.warns(RuntimeWarning, match="skipped 2 corrupt"):
+            back = read_spill_raw(path)
+        assert len(back) == n - 2
+        assert back == raws[:4095] + raws[4097:]
+
+    def test_corrupt_record_plus_truncated_tail(self, tmp_path):
+        # The two degradation modes compose: mid-file corruption warns
+        # and is skipped, the torn tail ends the stream silently.
+        path = tmp_path / "events.spill"
+        raws = [(i, int(OperationKind.READ), 0, i, 10, 0, None) for i in range(8)]
+        self._write(path, raws)
+        blob = bytearray(path.read_bytes())
+        offset = len(MAGIC) + 3 * RECORD_SIZE
+        blob[offset : offset + RECORD_SIZE] = b"\xff" * RECORD_SIZE
+        blob = blob[: len(blob) - 11]  # tear the final record
+        path.write_bytes(bytes(blob))
+        with pytest.warns(RuntimeWarning, match="skipped 1 corrupt"):
+            back = read_spill_raw(path)
+        assert back == raws[:3] + raws[4:7]
