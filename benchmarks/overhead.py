@@ -22,6 +22,10 @@ baseline this pipeline is designed to beat.  ``remote_vs_plain`` gates
 the networked transport the same way: a ``RemoteChannel`` shipping to a
 loopback :class:`~repro.service.ProfilingDaemon` must keep its producer
 hot path within budget of the in-process batched pipeline.
+``journal_vs_plain`` repeats the remote measurement against a daemon
+with the write-ahead journal and checkpointing enabled — durability
+lives on the daemon's ingest thread, so the producer hot path must not
+notice it.
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -46,7 +51,7 @@ from repro.events import (
 )
 from repro.service import ProfilingDaemon, RemoteChannel
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: A representative raw event (list read at position 5 of 1000).
 RAW = (0, int(OperationKind.READ), int(AccessKind.READ), 5, 1000, 0, None)
@@ -145,6 +150,23 @@ def run_overhead_benchmark(events: int = 100_000, repeats: int = 3) -> dict:
         "total_s": total_s,
         "per_event_ns": total_s / events * 1e9,
     }
+    # Same transport against a durable daemon: every window is journaled
+    # before it is acknowledged, with periodic checkpoints.
+    with tempfile.TemporaryDirectory(prefix="dsspy-bench-state-") as state_dir:
+        with ProfilingDaemon(
+            port=0,
+            session_linger=0.1,
+            state_dir=state_dir,
+            checkpoint_every=max(events // 2, 10_000),
+        ) as daemon:
+            total_s = _best(
+                lambda: _time_channel(lambda: RemoteChannel(daemon.address), events),
+                repeats,
+            )
+    doc["channels"]["remote_journal"] = {
+        "total_s": total_s,
+        "per_event_ns": total_s / events * 1e9,
+    }
 
     for name, (factory, make_policy) in recorders.items():
         total_s = _best(
@@ -169,6 +191,8 @@ def run_overhead_benchmark(events: int = 100_000, repeats: int = 3) -> dict:
         # Machine-normalized cost multiples — the CI-gated metrics.
         "batching_vs_plain": batching_ns / doc["plain_append_ns"],
         "remote_vs_plain": doc["channels"]["remote"]["per_event_ns"]
+        / doc["plain_append_ns"],
+        "journal_vs_plain": doc["channels"]["remote_journal"]["per_event_ns"]
         / doc["plain_append_ns"],
         "record_batching_vs_plain": doc["recording"]["batching"]["per_event_ns"]
         / doc["plain_append_ns"],
@@ -197,7 +221,8 @@ def main(argv: list[str] | None = None) -> int:
         f"{derived['batching_vs_async']:.1f}x faster than async, "
         f"{derived['batching_drop_vs_async']:.1f}x with the drop policy); "
         f"remote: {doc['channels']['remote']['per_event_ns']:.0f} ns/event "
-        f"({derived['remote_vs_plain']:.1f}x a plain append)",
+        f"({derived['remote_vs_plain']:.1f}x a plain append; "
+        f"{derived['journal_vs_plain']:.1f}x journaled)",
         file=sys.stderr,
     )
     return 0

@@ -26,6 +26,12 @@ Subcommands:
     Query a running daemon for per-session statistics (events/sec,
     drop counts, flagged use cases) as a table or JSON.
 
+``dsspy recover STATE_DIR``
+    Offline recovery: rebuild every unfinished session found in a
+    daemon state directory from its write-ahead journal and print (or
+    write) the reports — for when the crashed daemon's host is gone
+    and no replacement daemon will ever replay the journals.
+
 ``dsspy selftest``
     Differential self-verification: N seeded trials, each pushing a
     randomized trace through batch analysis, the streaming engine, and
@@ -66,7 +72,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             from .service import RemoteChannel
 
             try:
-                channel = RemoteChannel(args.remote, batch_size=args.batch_size)
+                channel = RemoteChannel(
+                    args.remote,
+                    batch_size=args.batch_size,
+                    give_up_after=args.remote_give_up,
+                    fallback_spill=args.remote_spill,
+                )
             except OSError as exc:
                 print(
                     f"cannot reach profiling daemon at {args.remote}: {exc}",
@@ -109,6 +120,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     print(format_summary(report, name=str(args.file)))
     if args.remote:
         ack = getattr(channel, "final_ack", None)
+        spill_path = getattr(channel, "spill_path", None)
+        if spill_path is not None:
+            print(
+                f"remote: gave up on daemon at {args.remote}; unshipped events "
+                f"spilled to {spill_path} (the report above already covers "
+                "them — replay the spill only to update the daemon's copy)"
+            )
         if ack is None:
             print(f"remote: daemon at {args.remote} unreachable at session end")
         else:
@@ -273,10 +291,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_pending_events=args.max_pending,
         overflow=args.overflow,
         report_dir=args.report_dir,
+        state_dir=args.state_dir,
+        checkpoint_every=args.checkpoint_every,
+        journal_fsync=args.journal_fsync,
+        max_events_per_sec=args.max_events_per_sec,
+        session_max_events_per_sec=args.session_max_events_per_sec,
+        retry_after=args.retry_after,
     )
     print(f"dsspy daemon listening on {daemon.address}")
     if args.report_dir:
         print(f"session reports will be written to {args.report_dir}")
+    if args.state_dir:
+        print(f"write-ahead journals under {args.state_dir}")
+        if daemon.recovered_sessions:
+            print(
+                f"recovered {len(daemon.recovered_sessions)} session(s) "
+                f"from the journal: {', '.join(daemon.recovered_sessions)}"
+            )
     print("press Ctrl-C or send SIGTERM to shut down")
     daemon.serve_forever()
     print("daemon shut down; all sessions flushed")
@@ -313,7 +344,8 @@ def _cmd_sessions(args: argparse.Namespace) -> int:
         return 0
     header = (
         f"{'session':<14} {'state':<9} {'received':>10} {'ev/s':>8} "
-        f"{'dup':>6} {'decim':>6} {'spill':>6} {'inst':>5}  flagged"
+        f"{'dup':>6} {'decim':>6} {'spill':>6} {'defer':>6} {'ckpt':>5} "
+        f"{'stage':<8} {'inst':>5}  flagged"
     )
     print(header)
     print("-" * len(header))
@@ -321,11 +353,78 @@ def _cmd_sessions(args: argparse.Namespace) -> int:
         flagged = ", ".join(
             f"#{iid}:{'/'.join(kinds)}" for iid, kinds in sorted(s["flagged"].items())
         ) or "-"
+        state = s["state"] + ("*" if s.get("recovered") else "")
         print(
-            f"{s['session']:<14} {s['state']:<9} {s['received']:>10} "
+            f"{s['session']:<14} {state:<9} {s['received']:>10} "
             f"{s['events_per_sec']:>8} {s['duplicates']:>6} {s['decimated']:>6} "
-            f"{s['spilled']:>6} {s['instances']:>5}  {flagged}"
+            f"{s['spilled']:>6} {s.get('deferred', 0):>6} "
+            f"{s.get('checkpoints', 0):>5} {s.get('stage', 'normal'):<8} "
+            f"{s['instances']:>5}  {flagged}"
         )
+    if any(s.get("recovered") for s in sessions):
+        print("(* = session rebuilt from its write-ahead journal)")
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    import json as _json
+    import shutil
+
+    from .service import recover_session_dir, scan_state_dir
+    from .usecases.json_export import report_to_dict, summarize_json
+
+    session_dirs = scan_state_dir(args.state_dir)
+    if not session_dirs:
+        print(f"no recoverable sessions under {args.state_dir}")
+        return 0
+    report_dir = Path(args.report_dir) if args.report_dir else None
+    results = []
+    for directory in session_dirs:
+        recovered = recover_session_dir(directory)
+        report = report_to_dict(recovered.engine.report())
+        results.append(
+            {
+                "session": recovered.session_id,
+                "directory": str(directory),
+                "received": recovered.received,
+                "applied": recovered.applied,
+                "finished": recovered.finished,
+                "checkpoint_loaded": recovered.checkpoint_loaded,
+                "events_replayed": recovered.events_replayed,
+                "truncated_bytes": recovered.truncated_bytes,
+                "notes": list(recovered.notes),
+                "report": report,
+            }
+        )
+    if report_dir is not None:
+        report_dir.mkdir(parents=True, exist_ok=True)
+        for entry in results:
+            path = report_dir / f"{entry['session']}.json"
+            path.write_text(_json.dumps(entry["report"], indent=2))
+    if args.json:
+        print(_json.dumps(results, indent=2))
+    else:
+        for entry in results:
+            status = "finished" if entry["finished"] else "interrupted"
+            print(
+                f"{entry['session']}: {status}, {entry['received']} events "
+                f"journaled, {entry['events_replayed']} replayed past the "
+                f"checkpoint"
+                + (
+                    f", {entry['truncated_bytes']} torn tail bytes dropped"
+                    if entry["truncated_bytes"]
+                    else ""
+                )
+            )
+            for note in entry["notes"]:
+                print(f"  note: {note}")
+            print(f"  {summarize_json(entry['report'])}")
+        if report_dir is not None:
+            print(f"reports written to {report_dir}")
+    if args.purge:
+        for directory in session_dirs:
+            shutil.rmtree(directory, ignore_errors=True)
+        print(f"purged {len(session_dirs)} session journal(s)")
     return 0
 
 
@@ -446,6 +545,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream events to a dsspy daemon (see 'dsspy serve') instead of "
         "keeping the capture purely in-process; overrides --channel",
     )
+    analyze.add_argument(
+        "--remote-give-up",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="stop retrying a dead daemon after this many seconds of "
+        "continuous failure (default: retry forever)",
+    )
+    analyze.add_argument(
+        "--remote-spill",
+        default=None,
+        metavar="PATH",
+        help="where to spill unshipped events if --remote-give-up fires "
+        "(the local report is unaffected; the spill preserves the "
+        "daemon's copy)",
+    )
     analyze.set_defaults(fn=_cmd_analyze)
 
     transform = sub.add_parser(
@@ -531,6 +646,50 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="write each finalized session's report JSON here",
     )
+    serve.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="write-ahead journal directory: events are made durable "
+        "before they are acknowledged, and a restarted daemon recovers "
+        "every unfinished session from here",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=50_000,
+        metavar="N",
+        help="checkpoint a session's analysis state every N applied "
+        "events so recovery replays only the journal tail",
+    )
+    serve.add_argument(
+        "--journal-fsync",
+        action="store_true",
+        help="fsync every journal append (survives machine crashes, not "
+        "just daemon crashes; costs throughput)",
+    )
+    serve.add_argument(
+        "--max-events-per-sec",
+        type=float,
+        default=None,
+        metavar="N",
+        help="global ingest quota; sustained excess degrades sessions "
+        "through decimate -> journal-only -> shed",
+    )
+    serve.add_argument(
+        "--session-max-events-per-sec",
+        type=float,
+        default=None,
+        metavar="N",
+        help="per-session ingest quota (same degradation ladder)",
+    )
+    serve.add_argument(
+        "--retry-after",
+        type=float,
+        default=2.0,
+        metavar="SEC",
+        help="backoff hint sent to shed clients",
+    )
     serve.set_defaults(fn=_cmd_serve)
 
     sessions = sub.add_parser(
@@ -539,6 +698,27 @@ def build_parser() -> argparse.ArgumentParser:
     sessions.add_argument("address", metavar="ADDRESS", help="HOST:PORT or unix:PATH")
     sessions.add_argument("--json", action="store_true", help="raw JSON output")
     sessions.set_defaults(fn=_cmd_sessions)
+
+    recover = sub.add_parser(
+        "recover",
+        help="rebuild session reports offline from a daemon state directory",
+    )
+    recover.add_argument(
+        "state_dir", metavar="STATE_DIR", help="the daemon's --state-dir"
+    )
+    recover.add_argument(
+        "--report-dir",
+        default=None,
+        metavar="DIR",
+        help="write each recovered session's report JSON here",
+    )
+    recover.add_argument("--json", action="store_true", help="raw JSON output")
+    recover.add_argument(
+        "--purge",
+        action="store_true",
+        help="delete the session journals after recovering them",
+    )
+    recover.set_defaults(fn=_cmd_recover)
 
     selftest = sub.add_parser(
         "selftest",
@@ -552,7 +732,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     selftest.add_argument(
         "--faults",
-        default="reset,duplicate,reorder,corrupt,chunk,stall",
+        default="reset,duplicate,reorder,corrupt,chunk,stall,kill",
         help="comma-separated fault kinds to inject, or 'none'",
     )
     selftest.add_argument(

@@ -15,14 +15,31 @@ collector/channel seam: same hot path as
 drainer thread, transparent reconnect-and-retransmit on failure.
 """
 
-from .client import RemoteChannel, ServiceClient, fetch_stats, parse_address
+from .client import (
+    BackoffPolicy,
+    RemoteChannel,
+    ServiceClient,
+    fetch_stats,
+    parse_address,
+)
 from .daemon import ProfilingDaemon
+from .durability import (
+    AdmissionController,
+    AdmissionStage,
+    RecoveredSession,
+    SessionJournal,
+    engine_from_dict,
+    engine_to_dict,
+    recover_session_dir,
+    scan_state_dir,
+)
 from .protocol import (
     MAX_EVENTS_PER_FRAME,
     MAX_FRAME_BYTES,
     FrameDecoder,
     MessageType,
     ProtocolError,
+    RetryAfterError,
     decode_events,
     decode_json,
     encode_events,
@@ -35,6 +52,9 @@ from .session import IngestPipeline, RateMeter, Session, SessionState
 from .streaming import StreamingUseCaseEngine
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionStage",
+    "BackoffPolicy",
     "FrameDecoder",
     "IngestPipeline",
     "MAX_EVENTS_PER_FRAME",
@@ -43,9 +63,12 @@ __all__ = [
     "ProfilingDaemon",
     "ProtocolError",
     "RateMeter",
+    "RecoveredSession",
     "RemoteChannel",
+    "RetryAfterError",
     "ServiceClient",
     "Session",
+    "SessionJournal",
     "SessionState",
     "StreamingUseCaseEngine",
     "decode_events",
@@ -53,8 +76,12 @@ __all__ = [
     "encode_events",
     "encode_frame",
     "encode_json",
+    "engine_from_dict",
+    "engine_to_dict",
     "fetch_stats",
     "parse_address",
+    "recover_session_dir",
     "recv_frame",
+    "scan_state_dir",
     "send_frame",
 ]

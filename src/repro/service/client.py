@@ -20,19 +20,23 @@ latency.
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
+from pathlib import Path
 from typing import Any
 
 from ..events.batching import BatchingChannel
 from ..events.event import RawEvent
 from ..events.profile import AllocationSite
+from ..events.spill import SpillWriter
 from ..events.types import StructureKind
 from ..testing.clock import SYSTEM_CLOCK, Clock
 from .protocol import (
     MAX_EVENTS_PER_FRAME,
     MessageType,
     ProtocolError,
+    RetryAfterError,
     decode_json,
     encode_events,
     encode_json,
@@ -101,7 +105,11 @@ class ServiceClient:
         obj = decode_json(payload)
         if rtype == MessageType.ERROR:
             raise ProtocolError(f"server error: {obj.get('error', '?')}")
-        if rtype != MessageType.ACK:
+        if rtype == MessageType.RETRY_AFTER:
+            raise RetryAfterError(float(obj.get("retry_after", 1.0)))
+        # JOURNALED is a positive ack: the events are durable, their
+        # analysis is merely deferred behind the journal backlog.
+        if rtype not in (MessageType.ACK, MessageType.JOURNALED):
             raise ProtocolError(f"expected ACK, got {MessageType.name(rtype)}")
         return obj
 
@@ -174,6 +182,64 @@ def _site_to_dict(site: AllocationSite | None) -> dict[str, Any] | None:
     }
 
 
+class BackoffPolicy:
+    """Capped exponential backoff with jitter for reconnect attempts.
+
+    Delay after the *n*-th consecutive failure is
+    ``min(cap, base * multiplier**(n-1))`` stretched by up to
+    ``jitter`` of itself (seedable ``random.Random`` — tests pin the
+    schedule), and never shorter than a server-mandated minimum (the
+    RETRY-AFTER delay).  A success resets the ladder.
+
+    Timing goes through a :class:`~repro.testing.clock.Clock`, so a
+    SimClock test can walk the schedule without sleeping.
+    """
+
+    def __init__(
+        self,
+        base: float = 0.05,
+        cap: float = 5.0,
+        multiplier: float = 2.0,
+        jitter: float = 0.5,
+        rng: random.Random | None = None,
+        clock: Clock = SYSTEM_CLOCK,
+    ) -> None:
+        if base <= 0 or cap < base or multiplier < 1.0 or not 0 <= jitter <= 1:
+            raise ValueError(
+                f"bad backoff parameters base={base} cap={cap} "
+                f"multiplier={multiplier} jitter={jitter}"
+            )
+        self.base = base
+        self.cap = cap
+        self.multiplier = multiplier
+        self.jitter = jitter
+        self._rng = rng if rng is not None else random.Random()
+        self._clock = clock
+        self.failures = 0
+        self._until = 0.0
+
+    def note_failure(self, min_delay: float = 0.0) -> float:
+        """Record a failed attempt; returns the chosen delay."""
+        self.failures += 1
+        delay = min(self.cap, self.base * self.multiplier ** (self.failures - 1))
+        delay *= 1.0 + self.jitter * self._rng.random()
+        delay = max(delay, min_delay)
+        self._until = self._clock.monotonic() + delay
+        return delay
+
+    def note_success(self) -> None:
+        self.failures = 0
+        self._until = 0.0
+
+    def ready(self) -> bool:
+        """Is the current delay over (always true when never failed)?"""
+        return self._clock.monotonic() >= self._until
+
+    def down_for(self) -> float:
+        """Seconds until the next attempt is allowed (0 when ready)."""
+        return max(0.0, self._until - self._clock.monotonic())
+
+
 class RemoteChannel(BatchingChannel):
     """Batching channel that streams its harvests to a daemon.
 
@@ -195,6 +261,9 @@ class RemoteChannel(BatchingChannel):
         session_id: str | None = None,
         heartbeat_interval: float = 2.0,
         clock: Clock = SYSTEM_CLOCK,
+        backoff: BackoffPolicy | None = None,
+        give_up_after: float | None = None,
+        fallback_spill: str | Path | None = None,
         **batching_kwargs: Any,
     ) -> None:
         if batching_kwargs.pop("spill", None) is not None:
@@ -213,6 +282,14 @@ class RemoteChannel(BatchingChannel):
         self._registered: list[dict[str, Any]] = []
         self._registered_sent = 0
         self._reconnects = 0
+        self._backoff = backoff if backoff is not None else BackoffPolicy(clock=clock)
+        self._give_up_after = give_up_after
+        self._fallback_spill = (
+            Path(fallback_spill) if fallback_spill is not None else None
+        )
+        self._down_since: float | None = None
+        self._gave_up = False
+        self.spill_path: Path | None = None
         self._connect()  # fail fast: a bad address raises here, not mid-run
         super().__init__(sink=self._ship, **batching_kwargs)
         self._hb_stop = threading.Event()
@@ -274,12 +351,29 @@ class RemoteChannel(BatchingChannel):
         elif self._shipped:
             self._shipped = 0
         self._registered_sent = 0
+        self._backoff.note_success()
+        self._down_since = None
         self._flush_registrations()
 
     def _disconnect(self) -> None:
         client, self._client = self._client, None
         if client is not None:
             client.close()
+
+    def _note_failure(self, exc: Exception | None = None) -> None:
+        """Failure bookkeeping: back off (honoring a server-mandated
+        RETRY-AFTER delay) and track how long the link has been down
+        for the give-up deadline."""
+        min_delay = exc.retry_after if isinstance(exc, RetryAfterError) else 0.0
+        self._backoff.note_failure(min_delay)
+        now = self._clock.monotonic()
+        if self._down_since is None:
+            self._down_since = now
+        if (
+            self._give_up_after is not None
+            and now - self._down_since >= self._give_up_after
+        ):
+            self._gave_up = True
 
     def _ship(self, batch: list[RawEvent]) -> None:  # noqa: ARG002
         """Sink hook: forward everything harvested but not yet shipped.
@@ -289,20 +383,26 @@ class RemoteChannel(BatchingChannel):
         with self._ship_lock:
             self._ship_pending()
 
-    def _ship_pending(self) -> None:
+    def _ship_pending(self, force: bool = False) -> None:
+        if self._gave_up:
+            return
         if self._client is None:
+            if not force and not self._backoff.ready():
+                return  # inside the backoff delay; skip this harvest
             try:
                 self._connect()
-            except (OSError, ProtocolError):
-                return  # still down; retry on the next harvest
+            except (OSError, ProtocolError) as exc:
+                self._note_failure(exc)
+                return  # still down; retry after the backoff delay
         pending = self._master[self._shipped :]
         if not pending:
             return
         try:
             self._client.send_events(self._shipped, pending)
             self._shipped += len(pending)
-        except (OSError, ProtocolError):
+        except (OSError, ProtocolError) as exc:
             self._disconnect()
+            self._note_failure(exc)
 
     def _heartbeat_loop(self, interval: float) -> None:
         # Cadence goes through the clock so tests can trigger (or
@@ -314,8 +414,9 @@ class RemoteChannel(BatchingChannel):
                     continue
                 try:
                     client.heartbeat()
-                except (OSError, ProtocolError):
+                except (OSError, ProtocolError) as exc:
                     self._disconnect()
+                    self._note_failure(exc)
 
     # -- lifecycle -------------------------------------------------------
 
@@ -327,16 +428,27 @@ class RemoteChannel(BatchingChannel):
     def reconnects(self) -> int:
         return self._reconnects
 
+    @property
+    def gave_up(self) -> bool:
+        """True once the give-up deadline expired with the link down;
+        unshipped events go to the fallback spill at drain time."""
+        return self._gave_up
+
     def drain(self) -> list[RawEvent]:
         """Final harvest + final ship + FIN.  Returns the locally
         retained events (so in-process analysis still works), with the
-        server's report available in :attr:`final_ack`."""
+        server's report available in :attr:`final_ack`.
+
+        When the daemon stayed unreachable past the give-up deadline,
+        the unshipped tail is written to the fallback spill file
+        (:attr:`spill_path`) instead of being dropped — ``dsspy
+        analyze`` reads the residue with the ordinary spill tooling."""
         master = super().drain()
         self._hb_stop.set()
         self._hb_thread.join(timeout=5.0)
         with self._ship_lock:
             for _ in range(3):  # a retransmit cycle may need a reconnect
-                self._ship_pending()
+                self._ship_pending(force=True)
                 if self._client is not None and self._shipped == len(master):
                     break
             client = self._client
@@ -346,4 +458,8 @@ class RemoteChannel(BatchingChannel):
                 except (OSError, ProtocolError):
                     self.final_ack = None
                 self._disconnect()
+            if self._shipped < len(master) and self._fallback_spill is not None:
+                with SpillWriter(self._fallback_spill) as writer:
+                    writer.write_batch(master[self._shipped :])
+                self.spill_path = self._fallback_spill
         return master

@@ -24,8 +24,10 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 import signal
 import socket
+import stat
 import threading
 import time
 import uuid
@@ -36,6 +38,15 @@ from ..patterns.detector import DetectorConfig
 from ..testing.clock import SYSTEM_CLOCK, Clock
 from ..usecases.rules import ALL_RULES, Rule
 from ..usecases.thresholds import PAPER_THRESHOLDS, Thresholds
+from .durability import (
+    AdmissionController,
+    AdmissionStage,
+    SessionJournal,
+    parse_register_entries,
+    recover_session_dir,
+    scan_state_dir,
+    warn_notes,
+)
 from .protocol import (
     MessageType,
     ProtocolError,
@@ -46,6 +57,38 @@ from .protocol import (
 )
 from .session import Session, SessionState
 from .streaming import StreamingUseCaseEngine
+
+
+def _remove_stale_unix_socket(path: Path) -> None:
+    """Unlink ``path`` only if it is a dead daemon's leftover socket.
+
+    A crashed daemon (SIGKILL, power loss) cannot remove its socket
+    file, so a restart must cope with the leftover — but blindly
+    unlinking would hijack a *live* daemon's address or destroy an
+    unrelated file.  The probe: a non-socket path is refused outright;
+    a socket someone still answers on is an address-in-use error; only
+    a socket nobody accepts on (``ECONNREFUSED``) is removed.
+    """
+    try:
+        mode = path.lstat().st_mode
+    except FileNotFoundError:
+        return
+    if not stat.S_ISSOCK(mode):
+        raise OSError(
+            f"{path} exists and is not a socket; refusing to remove it"
+        )
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    probe.settimeout(1.0)
+    try:
+        probe.connect(str(path))
+    except ConnectionRefusedError:
+        path.unlink(missing_ok=True)  # dead socket: safe to reclaim
+    except FileNotFoundError:
+        pass  # raced away; bind will recreate it
+    else:
+        raise OSError(f"{path} is in use by a live daemon")
+    finally:
+        probe.close()
 
 
 class ProfilingDaemon:
@@ -90,6 +133,13 @@ class ProfilingDaemon:
         overflow: str = "block",
         spill_dir: str | None = None,
         report_dir: str | Path | None = None,
+        state_dir: str | Path | None = None,
+        checkpoint_every: int = 50_000,
+        journal_fsync: bool = False,
+        admission: AdmissionController | None = None,
+        max_events_per_sec: float | None = None,
+        session_max_events_per_sec: float | None = None,
+        retry_after: float = 2.0,
         thresholds: Thresholds = PAPER_THRESHOLDS,
         detector_config: DetectorConfig | None = None,
         rules: tuple[Rule, ...] = ALL_RULES,
@@ -102,9 +152,20 @@ class ProfilingDaemon:
         self._overflow = overflow
         self._spill_dir = spill_dir
         self._report_dir = Path(report_dir) if report_dir is not None else None
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        self._checkpoint_every = checkpoint_every
+        self._journal_fsync = journal_fsync
         self._thresholds = thresholds
         self._detector_config = detector_config
         self._rules = rules
+        if admission is None and (max_events_per_sec or session_max_events_per_sec):
+            admission = AdmissionController(
+                global_events_per_sec=max_events_per_sec,
+                session_events_per_sec=session_max_events_per_sec,
+                retry_after=retry_after,
+                clock=clock,
+            )
+        self._admission = admission
 
         self.sessions: dict[str, Session] = {}
         self._sessions_lock = threading.Lock()
@@ -115,12 +176,15 @@ class ProfilingDaemon:
         self._close_lock = threading.Lock()
         self.started_at = clock.wall()
         self._shutdown = threading.Event()
+        self.recovered_sessions: list[str] = []
+        if self.state_dir is not None:
+            self.state_dir.mkdir(parents=True, exist_ok=True)
+            self._recover_state_dir()
 
         self.unix_socket_path: Path | None = None
         if unix_socket is not None:
             self.unix_socket_path = Path(unix_socket)
-            if self.unix_socket_path.exists():
-                self.unix_socket_path.unlink()
+            _remove_stale_unix_socket(self.unix_socket_path)
             self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
             self._listener.bind(str(self.unix_socket_path))
             self.host, self.port = None, None
@@ -148,6 +212,54 @@ class ProfilingDaemon:
         if self.unix_socket_path is not None:
             return f"unix:{self.unix_socket_path}"
         return f"{self.host}:{self.port}"
+
+    # -- crash recovery --------------------------------------------------
+
+    def _recover_state_dir(self) -> None:
+        """Rebuild every unfinished session found under ``state_dir``.
+
+        Runs before the listener opens, so a resuming client can never
+        race a half-rebuilt session.  Directories whose journal carries
+        a FIN record belong to cleanly finished sessions — their report
+        was already delivered or written — and are deleted, not
+        resurrected.
+        """
+        for directory in scan_state_dir(self.state_dir):
+            recovered = recover_session_dir(
+                directory,
+                thresholds=self._thresholds,
+                detector_config=self._detector_config,
+                rules=self._rules,
+            )
+            warn_notes(recovered.session_id, recovered.notes)
+            if recovered.finished:
+                shutil.rmtree(directory, ignore_errors=True)
+                continue
+            session = Session(
+                recovered.session_id,
+                recovered.engine,
+                max_pending_events=self._max_pending_events,
+                overflow=self._overflow,
+                spill_dir=self._spill_dir,
+                clock=self.clock,
+                journal=SessionJournal(directory, fsync=self._journal_fsync),
+                checkpoint_every=self._checkpoint_every,
+            )
+            session.received = recovered.received
+            session.applied = recovered.applied
+            session.duplicates = recovered.duplicates
+            session.recovered = True
+            session.state = SessionState.DETACHED
+            session.detached_at = self.clock.monotonic()
+            self.sessions[recovered.session_id] = session
+            self.recovered_sessions.append(recovered.session_id)
+
+    def _new_journal(self, session_id: str) -> SessionJournal | None:
+        if self.state_dir is None:
+            return None
+        return SessionJournal(
+            self.state_dir / session_id, fsync=self._journal_fsync
+        )
 
     # -- accept / handle -------------------------------------------------
 
@@ -178,6 +290,8 @@ class ProfilingDaemon:
                 mtype, payload = frame
                 if mtype == MessageType.HELLO:
                     session = self._hello(conn, payload)
+                    if session is None:
+                        break  # shedding load: RETRY_AFTER already sent
                     with self._conns_lock:
                         self._conn_sessions[key] = session.session_id
                 elif mtype == MessageType.STATS:
@@ -195,14 +309,38 @@ class ProfilingDaemon:
                     # retransmits the window — rather than folded into
                     # the analysis as garbage.
                     start, raws = decode_events(payload, validate=True)
-                    session.ingest(start, raws)
+                    stage = AdmissionStage.NORMAL
+                    if self._admission is not None:
+                        stage = self._admission.admit(session, len(raws))
+                        if stage >= AdmissionStage.SHED:
+                            # Refuse the window before it is journaled
+                            # or folded; the cursor in the reply tells
+                            # the client where to retransmit from once
+                            # its backoff delay expires.
+                            conn.sendall(
+                                encode_json(
+                                    MessageType.RETRY_AFTER,
+                                    {
+                                        "session": session.session_id,
+                                        "received": session.received,
+                                        "retry_after": self._admission.retry_after,
+                                    },
+                                )
+                            )
+                            break
+                    session.ingest(start, raws, stage=stage)
                 elif mtype == MessageType.HEARTBEAT:
                     session.touch()
+                    deferred = session.deferred
+                    # JOURNALED instead of ACK tells the client its
+                    # events are durable but analysis lags (journal-only
+                    # admission); clients treat both as success.
                     conn.sendall(
                         encode_json(
-                            MessageType.ACK,
+                            MessageType.JOURNALED if deferred else MessageType.ACK,
                             {"session": session.session_id,
-                             "received": session.received},
+                             "received": session.received,
+                             "deferred": deferred},
                         )
                     )
                 elif mtype == MessageType.FIN:
@@ -240,11 +378,22 @@ class ProfilingDaemon:
             if session is not None:
                 session.detach()
 
-    def _hello(self, conn: socket.socket, payload: bytes) -> Session:
+    def _hello(self, conn: socket.socket, payload: bytes) -> Session | None:
         obj = decode_json(payload)
         session_id = obj.get("session") or uuid.uuid4().hex[:12]
         if not isinstance(session_id, str):
             raise ProtocolError("HELLO 'session' must be a string")
+        if (
+            self._admission is not None
+            and self._admission.peek() >= AdmissionStage.SHED
+        ):
+            conn.sendall(
+                encode_json(
+                    MessageType.RETRY_AFTER,
+                    {"retry_after": self._admission.retry_after},
+                )
+            )
+            return None
         with self._sessions_lock:
             session = self.sessions.get(session_id)
             if session is None:
@@ -259,6 +408,8 @@ class ProfilingDaemon:
                     overflow=self._overflow,
                     spill_dir=self._spill_dir,
                     clock=self.clock,
+                    journal=self._new_journal(session_id),
+                    checkpoint_every=self._checkpoint_every,
                 )
                 self.sessions[session_id] = session
                 resumed = False
@@ -271,34 +422,19 @@ class ProfilingDaemon:
                     "session": session_id,
                     "received": session.received,
                     "resumed": resumed,
+                    "recovered": session.recovered,
                 },
             )
         )
         return session
 
     def _register(self, session: Session, payload: bytes) -> None:
-        from ..events.profile import AllocationSite
-        from ..events.types import StructureKind
-
         obj = decode_json(payload)
-        for inst in obj.get("instances", ()):
-            try:
-                instance_id = int(inst["id"])
-                kind = StructureKind(inst.get("kind", "list"))
-            except (KeyError, TypeError, ValueError) as exc:
-                raise ProtocolError(f"bad REGISTER entry: {exc}") from exc
-            site_obj = inst.get("site")
-            site = (
-                AllocationSite(
-                    filename=site_obj.get("filename", "?"),
-                    lineno=int(site_obj.get("lineno", 0)),
-                    function=site_obj.get("function", "<module>"),
-                    variable=site_obj.get("variable", ""),
-                )
-                if isinstance(site_obj, dict)
-                else None
-            )
-            session.register(instance_id, kind, site, str(inst.get("label", "")))
+        try:
+            for instance_id, kind, site, label in parse_register_entries(obj):
+                session.register(instance_id, kind, site, label)
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from exc
 
     # -- reaper ----------------------------------------------------------
 
@@ -333,6 +469,7 @@ class ProfilingDaemon:
             ):
                 with self._sessions_lock:
                     self.sessions.pop(session.session_id, None)
+                session.delete_journal()  # report delivered: state is garbage
         if stale_ids:
             with self._conns_lock:
                 stale_conns = [
@@ -358,11 +495,16 @@ class ProfilingDaemon:
     def stats(self) -> dict[str, Any]:
         with self._sessions_lock:
             sessions = list(self.sessions.values())
-        return {
+        out = {
             "address": self.address,
             "uptime_sec": round(self.clock.wall() - self.started_at, 1),
+            "state_dir": str(self.state_dir) if self.state_dir else None,
+            "recovered_sessions": list(self.recovered_sessions),
             "sessions": [s.stats() for s in sessions],
         }
+        if self._admission is not None:
+            out["admission"] = self._admission.stats()
+        return out
 
     # -- lifecycle -------------------------------------------------------
 
@@ -385,6 +527,56 @@ class ProfilingDaemon:
     def shutdown(self) -> None:
         """Request shutdown (signal-safe: just sets an event)."""
         self._shutdown.set()
+
+    def crash(self) -> None:
+        """Die abruptly, as SIGKILL would: no flush, no reports, no
+        socket-file cleanup — in-memory state is discarded and only the
+        journal survives.  The fault-injection harness uses this to
+        test crash recovery in-process; a subsequent daemon constructed
+        with the same ``state_dir`` must rebuild every session."""
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._shutdown.set()
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._conns_lock:
+            conns = list(self._conns.values())
+        for conn in conns:
+            try:
+                conn.close()  # hard close: handler threads die on OSError
+            except OSError:
+                pass
+        self._accept_thread.join(timeout=5.0)
+        self._reaper_thread.join(timeout=5.0)
+        with self._sessions_lock:
+            sessions = list(self.sessions.values())
+            self.sessions.clear()
+        for session in sessions:
+            session.abandon()
+
+    def purge_sessions(self) -> None:
+        """Finalize and evict every session, removing its journal.
+
+        The differential oracle calls this between trials: each trial's
+        session (plus any stranded by a reset during HELLO) owns a live
+        pipeline thread and a journal directory, which would otherwise
+        accumulate across hundreds of trials.
+        """
+        with self._sessions_lock:
+            sessions = list(self.sessions.values())
+            self.sessions.clear()
+        for session in sessions:
+            if session.state != SessionState.FINISHED:
+                session.finish()  # idempotent; joins the pipeline worker
+            session.delete_journal()
 
     def close(self) -> None:
         """Stop listening, flush and finalize every session, remove the
@@ -426,6 +618,10 @@ class ProfilingDaemon:
             if session.state != SessionState.FINISHED:
                 session.finish()
             self._write_report(session)
+            # A clean shutdown delivers (or persists) every report, so
+            # the journals have served their purpose; only a crash
+            # leaves state behind for the next daemon to recover.
+            session.delete_journal()
         if self.unix_socket_path is not None:
             try:
                 self.unix_socket_path.unlink()

@@ -43,6 +43,20 @@ class ProtocolError(Exception):
     """A malformed frame or an out-of-protocol message sequence."""
 
 
+class RetryAfterError(ProtocolError):
+    """The server is shedding load: come back in ``retry_after`` sec.
+
+    A subclass of :class:`ProtocolError` so every existing recovery
+    path (reconnect-and-retransmit) treats it as a transient failure;
+    backoff-aware callers additionally honor the server's delay."""
+
+    def __init__(self, retry_after: float, message: str | None = None) -> None:
+        super().__init__(
+            message or f"server shedding load; retry after {retry_after}s"
+        )
+        self.retry_after = retry_after
+
+
 class MessageType:
     """Frame type codes.  An ``IntEnum`` in spirit; plain ints on the
     wire (one byte) and in decoder output, named constants here."""
@@ -55,6 +69,8 @@ class MessageType:
     FIN = 6
     STATS = 7
     ERROR = 8
+    RETRY_AFTER = 9
+    JOURNALED = 10
 
     _NAMES = {
         1: "HELLO",
@@ -65,6 +81,8 @@ class MessageType:
         6: "FIN",
         7: "STATS",
         8: "ERROR",
+        9: "RETRY_AFTER",
+        10: "JOURNALED",
     }
 
     @classmethod

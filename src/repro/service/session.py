@@ -74,7 +74,11 @@ class RateMeter:
             _, dropped = self._samples.popleft()
             self._total -= dropped
 
-    def rate(self) -> float:
+    def rate(self, min_span: float = 0.0) -> float:
+        """Events/sec over the window.  ``min_span`` floors the divisor
+        so a burst in the first milliseconds of traffic reads as an
+        average over at least that long — the admission controller
+        passes 1.0 to keep one early window from tripping SHED."""
         if not self._samples:
             return 0.0
         now = self._clock.monotonic()
@@ -84,7 +88,7 @@ class RateMeter:
             self._total -= dropped
         if not self._samples:
             return 0.0
-        span = max(now - self._samples[0][0], 1e-9)
+        span = max(now - self._samples[0][0], min_span, 1e-9)
         return self._total / span
 
 
@@ -270,9 +274,33 @@ class IngestPipeline:
             self._has_room.notify_all()
         self._worker.join(timeout)
 
+    def abort(self, timeout: float = 5.0) -> None:
+        """Stop immediately, discarding queued work.  Used to simulate
+        (and clean up after) an abrupt daemon death: whatever was not
+        folded is exactly what crash recovery must replay."""
+        with self._lock:
+            self._closing = True
+            self._queue.clear()
+            self._pending = 0
+            self._has_work.notify_all()
+            self._has_room.notify_all()
+        self._worker.join(timeout)
+        if self._spill_writer is not None:
+            self._spill_writer.close()
+
 
 class Session:
-    """One client's engine + resume cursor + statistics."""
+    """One client's engine + resume cursor + statistics.
+
+    With a :class:`~repro.service.durability.SessionJournal` attached,
+    every accepted window is journaled *before* the ``received`` cursor
+    advances, and two cursors are kept: ``received`` (durably journaled
+    and claimable to the client) and ``applied`` (handed to the engine,
+    or intentionally decimated).  Their difference is the *deferred*
+    backlog of journal-only admission; it is replayed — in journal
+    order, preserving per-instance order — as soon as pressure drops,
+    and always before the final report.
+    """
 
     def __init__(
         self,
@@ -282,12 +310,24 @@ class Session:
         overflow: str = "block",
         spill_dir: str | None = None,
         clock: Clock = SYSTEM_CLOCK,
+        journal=None,
+        checkpoint_every: int = 0,
+        decimate_stride: int = 10,
     ) -> None:
         self.session_id = session_id
         self.engine = engine
         self.state = SessionState.ACTIVE
         self.received = 0  # stream-index high-water mark (accepted)
+        self.applied = 0  # events handed to the engine path
         self.duplicates = 0
+        self.admission_decimated = 0
+        self.recovered = False
+        self.last_stage = 0  # AdmissionStage.NORMAL
+        self.journal = journal
+        self._checkpoint_every = checkpoint_every
+        self._last_checkpoint = 0
+        self._admission_stride = max(1, decimate_stride)
+        self._admission_counter = 0
         self._clock = clock
         self.started_at = clock.wall()
         self.last_seen = clock.monotonic()
@@ -303,12 +343,17 @@ class Session:
             spill_dir=spill_dir,
         )
 
+    @property
+    def deferred(self) -> int:
+        """Events journaled but not yet analyzed (journal-only stage)."""
+        return self.received - self.applied
+
     # -- ingest ----------------------------------------------------------
 
     def touch(self) -> None:
         self.last_seen = self._clock.monotonic()
 
-    def ingest(self, start: int, raws: list[RawEvent]) -> int:
+    def ingest(self, start: int, raws: list[RawEvent], stage: int = 0) -> int:
         """Accept one EVENTS window; returns how many events were new.
 
         ``start`` is the stream index of the window's first event.  A
@@ -316,7 +361,14 @@ class Session:
         lost in transit (a client bug — the protocol retransmits from
         ``received``), which is a hard protocol error.  A window that
         begins below it is a retransmission; the overlap is skipped.
+
+        ``stage`` is the admission controller's verdict for this
+        window (:class:`~repro.service.durability.AdmissionStage`);
+        SHED never reaches here — the daemon refuses the window before
+        calling in.
         """
+        from .durability import AdmissionStage
+
         with self._lock:
             if self.state == SessionState.FINISHED:
                 raise ProtocolError(f"session {self.session_id} already finished")
@@ -331,18 +383,103 @@ class Session:
                 return 0
             fresh = raws[skip:] if skip else raws
             self.duplicates += skip
+            # Durability barrier: the journal append happens before the
+            # cursor moves, so a cursor the client ever observes only
+            # covers events that survive a daemon death.
+            if self.journal is not None:
+                self.journal.append_events(self.received, fresh)
             self.received += len(fresh)
             self.touch()
+            self.rate.tick(len(fresh))
+            if self.journal is None and stage >= AdmissionStage.JOURNAL:
+                stage = AdmissionStage.DECIMATE  # cannot defer without a journal
+            self.last_stage = stage
+            if self.journal is not None and (
+                stage >= AdmissionStage.JOURNAL or self.applied < self.received - len(fresh)
+            ):
+                # Journal-only: analysis deferred.  Sticky — once any
+                # window is deferred, later windows defer too until the
+                # backlog is replayed, preserving per-instance order.
+                if stage < AdmissionStage.JOURNAL:
+                    self._drain_deferred_locked()
+                return len(fresh)
+            if stage == AdmissionStage.DECIMATE:
+                fresh, dropped = self._admission_decimate(fresh)
+                self.admission_decimated += dropped
             # Submit under the session lock: the cursor advance and the
             # hand-off must be atomic or two racing windows could fold
             # out of order.  (The folder never takes this lock, so
             # blocking backpressure cannot deadlock.)
-            self.pipeline.submit(fresh)
-            self.rate.tick(len(fresh))
-        return len(fresh)
+            self.applied = self.received
+            if fresh:
+                self.pipeline.submit(fresh)
+            self._maybe_checkpoint_locked()
+        return self.received - start - skip
+
+    def _admission_decimate(self, batch: list[RawEvent]) -> tuple[list[RawEvent], int]:
+        stride = self._admission_stride
+        counter = self._admission_counter
+        kept = [raw for i, raw in enumerate(batch, counter) if i % stride == 0]
+        self._admission_counter = counter + len(batch)
+        return kept, len(batch) - len(kept)
+
+    def _drain_deferred_locked(self) -> None:
+        """Replay the journal-only backlog into the pipeline (caller
+        holds the lock).  Windows come back in journal append order, so
+        per-instance order — the convergence precondition — holds."""
+        if self.journal is None or self.applied >= self.received:
+            return
+        for _start, raws in self.journal.iter_event_windows(self.applied):
+            self.pipeline.submit(raws)
+            self.applied += len(raws)
+
+    def _maybe_checkpoint_locked(self) -> None:
+        """Checkpoint when enough new events accumulated (caller holds
+        the lock).  Only sound with no deferred backlog — pruning the
+        journal must never delete events the engine has not seen."""
+        if (
+            self.journal is None
+            or self._checkpoint_every <= 0
+            or self.applied != self.received
+            or self.received - self._last_checkpoint < self._checkpoint_every
+        ):
+            return
+        try:
+            # The engine must be quiescent and complete up to `applied`
+            # before its state can stand in for the journal prefix.
+            self.pipeline.flush(timeout=5.0)
+        except TimeoutError:
+            return  # folder busy; try again on a later window
+        self.journal.checkpoint(self._checkpoint_state())
+        self._last_checkpoint = self.received
+
+    def _checkpoint_state(self) -> dict[str, Any]:
+        from .durability import CHECKPOINT_VERSION, engine_to_dict
+
+        return {
+            "version": CHECKPOINT_VERSION,
+            "session": self.session_id,
+            "received": self.received,
+            "applied": self.applied,
+            "duplicates": self.duplicates,
+            "engine": engine_to_dict(self.engine),
+        }
 
     def register(self, instance_id: int, kind, site, label) -> None:
         with self._lock:
+            if self.journal is not None:
+                from .durability import _site_to_dict
+
+                self.journal.append_register(
+                    [
+                        {
+                            "id": instance_id,
+                            "kind": kind.value,
+                            "site": _site_to_dict(site),
+                            "label": label,
+                        }
+                    ]
+                )
             self.engine.register_instance(instance_id, kind, site=site, label=label)
             self.touch()
 
@@ -368,20 +505,42 @@ class Session:
     def finish(self) -> dict[str, Any]:
         """Flush the pipeline, freeze the final report, return it as a
         JSON-ready dict.  Idempotent — a second FIN gets the same
-        report."""
+        report.  Any journal-only backlog is replayed first: the final
+        report always covers every received event."""
         from ..usecases.json_export import report_to_dict
 
         with self._lock:
             if self._report_dict is None:
+                self._drain_deferred_locked()
                 self.pipeline.close()
                 self._report_dict = report_to_dict(self.engine.report())
                 self.state = SessionState.FINISHED
                 self.finished_at = self._clock.monotonic()
+                if self.journal is not None:
+                    self.journal.append_fin()
+                    self.journal.close()
             return self._report_dict
+
+    def abandon(self) -> None:
+        """Tear down without flushing or reporting — the session is
+        dying with its daemon (a real or simulated crash).  Whatever
+        the pipeline had not folded stays only in the journal, which
+        is exactly what recovery replays."""
+        with self._lock:
+            self.pipeline.abort()
+            if self.journal is not None:
+                self.journal.close()
+
+    def delete_journal(self) -> None:
+        """Remove the session's on-disk journal (eviction/cleanup)."""
+        if self.journal is not None:
+            self.journal.delete()
 
     # -- observability ---------------------------------------------------
 
     def stats(self) -> dict[str, Any]:
+        from .durability import AdmissionStage
+
         with self._lock:
             engine = self.engine
             return {
@@ -391,11 +550,18 @@ class Session:
                 "folded": engine.events_folded,
                 "pending": self.pipeline.pending,
                 "duplicates": self.duplicates,
-                "decimated": self.pipeline.decimated,
+                "decimated": self.pipeline.decimated + self.admission_decimated,
                 "spilled": self.pipeline.spilled,
                 "dropped_unknown_instance": engine.unknown_instance_events,
                 "instances": engine.instances_analyzed,
                 "events_per_sec": round(self.rate.rate(), 1),
+                "deferred": self.deferred,
+                "checkpoints": (
+                    self.journal.checkpoints if self.journal is not None else 0
+                ),
+                "journaled": self.journal is not None,
+                "recovered": self.recovered,
+                "stage": AdmissionStage.name(self.last_stage),
                 "flagged": {
                     str(iid): kinds for iid, kinds in engine.flagged_kinds().items()
                 },

@@ -30,6 +30,14 @@ Faults are drawn from the failure modes a real deployment meets:
 ``stall``
     Forwarding pauses briefly (bounded real time), exercising timeout
     tolerance without slowing the suite meaningfully.
+``kill``
+    The *daemon itself* dies mid-ingest.  The proxy invokes its
+    ``on_kill`` callback — the oracle crashes the daemon (SIGKILL
+    semantics: no flush, no reports) and starts a replacement on the
+    same state directory, returning the new address — then tears the
+    connection down like a reset.  Without a callback the fault
+    degrades to a plain reset, so the proxy still works against a
+    daemon that cannot be restarted.
 
 Every decision comes from ``random.Random(seed)`` at plan-build time,
 so a failing trial is replayed exactly by its seed.  Plans are finite:
@@ -54,7 +62,7 @@ from ..service.protocol import (
     encode_frame,
 )
 
-FAULT_KINDS = ("reset", "duplicate", "reorder", "corrupt", "chunk", "stall")
+FAULT_KINDS = ("reset", "duplicate", "reorder", "corrupt", "chunk", "stall", "kill")
 
 #: Byte offset of the op field inside a packed record ("<qqqiBBBd").
 _OP_BYTE_OFFSET = 28
@@ -144,8 +152,14 @@ class FaultProxy:
     clients would share one fault schedule.
     """
 
-    def __init__(self, upstream_address: str, plan: FaultPlan | None = None) -> None:
+    def __init__(
+        self,
+        upstream_address: str,
+        plan: FaultPlan | None = None,
+        on_kill=None,
+    ) -> None:
         self.upstream_address = upstream_address
+        self.on_kill = on_kill
         self.plan = plan if plan is not None else FaultPlan.transparent()
         self.events_seen = 0
         self.bytes_forwarded = 0
@@ -175,12 +189,15 @@ class FaultProxy:
     def _accept_loop(self) -> None:
         from ..service.client import parse_address
 
-        family, connect_arg = parse_address(self.upstream_address)
         while True:
             try:
                 client_sock, _ = self._listener.accept()
             except OSError:
                 return
+            # Re-resolve per connection: a kill fault replaces the
+            # upstream daemon, and its restart rarely lands on the
+            # same port.
+            family, connect_arg = parse_address(self.upstream_address)
             try:
                 upstream = socket.socket(family, socket.SOCK_STREAM)
                 upstream.connect(connect_arg)
@@ -264,6 +281,18 @@ class FaultProxy:
             # stream indices first, i.e. a gap.
             upstream.sendall(_swap_halves(payload))
         elif action == "reset":
+            raise _ConnectionReset
+        elif action == "kill":
+            # Crash-and-restart the upstream daemon, then sever the
+            # connection like a reset: the client reconnects (through
+            # us) to the *recovered* daemon and resumes.  The window
+            # that triggered the kill was never forwarded — the
+            # retransmit covers it.
+            on_kill = self.on_kill
+            if on_kill is not None:
+                new_address = on_kill()
+                if new_address:
+                    self.upstream_address = new_address
             raise _ConnectionReset
         self.bytes_forwarded += len(frame)
 

@@ -29,6 +29,9 @@ own integration tests.
 
 from __future__ import annotations
 
+import shutil
+import tempfile
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -81,6 +84,8 @@ def run_daemon_path(
     *,
     window: int = 64,
     max_attempts: int = 200,
+    retry_delay: float = 0.0,
+    session_id: str | None = None,
 ) -> dict[str, Any]:
     """Full client→daemon round trip with reconnect-and-retransmit.
 
@@ -90,13 +95,18 @@ def run_daemon_path(
     recovery protocol synchronously: on any socket or protocol error
     it reconnects with the same session id, rewinds its cursor to the
     server's ``received`` count, and resends the tail, until the FIN
-    ACK confirms every event arrived.
+    ACK confirms every event arrived.  ``retry_delay`` spaces the
+    reconnect attempts out — needed when the daemon is a subprocess
+    being killed and restarted, which takes real time; the in-process
+    oracle restarts synchronously and keeps the default of zero.
+    ``session_id`` adopts an existing session (e.g. one begun before a
+    daemon crash) instead of opening a fresh one; the cursor rewind
+    makes the retransmitted prefix a duplicate the daemon skips.
     """
     total = len(trace.events)
     registrations = [inst.registration() for inst in trace.instances]
     events = trace.events
     client: ServiceClient | None = None
-    session_id: str | None = None
     sent = 0
     for _attempt in range(max_attempts):
         try:
@@ -123,6 +133,8 @@ def run_daemon_path(
             if client is not None:
                 client.close()
             client = None
+            if retry_delay:
+                time.sleep(retry_delay)
     raise RuntimeError(
         f"daemon path did not converge after {max_attempts} attempts "
         f"(session {session_id}, {sent}/{total} shipped)"
@@ -199,6 +211,13 @@ class DifferentialOracle:
     reaper never interferes — reaper behavior has its own SimClock
     tests and is not what this oracle measures.
 
+    The daemon always runs with a (temporary) ``state_dir`` and a
+    small checkpoint interval: a ``kill`` fault crashes it in-process
+    (SIGKILL semantics — no flush, no report, in-memory state gone)
+    and starts a replacement on the same state directory, so every
+    kill trial asserts that the *recovered* report still equals the
+    batch engine's.
+
     Use as a context manager, or call :meth:`close` explicitly.
     """
 
@@ -209,16 +228,36 @@ class DifferentialOracle:
         fault_intensity: float = 0.15,
         fault_kinds: tuple[str, ...] = FAULT_KINDS,
         max_faults: int = 8,
+        checkpoint_every: int = 512,
         trace_kwargs: dict[str, Any] | None = None,
     ) -> None:
         self.window = window
         self.fault_intensity = fault_intensity
         self.fault_kinds = fault_kinds
         self.max_faults = max_faults
+        self.checkpoint_every = checkpoint_every
         self.trace_kwargs = dict(trace_kwargs or {})
-        self._daemon = ProfilingDaemon(
-            port=0, heartbeat_timeout=3600.0, session_linger=3600.0
+        self._state_dir = tempfile.mkdtemp(prefix="dsspy-oracle-state-")
+        self.daemon_kills = 0
+        self._daemon = self._make_daemon()
+
+    def _make_daemon(self) -> ProfilingDaemon:
+        return ProfilingDaemon(
+            port=0,
+            heartbeat_timeout=3600.0,
+            session_linger=3600.0,
+            state_dir=self._state_dir,
+            checkpoint_every=self.checkpoint_every,
         )
+
+    def _kill_daemon(self) -> str:
+        """The proxy's ``on_kill`` hook: crash the daemon, recover a
+        replacement from the shared state directory, return its (new)
+        address."""
+        self._daemon.crash()
+        self._daemon = self._make_daemon()
+        self.daemon_kills += 1
+        return self._daemon.address
 
     @property
     def daemon_address(self) -> str:
@@ -242,7 +281,9 @@ class DifferentialOracle:
         plan = self.build_plan(seed)
         batch = summarize_report(run_batch_path(trace))
         streaming = summarize_report(run_streaming_path(trace, window=self.window))
-        with FaultProxy(self._daemon.address, plan) as proxy:
+        with FaultProxy(
+            self._daemon.address, plan, on_kill=self._kill_daemon
+        ) as proxy:
             daemon_report = run_daemon_path(trace, proxy.address, window=self.window)
         daemon = summarize_report(daemon_report)
         self._evict_finished_sessions()
@@ -296,18 +337,16 @@ class DifferentialOracle:
         Besides the trial's finished session, a ``reset`` that lands
         while HELLO is still in flight strands a brand-new session the
         driver never resumes (its id never reached the client).  Each
-        stranded session owns a live pipeline thread, so across
-        hundreds of trials — shrinking replays especially — they would
-        exhaust threads.  Trials are serialized, so after a trial
-        *everything* in the table is garbage."""
-        with self._daemon._sessions_lock:
-            leftovers = list(self._daemon.sessions.values())
-            self._daemon.sessions.clear()
-        for session in leftovers:
-            session.finish()  # idempotent; joins the pipeline worker
+        stranded session owns a live pipeline thread and a journal
+        directory, so across hundreds of trials — shrinking replays
+        especially — they would exhaust threads and disk.  Trials are
+        serialized, so after a trial *everything* in the table is
+        garbage."""
+        self._daemon.purge_sessions()
 
     def close(self) -> None:
         self._daemon.close()
+        shutil.rmtree(self._state_dir, ignore_errors=True)
 
     def __enter__(self) -> "DifferentialOracle":
         return self

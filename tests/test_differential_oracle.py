@@ -80,7 +80,7 @@ class TestPathAgreementUnderFaults:
         assert sum(r.faults_injected for r in results) >= 100
 
 
-def _ingest_without_overlap_skip(self, start, raws):
+def _ingest_without_overlap_skip(self, start, raws, stage=0):
     """Session.ingest with the dedup rewind removed: retransmitted
     overlap is folded again instead of skipped."""
     with self._lock:
