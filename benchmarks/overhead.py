@@ -25,7 +25,12 @@ hot path within budget of the in-process batched pipeline.
 ``journal_vs_plain`` repeats the remote measurement against a daemon
 with the write-ahead journal and checkpointing enabled — durability
 lives on the daemon's ingest thread, so the producer hot path must not
-notice it.
+notice it.  ``guard_vs_plain`` gates the fail-open firewall of
+:mod:`repro.runtime`: the full ``TrackedList.append`` hot path with an
+armed healthy guard (one cell read, one try/except, one thread-local
+check per event) must stay within budget of a plain append; the
+informational ``guard_overhead`` ratio isolates the guard's own cost
+against the same path unarmed.
 """
 
 from __future__ import annotations
@@ -49,9 +54,11 @@ from repro.events import (
     StructureKind,
     SynchronousChannel,
 )
+from repro.runtime import RuntimeGuard
 from repro.service import ProfilingDaemon, RemoteChannel
+from repro.structures import TrackedList
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: A representative raw event (list read at position 5 of 1000).
 RAW = (0, int(OperationKind.READ), int(AccessKind.READ), 5, 1000, 0, None)
@@ -88,6 +95,27 @@ def _time_record(
         record(iid, op, kind, i % 1000, 1000)
     collector.channel.drain()
     return time.perf_counter() - start
+
+
+def _time_tracked_append(events: int, guard: RuntimeGuard | None = None) -> float:
+    """Seconds for the full structure hot path — ``TrackedList.append``
+    through ``_record`` into a batching channel — optionally under an
+    armed (healthy) firewall."""
+    channel = BatchingChannel()
+    collector = EventCollector(channel=channel)
+    xs = TrackedList(collector=collector)
+    append = xs.append
+    if guard is not None:
+        guard.__enter__()
+    try:
+        start = time.perf_counter()
+        for _ in range(events):
+            append(1)
+        channel.drain()
+        return time.perf_counter() - start
+    finally:
+        if guard is not None:
+            guard.__exit__(None, None, None)
 
 
 def _time_plain_append(events: int) -> float:
@@ -180,6 +208,23 @@ def run_overhead_benchmark(events: int = 100_000, repeats: int = 3) -> dict:
             "per_event_ns": total_s / events * 1e9,
         }
 
+    # The firewall hot path: a healthy armed guard on the tracked-append
+    # loop, against the identical loop with no guard armed (seed mode).
+    unguarded_s = _best(lambda: _time_tracked_append(events), repeats)
+    guarded_s = _best(
+        lambda: _time_tracked_append(events, guard=RuntimeGuard(budget=25)), repeats
+    )
+    doc["structures"] = {
+        "tracked_append": {
+            "total_s": unguarded_s,
+            "per_event_ns": unguarded_s / events * 1e9,
+        },
+        "tracked_append_guarded": {
+            "total_s": guarded_s,
+            "per_event_ns": guarded_s / events * 1e9,
+        },
+    }
+
     batching_ns = doc["channels"]["batching"]["per_event_ns"]
     drop_ns = doc["channels"]["batching_drop"]["per_event_ns"]
     async_ns = doc["channels"]["async"]["per_event_ns"]
@@ -196,6 +241,11 @@ def run_overhead_benchmark(events: int = 100_000, repeats: int = 3) -> dict:
         / doc["plain_append_ns"],
         "record_batching_vs_plain": doc["recording"]["batching"]["per_event_ns"]
         / doc["plain_append_ns"],
+        # Firewall cost, gated: full guarded tracked-append vs a bare
+        # append — and, informational, vs the same path unguarded.
+        "guard_vs_plain": doc["structures"]["tracked_append_guarded"]["per_event_ns"]
+        / doc["plain_append_ns"],
+        "guard_overhead": guarded_s / unguarded_s,
     }
     return doc
 
@@ -222,7 +272,9 @@ def main(argv: list[str] | None = None) -> int:
         f"{derived['batching_drop_vs_async']:.1f}x with the drop policy); "
         f"remote: {doc['channels']['remote']['per_event_ns']:.0f} ns/event "
         f"({derived['remote_vs_plain']:.1f}x a plain append; "
-        f"{derived['journal_vs_plain']:.1f}x journaled)",
+        f"{derived['journal_vs_plain']:.1f}x journaled); "
+        f"guard: {derived['guard_vs_plain']:.1f}x a plain append "
+        f"({derived['guard_overhead']:.2f}x the unguarded tracked append)",
         file=sys.stderr,
     )
     return 0

@@ -12,12 +12,13 @@ Two gates share this entry point:
     ``benchmarks/overhead.py`` JSON against the checked-in baseline and
     fail when a gated transport's per-event cost regressed by more
     than ``--max-regression`` (default 25%).  The compared metrics are
-    ``derived.batching_vs_plain``, ``derived.remote_vs_plain``, and
+    ``derived.batching_vs_plain``, ``derived.remote_vs_plain``,
     ``derived.journal_vs_plain`` (the remote transport against a daemon
-    with write-ahead journaling enabled) — recording cost as a multiple
-    of a plain ``list.append`` measured on the same machine — so the
-    gate is portable across CI runners with different absolute clock
-    speeds.
+    with write-ahead journaling enabled), and ``derived.guard_vs_plain``
+    (the tracked-append hot path under an armed fail-open firewall) —
+    recording cost as a multiple of a plain ``list.append`` measured on
+    the same machine — so the gate is portable across CI runners with
+    different absolute clock speeds.
 """
 
 from __future__ import annotations
@@ -29,10 +30,16 @@ import tempfile
 from pathlib import Path
 
 #: The machine-normalized metrics the overhead gate enforces: the
-#: in-process batched pipeline, the networked RemoteChannel, and the
-#: RemoteChannel against a journaling (crash-safe) daemon, each as a
-#: cost multiple of a plain ``list.append`` on the same machine.
-GATED_METRICS = ("batching_vs_plain", "remote_vs_plain", "journal_vs_plain")
+#: in-process batched pipeline, the networked RemoteChannel, the
+#: RemoteChannel against a journaling (crash-safe) daemon, and the
+#: guarded (fail-open firewall) tracked-append path, each as a cost
+#: multiple of a plain ``list.append`` on the same machine.
+GATED_METRICS = (
+    "batching_vs_plain",
+    "remote_vs_plain",
+    "journal_vs_plain",
+    "guard_vs_plain",
+)
 
 
 def overhead_gate(

@@ -1,0 +1,102 @@
+"""Scenario: the profiler breaks; the profiled program must not.
+
+Two hostile captures, each checked differentially against the identical
+uninstrumented run:
+
+1. **Raising collector** — every recording call raises inside the
+   profiler.  Under an armed firewall the program's results must be
+   byte-identical to the plain run, and the circuit breaker must trip
+   to pass-through once the error budget is spent.
+
+2. **Daemon killed mid-run** — a ``RemoteChannel`` is streaming to a
+   live daemon that is crash-killed halfway through the capture.  The
+   program keeps running, the terminal drain is bounded by the guard's
+   exit deadline, and the results again equal the plain run.
+
+Exit code 0 means the fail-open contract held end to end; used as a CI
+smoke job.  Run directly::
+
+    PYTHONPATH=src python examples/fail_open_smoke.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.events import EventCollector
+from repro.runtime import RuntimeGuard, finish_with_deadline, firewall
+from repro.service import ProfilingDaemon, RemoteChannel
+from repro.structures import TrackedList
+from repro.testing import HostileCollector
+
+
+def workload(make_list, midpoint=None):
+    """Deterministic mixed read/write/sort workload returning a
+    result tuple that any profiler interference would perturb."""
+    xs = make_list()
+    for i in range(5000):
+        xs.append(i * 7 % 101)
+        if i == 2500 and midpoint is not None:
+            midpoint()
+    total = 0
+    for i in range(len(xs)):
+        total += xs[i]
+    xs.sort()
+    return (len(xs), total, xs[0], xs[-1])
+
+
+def phase_raising_collector() -> None:
+    plain = workload(list)
+
+    with firewall(budget=10) as guard:
+        hostile = HostileCollector(every=1)
+        guarded = workload(lambda: TrackedList(collector=hostile, label="hostile"))
+
+    report = guard.report()
+    assert guarded == plain, (guarded, plain)
+    assert hostile.record_calls > 0, "hostile collector was never exercised"
+    assert report.tripped, report.describe()
+    assert report.faults == 10, report.describe()
+    print("phase 1: raising collector contained —", end=" ")
+    print(f"results identical, breaker open after {report.faults} faults")
+    print("  " + report.describe().replace("\n", "\n  "))
+
+
+def phase_daemon_killed_mid_run() -> None:
+    plain = workload(list)
+
+    daemon = ProfilingDaemon(port=0)
+    guard = RuntimeGuard(budget=25, exit_deadline=3.0)
+    channel = RemoteChannel(
+        daemon.address, heartbeat_interval=0.2, give_up_after=1.0
+    )
+    guard.watch_channel(channel)
+    collector = EventCollector(channel=channel)
+
+    with guard:
+        result = workload(
+            lambda: TrackedList(collector=collector, label="survivor"),
+            midpoint=daemon.crash,  # SIGKILL-equivalent, no flush, no goodbye
+        )
+        start = time.monotonic()
+        finish_with_deadline(collector, guard)
+        drain_s = time.monotonic() - start
+
+    assert result == plain, (result, plain)
+    assert drain_s < guard.exit_deadline + 2.0, f"drain took {drain_s:.1f}s"
+    print("phase 2: daemon crash-killed mid-run —", end=" ")
+    print(f"results identical, drain bounded at {drain_s:.2f}s")
+    report = guard.report()
+    if report.faults or report.tripped:
+        print("  " + report.describe().replace("\n", "\n  "))
+
+
+def main() -> int:
+    phase_raising_collector()
+    phase_daemon_killed_mid_run()
+    print("fail-open smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

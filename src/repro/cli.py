@@ -92,10 +92,51 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(str(exc), file=sys.stderr)
         return 2
 
+    # Fail-open posture (on by default): profiler-internal faults are
+    # contained by a firewall instead of crashing the analyzed program,
+    # a watchdog trips the breaker on silent transport stalls, and the
+    # terminal drain is bounded.  --guard-budget 0 restores fail-loud.
+    guard = None
+    watchdog = None
+    if args.guard_budget > 0:
+        from .runtime import (
+            RuntimeGuard,
+            Watchdog,
+            channel_stall_probe,
+            heartbeat_probe,
+        )
+
+        guard = RuntimeGuard(
+            budget=args.guard_budget, exit_deadline=args.exit_drain_timeout
+        )
+        guard.watch_channel(channel)
+        watchdog = Watchdog(guard)
+        watchdog.add_probe("channel", channel_stall_probe(channel))
+        if args.remote:
+            watchdog.add_probe("daemon heartbeat", heartbeat_probe(channel))
+        watchdog.start()
+    if args.no_sites:
+        from .structures.base import set_site_capture
+
+        set_site_capture(False)
+
     config = RewriteConfig(dicts=args.dicts)
-    run = run_instrumented_file(
-        args.file, entry=args.entry, config=config, channel=channel, sampling=sampling
-    )
+    try:
+        run = run_instrumented_file(
+            args.file,
+            entry=args.entry,
+            config=config,
+            channel=channel,
+            sampling=sampling,
+            guard=guard,
+        )
+    finally:
+        if watchdog is not None:
+            watchdog.stop()
+        if args.no_sites:
+            from .structures.base import set_site_capture
+
+            set_site_capture(True)
     print(
         f"{args.file}: {run.rewrite.rewrites} sites instrumented, "
         f"{run.collector.instance_count} instances, "
@@ -137,6 +178,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 f"events to {args.remote}; daemon found "
                 f"{summarize_json(ack['report'])}"
             )
+    if guard is not None:
+        guard_report = guard.report()
+        if guard_report.faults or guard_report.tripped or guard_report.trips:
+            print()
+            print(guard_report.describe())
     if args.charts:
         for profile in run.collector.nonempty_profiles():
             print()
@@ -560,6 +606,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="where to spill unshipped events if --remote-give-up fires "
         "(the local report is unaffected; the spill preserves the "
         "daemon's copy)",
+    )
+    analyze.add_argument(
+        "--guard-budget",
+        type=int,
+        default=25,
+        metavar="N",
+        help="fail-open firewall: contain up to N profiler-internal faults "
+        "before the circuit breaker trips instrumentation to pass-through "
+        "mode (0 disables the firewall and restores fail-loud behaviour)",
+    )
+    analyze.add_argument(
+        "--exit-drain-timeout",
+        type=float,
+        default=5.0,
+        metavar="SEC",
+        help="upper bound on the terminal event drain when the firewall is "
+        "armed — a wedged transport or dead daemon cannot delay program "
+        "exit longer than this",
+    )
+    analyze.add_argument(
+        "--no-sites",
+        action="store_true",
+        help="skip allocation-site capture (the per-construction stack "
+        "walk) — faster for workloads allocating many structures",
     )
     analyze.set_defaults(fn=_cmd_analyze)
 

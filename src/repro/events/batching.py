@@ -117,6 +117,8 @@ class BatchingChannel:
         self._master: list[RawEvent] = []
         self._sink = sink
         self._sink_error: BaseException | None = None
+        self._drainer_error: BaseException | None = None
+        self._failed_open = False
         self._absorbed = 0
         self._dropped = 0
         self._closed = False
@@ -210,12 +212,27 @@ class BatchingChannel:
             done = self._flush_done
             if done is not None:
                 self._flush_done = None
-            self._harvest_all()
+            try:
+                self._harvest_all()
+            except Exception as exc:
+                # A dying drainer must never leave producers gated on a
+                # backpressure bound nothing will ever relieve, nor a
+                # snapshot barrier waiting forever: record the error,
+                # open the gate permanently, release any waiter, exit.
+                self._drainer_error = exc
+                self.fail_open()
+                if done is not None:
+                    done.set()
+                return
             if done is not None:
                 done.set()
             if stopping:
                 if self._writer is not None:
-                    self._writer.flush()
+                    try:
+                        self._writer.flush()
+                    except Exception as exc:
+                        self._drainer_error = exc
+                        self.fail_open()
                 return
 
     def _harvest_all(self) -> None:
@@ -230,7 +247,7 @@ class BatchingChannel:
             del buf[:n]
             for i in range(0, n, batch_size):
                 self._absorb(harvested[i:i + batch_size])
-        if self._policy == "block" and self._writer is None:
+        if self._policy == "block" and self._writer is None and not self._failed_open:
             over = len(self._master) > self._max_buffered
             if over and self._open[0]:
                 self._open[0] = False
@@ -265,6 +282,53 @@ class BatchingChannel:
         except Exception as exc:
             self._sink_error = exc
 
+    # -- fail-open / fork safety -----------------------------------------
+
+    def fail_open(self) -> None:
+        """Permanently open the backpressure gate so no producer can
+        ever block on this channel again.
+
+        Called when a :class:`~repro.runtime.guard.RuntimeGuard` trips
+        (via ``watch_channel``) or when the drainer thread dies: in
+        pass-through mode events may be lost, but the host program must
+        never wait on a transport that will not recover."""
+        self._failed_open = True
+        self._open[0] = True
+        self._gate.set()
+
+    def _after_fork_child(self, policy: str) -> None:  # noqa: ARG002
+        """Reinitialize in a fork child (threads do not survive fork).
+
+        Every synchronization primitive is replaced — its state at the
+        fork point is arbitrary — and the child starts with empty
+        buffers: the parent owns the pre-fork events.  The inherited
+        spill writer shares a file offset with the parent, so the child
+        must never touch it; spilling is simply disabled in the child.
+        The drainer is restarted so the child's own recording keeps
+        flowing."""
+        self._registry_lock = threading.Lock()
+        self._snapshot_lock = threading.Lock()
+        self._tls = threading.local()
+        self._buffers = {}
+        self._master = []
+        self._absorbed = 0
+        self._dropped = 0
+        self._sink_error = None
+        self._drainer_error = None
+        self._failed_open = False
+        self._open = [True]
+        self._gate = threading.Event()
+        self._gate.set()
+        self._wake = threading.Event()
+        self._flush_done = None
+        self._writer = None
+        self.spill_path = None
+        if not self._closed:
+            self._drainer = threading.Thread(
+                target=self._run, name="dsspy-batch-drainer", daemon=True
+            )
+            self._drainer.start()
+
     # -- drain / snapshot ------------------------------------------------
 
     def drain(self) -> list[RawEvent]:
@@ -276,7 +340,22 @@ class BatchingChannel:
             self._open[0] = True
             self._gate.set()
             self._wake.set()
-            self._drainer.join()
+            # Bounded join: a wedged drainer becomes a diagnosable
+            # error instead of a silent hang (and under the fail-open
+            # guard, finish_with_deadline contains even that).
+            self._drainer.join(timeout=max(self._block_timeout, 1.0))
+            if self._drainer.is_alive():
+                raise RuntimeError(
+                    f"batching drainer did not stop within "
+                    f"{max(self._block_timeout, 1.0):.1f}s during drain"
+                )
+            if self._drainer_error is not None:
+                # The drainer died mid-run; salvage whatever is still
+                # sitting in thread buffers, best-effort.
+                try:
+                    self._harvest_all()
+                except Exception:
+                    pass
             if self._writer is not None:
                 self._writer.close()
                 self._master = read_spill_raw(self.spill_path)
@@ -287,6 +366,14 @@ class BatchingChannel:
         for the drainer to signal it absorbed all pre-barrier events."""
         if self._closed:
             return self._master
+        if not self._drainer.is_alive():
+            # The drainer died (its error is in drainer_error); harvest
+            # inline rather than waiting on a barrier nobody will serve.
+            try:
+                self._harvest_all()
+            except Exception:
+                pass
+            return list(self._master)
         with self._snapshot_lock:
             done = threading.Event()
             self._flush_done = done
@@ -318,6 +405,17 @@ class BatchingChannel:
     def sink_error(self) -> BaseException | None:
         """Last exception a ``sink`` callback raised, if any."""
         return self._sink_error
+
+    @property
+    def drainer_error(self) -> BaseException | None:
+        """Exception that killed the drainer thread, if any (the
+        channel fails open when this is set)."""
+        return self._drainer_error
+
+    @property
+    def failed_open(self) -> bool:
+        """True once the backpressure gate was permanently opened."""
+        return self._failed_open
 
     @property
     def batch_size(self) -> int:

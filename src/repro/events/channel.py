@@ -131,6 +131,20 @@ class AsyncChannel:
         self._posted += 1
         self._queue.put(raw)
 
+    def _after_fork_child(self, policy: str) -> None:  # noqa: ARG002
+        """Reinitialize in a fork child: the drainer thread did not
+        survive the fork and the inherited queue may hold the parent's
+        in-flight events.  The child starts with a fresh queue/buffer
+        and its own drainer; the parent owns the pre-fork events."""
+        self._queue = queue.SimpleQueue()
+        self._buffer = []
+        self._posted = 0
+        if not self._closed:
+            self._thread = threading.Thread(
+                target=self._run, name="dsspy-collector", daemon=True
+            )
+            self._thread.start()
+
     def drain(self) -> list[RawEvent]:
         if not self._closed:
             self._closed = True

@@ -125,6 +125,24 @@ class EventCollector:
         self._tls.state = state
         return state
 
+    # -- fork safety -----------------------------------------------------
+
+    def _after_fork_child(self, policy: str) -> None:
+        """Reinitialize after ``fork()`` (runs in the child).
+
+        Called by :mod:`repro.runtime.lifecycle`'s at-fork handler.
+        Locks and thread-locals frozen at the fork point are replaced
+        (never acquired — their state is arbitrary), and the channel
+        gets the same treatment through its own ``_after_fork_child``
+        when it has one.  ``policy`` is forwarded so a networked
+        channel can choose between re-registering a fresh session and
+        self-disabling."""
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        handler = getattr(self._channel, "_after_fork_child", None)
+        if handler is not None:
+            handler(policy)
+
     # -- hot recording path ----------------------------------------------
 
     def record(
@@ -258,6 +276,16 @@ def reset_ambient() -> EventCollector:
     return _ambient
 
 
+def iter_collectors() -> list[EventCollector]:
+    """Every live collector: ambient plus the installed stack.
+
+    Used by the lifecycle handlers (at-fork reinit, atexit drain).
+    Deliberately lock-free — the list copy is GIL-atomic, and the fork
+    handler must not touch a lock that may have been held at the fork
+    point."""
+    return [_ambient, *list(_stack)]
+
+
 @contextmanager
 def collecting(
     channel: Channel | None = None,
@@ -280,4 +308,15 @@ def collecting(
         yield collector
     finally:
         pop_collector()
-        collector.finish()
+        from ..runtime.guard import active_guard
+
+        guard = active_guard()
+        if guard is not None:
+            # Fail-open mode: the terminal drain is bounded by the
+            # guard's exit deadline and its exceptions are contained —
+            # a wedged transport cannot hang or crash the host here.
+            from ..runtime.lifecycle import finish_with_deadline
+
+            finish_with_deadline(collector, guard)
+        else:
+            collector.finish()

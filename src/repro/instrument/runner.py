@@ -12,13 +12,16 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 from ..events.channel import Channel
 from ..events.collector import EventCollector, collecting
 from ..events.profile import RuntimeProfile
 from ..events.sampling import SamplingPolicy
 from .rewriter import RewriteConfig, RewriteResult, rewrite_source
+
+if TYPE_CHECKING:
+    from ..runtime.guard import RuntimeGuard
 
 
 @dataclass(frozen=True)
@@ -67,6 +70,7 @@ def run_instrumented(
     channel: Channel | None = None,
     sampling: SamplingPolicy | None = None,
     extra_globals: Mapping[str, Any] | None = None,
+    guard: "RuntimeGuard | None" = None,
 ) -> InstrumentedRun:
     """Instrument ``source``, execute it, and collect all profiles.
 
@@ -85,10 +89,20 @@ def run_instrumented(
         low-overhead pipeline).
     sampling:
         Optional sampling policy applied before each channel post.
+    guard:
+        Optional :class:`~repro.runtime.guard.RuntimeGuard` armed for
+        the duration of the run: profiler faults are contained instead
+        of propagating into the instrumented program, and the terminal
+        drain is bounded by the guard's exit deadline.  ``None`` keeps
+        the fail-loud default.
     """
     rewrite = rewrite_source(source, config=config)
-    with collecting(channel=channel, sampling=sampling) as collector:
-        result, duration = _execute(rewrite.source, entry, args, extra_globals)
+    if guard is not None:
+        with guard, collecting(channel=channel, sampling=sampling) as collector:
+            result, duration = _execute(rewrite.source, entry, args, extra_globals)
+    else:
+        with collecting(channel=channel, sampling=sampling) as collector:
+            result, duration = _execute(rewrite.source, entry, args, extra_globals)
     return InstrumentedRun(
         collector=collector, result=result, duration=duration, rewrite=rewrite
     )
@@ -101,6 +115,7 @@ def run_instrumented_file(
     config: RewriteConfig | None = None,
     channel: Channel | None = None,
     sampling: SamplingPolicy | None = None,
+    guard: "RuntimeGuard | None" = None,
 ) -> InstrumentedRun:
     """Instrument and execute a program from disk."""
     return run_instrumented(
@@ -110,6 +125,7 @@ def run_instrumented_file(
         config=config,
         channel=channel,
         sampling=sampling,
+        guard=guard,
     )
 
 

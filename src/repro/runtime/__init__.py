@@ -1,0 +1,66 @@
+"""Fail-open instrumentation runtime: containment between profiler and host.
+
+DSspy's contract is that profiling is an *observer* — the instrumented
+program must behave identically even when the profiler itself
+misbehaves.  This subsystem enforces that contract at the host-process
+boundary with four cooperating pieces:
+
+:mod:`~repro.runtime.guard`
+    The exception firewall (:class:`RuntimeGuard`): contains and counts
+    profiler-internal exceptions by category, suppresses re-entrant
+    recording via a thread-local in-profiler flag, and exposes a
+    :class:`GuardReport`.
+
+:mod:`~repro.runtime.breaker`
+    The :class:`CircuitBreaker` (error budget, optional half-open
+    re-probe) and the :class:`Watchdog` with its stall probes — the
+    machinery that flips instrumentation to near-zero-overhead
+    pass-through mode when the fault budget is spent or a transport
+    stalls silently.
+
+:mod:`~repro.runtime.lifecycle`
+    Fork safety (``os.register_at_fork`` child handlers: fresh locks
+    and buffers, never a byte on an inherited socket) and the bounded
+    ``atexit`` drain (:func:`finish_with_deadline`).
+
+Arming is explicit: with no guard armed, behaviour is byte-identical to
+the fail-loud seed.  ``dsspy analyze`` arms one by default
+(``--guard-budget``); library embedders call :func:`install` once.
+"""
+
+from .breaker import CircuitBreaker, Watchdog, channel_stall_probe, heartbeat_probe
+from .guard import (
+    FAULT_CATEGORIES,
+    GuardReport,
+    RuntimeGuard,
+    active_guard,
+    arm,
+    disarm,
+    firewall,
+)
+from .lifecycle import (
+    disable_fork_safety,
+    finish_with_deadline,
+    install,
+    install_exit_drain,
+    install_fork_safety,
+)
+
+__all__ = [
+    "FAULT_CATEGORIES",
+    "CircuitBreaker",
+    "GuardReport",
+    "RuntimeGuard",
+    "Watchdog",
+    "active_guard",
+    "arm",
+    "channel_stall_probe",
+    "disarm",
+    "disable_fork_safety",
+    "finish_with_deadline",
+    "firewall",
+    "heartbeat_probe",
+    "install",
+    "install_exit_drain",
+    "install_fork_safety",
+]

@@ -1,0 +1,211 @@
+"""Host-process lifecycle safety: fork handlers and bounded exit drain.
+
+Two lifecycle events can make an otherwise healthy profiler hurt its
+host.  A ``fork()`` while a recording thread holds a buffer lock leaves
+the child with a poisoned lock and — worse — a *shared* daemon socket:
+any byte the child writes interleaves with the parent's length-prefixed
+frames and corrupts the stream for both.  And at interpreter exit, a
+terminal drain that waits on a dead daemon (or a wedged drainer) hangs
+shutdown indefinitely.
+
+:func:`install_fork_safety` registers an ``os.register_at_fork``
+*after-in-child* handler that walks every live collector and tells its
+channel to reinitialize: fresh locks/buffers/thread-locals, drainer and
+heartbeat threads restarted (threads do not survive a fork), and the
+inherited socket file descriptor closed **without writing a single
+byte** — closing the child's fd copy sends nothing on the wire because
+the parent still holds its own.  The ``fork_policy`` picks what happens
+next in the child:
+
+``"disable"`` (default)
+    The child keeps recording locally but never ships: safest for
+    ``fork()+exec()`` and worker-pool patterns where the child's events
+    are not wanted.
+
+``"resession"``
+    The child opens a *fresh* daemon session on its next harvest
+    (re-sending instance registrations), so both sides of the fork are
+    profiled as distinct sessions.
+
+:func:`install_exit_drain` registers one ``atexit`` hook that finishes
+every live collector through :func:`finish_with_deadline`: the drain
+runs on a daemon worker thread and is joined with a deadline, so
+pending events flush on a normal exit but a dead daemon can never hang
+host shutdown — on timeout the guard trips and the interpreter exits
+anyway.
+
+:func:`install` is the one-call production posture: arm a firewall,
+install both handlers.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+
+from .guard import RuntimeGuard, active_guard, arm
+
+#: One-slot policy cell read by the (permanently registered) fork
+#: handler; ``None`` makes the handler inert.
+_FORK_POLICY: list = [None]
+_fork_handler_registered = False
+
+_exit_handler_registered = False
+_install_lock = threading.Lock()
+
+
+def install(
+    guard: RuntimeGuard | None = None,
+    *,
+    budget: int = 25,
+    fork_policy: str = "disable",
+    exit_deadline: float = 5.0,
+) -> RuntimeGuard:
+    """Arm a firewall and install fork + exit safety in one call.
+
+    Returns the armed guard.  ``dsspy analyze --guard-budget`` goes
+    through this; library embedders call it once at startup::
+
+        from repro.runtime import install
+        guard = install(budget=25, fork_policy="resession")
+    """
+    if guard is None:
+        guard = RuntimeGuard(budget=budget, exit_deadline=exit_deadline)
+    arm(guard)
+    install_fork_safety(fork_policy)
+    install_exit_drain()
+    return guard
+
+
+# -- fork safety ------------------------------------------------------------
+
+
+def install_fork_safety(policy: str = "disable") -> None:
+    """Register the after-fork-in-child handler (idempotent).
+
+    ``os.register_at_fork`` offers no unregister, so the handler is
+    registered exactly once per process and consults the policy cell on
+    every fork; :func:`disable_fork_safety` empties the cell to make it
+    inert again."""
+    global _fork_handler_registered
+    if policy not in ("disable", "resession"):
+        raise ValueError(
+            f"fork_policy must be 'disable' or 'resession', got {policy!r}"
+        )
+    with _install_lock:
+        _FORK_POLICY[0] = policy
+        if not _fork_handler_registered:
+            os.register_at_fork(after_in_child=_after_fork_child)
+            _fork_handler_registered = True
+
+
+def disable_fork_safety() -> None:
+    """Make the fork handler inert (test isolation helper)."""
+    _FORK_POLICY[0] = None
+
+
+def _after_fork_child() -> None:
+    """Runs in the child immediately after ``fork()``.
+
+    Everything here must assume arbitrary lock state was frozen at the
+    fork point; handlers replace synchronization primitives rather than
+    acquiring them.  Failures are contained by the guard (category
+    ``fork``) — a broken reinit degrades the child to pass-through, it
+    never breaks the child's own work."""
+    policy = _FORK_POLICY[0]
+    if policy is None:
+        return
+    guard = active_guard()
+    if guard is not None:
+        # The re-entrancy flag may have been frozen True at fork time.
+        guard._tls = type(guard._tls)()
+        guard._lock = threading.Lock()
+    try:
+        from ..events.collector import iter_collectors
+
+        for collector in iter_collectors():
+            try:
+                collector._after_fork_child(policy)
+            except Exception as exc:
+                if guard is not None:
+                    guard.fault("fork", exc)
+    except Exception as exc:
+        if guard is not None:
+            guard.fault("fork", exc)
+
+
+# -- bounded exit drain ------------------------------------------------------
+
+
+def finish_with_deadline(
+    collector,
+    guard: RuntimeGuard | None = None,
+    deadline: float | None = None,
+) -> bool:
+    """Finish ``collector`` on a worker thread, bounded by ``deadline``.
+
+    Returns True when the drain completed in time.  On timeout the
+    worker is abandoned (it is a daemon thread; a wedged drain cannot
+    outlive the interpreter) and the guard trips so nothing else waits
+    on the same dead transport.  Exceptions from the drain are contained
+    as category ``drain`` when a guard is present, re-raised otherwise
+    (seed fail-loud behaviour)."""
+    if guard is None:
+        guard = active_guard()
+    if deadline is None:
+        deadline = guard.exit_deadline if guard is not None else 5.0
+    box: list = [None]
+
+    def _work() -> None:
+        try:
+            collector.finish()
+        except BaseException as exc:  # noqa: BLE001 - boxed, re-raised below
+            box[0] = exc
+
+    worker = threading.Thread(
+        target=_work, name="dsspy-exit-drain", daemon=True
+    )
+    worker.start()
+    worker.join(deadline)
+    if worker.is_alive():
+        if guard is not None:
+            guard.trip(
+                f"exit drain exceeded its {deadline:.1f}s deadline "
+                f"(transport wedged or daemon unreachable)"
+            )
+        return False
+    exc = box[0]
+    if exc is not None:
+        if guard is not None:
+            guard.fault("drain", exc)
+            return False
+        raise exc
+    return True
+
+
+def install_exit_drain() -> None:
+    """Register the bounded atexit drain (idempotent)."""
+    global _exit_handler_registered
+    with _install_lock:
+        if not _exit_handler_registered:
+            atexit.register(_exit_drain)
+            _exit_handler_registered = True
+
+
+def _exit_drain() -> None:
+    """Atexit hook: bounded-finish every live collector.
+
+    Each collector gets its own deadline slice; an already-finished
+    collector is a no-op (``finish`` is idempotent)."""
+    guard = active_guard()
+    try:
+        from ..events.collector import iter_collectors
+
+        for collector in iter_collectors():
+            if collector.finished:
+                continue
+            finish_with_deadline(collector, guard=guard)
+    except Exception as exc:
+        if guard is not None:
+            guard.fault("drain", exc)

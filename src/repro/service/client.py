@@ -290,6 +290,7 @@ class RemoteChannel(BatchingChannel):
         self._down_since: float | None = None
         self._gave_up = False
         self.spill_path: Path | None = None
+        self._heartbeat_interval = heartbeat_interval
         self._connect()  # fail fast: a bad address raises here, not mid-run
         super().__init__(sink=self._ship, **batching_kwargs)
         self._hb_stop = threading.Event()
@@ -419,6 +420,57 @@ class RemoteChannel(BatchingChannel):
                     self._note_failure(exc)
 
     # -- lifecycle -------------------------------------------------------
+
+    def _after_fork_child(self, policy: str) -> None:
+        """Reinitialize in a fork child.
+
+        The child inherits a *copy* of the parent's socket file
+        descriptor: writing even one byte would interleave with the
+        parent's length-prefixed frames and corrupt the stream for
+        both.  The fd copy is closed without any protocol traffic
+        (closing a duplicate sends no FIN — the parent still holds its
+        own descriptor, so its connection is untouched).
+
+        ``policy`` then picks the child's posture:
+
+        ``"disable"``
+            The channel gives up shipping permanently; recording
+            continues into the child's local buffers.
+
+        ``"resession"``
+            The session id is cleared so the next harvest opens a
+            *fresh* daemon session, re-sending the instance
+            registrations (the structures live on in the child); the
+            heartbeat thread is restarted.
+        """
+        sock = self._client._sock if self._client is not None else None
+        self._client = None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._ship_lock = threading.Lock()
+        self._shipped = 0
+        self._registered_sent = 0
+        self._down_since = None
+        self.final_ack = None
+        # The fallback spill path belongs to the parent; the child
+        # writing it would clobber the parent's residue.
+        self._fallback_spill = None
+        super()._after_fork_child(policy)
+        if policy == "resession" and not self._gave_up:
+            self._session_id = None
+            self._hb_stop = threading.Event()
+            self._hb_thread = threading.Thread(
+                target=self._heartbeat_loop,
+                args=(self._heartbeat_interval,),
+                name="dsspy-remote-heartbeat",
+                daemon=True,
+            )
+            self._hb_thread.start()
+        else:
+            self._gave_up = True
 
     @property
     def session_id(self) -> str | None:

@@ -16,6 +16,9 @@ ingest → analysis path reproducible on demand:
   batch, streaming, and full daemon-round-trip analysis agree exactly.
 - :mod:`~repro.testing.shrink` — delta-debugging minimization of
   failing traces.
+- :mod:`~repro.testing.hostile` — client-side injected faults (raising
+  collector, raising/hanging channel) for the fail-open firewall of
+  :mod:`repro.runtime`.
 
 Despite the name this package is shipped, not test-only: the ``dsspy
 selftest`` command runs the oracle against the installed code, and the
@@ -35,6 +38,12 @@ _LAZY = {
     "Fault": "faults",
     "FaultPlan": "faults",
     "FaultProxy": "faults",
+    "CLIENT_FAULT_KINDS": "hostile",
+    "HangingChannel": "hostile",
+    "HostileCollector": "hostile",
+    "ProfilerBug": "hostile",
+    "RaisingChannel": "hostile",
+    "make_hostile_collector": "hostile",
     "DifferentialOracle": "oracle",
     "TrialResult": "oracle",
     "diff_summaries": "oracle",

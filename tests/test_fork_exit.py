@@ -1,0 +1,150 @@
+"""Process-lifecycle safety: fork under load and bounded exit drain.
+
+Each scenario runs a real subprocess that wires a tracked workload to a
+live (or deliberately crashed) daemon through a ``RemoteChannel``,
+installs the runtime's fork/exit safety, and then ``os.fork()``s while
+a producer thread is actively recording.  The contract under test:
+
+* the child never touches the inherited daemon socket (its first write
+  would corrupt the parent's session) — it either self-disables or
+  opens a fresh session, per ``fork_policy``;
+* locks and buffers inherited mid-operation are re-initialised, so the
+  child can keep recording without deadlocking;
+* both processes exit 0 through the normal ``atexit`` path, with the
+  exit drain bounded by the guard deadline even when the daemon is
+  gone.
+
+This is the ``fork-under-load`` entry of
+:data:`repro.testing.CLIENT_FAULT_KINDS`.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="os.fork is POSIX-only"
+)
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+SCRIPT = r"""
+import os
+import sys
+import threading
+import time
+
+from repro import runtime
+from repro.events import EventCollector, push_collector
+from repro.service import ProfilingDaemon, RemoteChannel
+from repro.structures import TrackedList
+
+policy = os.environ["FORK_POLICY"]
+crash = os.environ["DAEMON_CRASH"] == "1"
+
+daemon = ProfilingDaemon(port=0)
+guard = runtime.install(budget=100, fork_policy=policy, exit_deadline=3.0)
+channel = RemoteChannel(daemon.address, heartbeat_interval=0.2, give_up_after=1.0)
+guard.watch_channel(channel)
+collector = EventCollector(channel=channel)
+push_collector(collector)
+
+xs = TrackedList(collector=collector, label="parent")
+for i in range(500):
+    xs.append(i)
+
+if crash:
+    daemon.crash()
+    for i in range(200):  # keep recording against the dead daemon
+        xs.append(i)
+
+# Fork *under load*: a producer thread is appending at the moment of the
+# fork, so the child inherits channel locks/buffers in arbitrary state.
+stop = threading.Event()
+
+
+def producer():
+    ys = TrackedList(collector=collector, label="producer")
+    while not stop.is_set():
+        ys.append(1)
+
+
+threading.Thread(target=producer, daemon=True).start()
+time.sleep(0.05)
+
+sys.stdout.flush()
+pid = os.fork()
+if pid == 0:
+    # Child: after-fork handler already ran.  Recording must be safe and
+    # exit must be clean (atexit drain, bounded by the guard deadline).
+    zs = TrackedList(collector=collector, label="child")
+    for i in range(100):
+        zs.append(i)
+    assert zs.raw() == list(range(100)), zs.raw()
+    print("CHILD-OK", flush=True)
+    sys.exit(0)
+
+stop.set()
+_, status = os.waitpid(pid, 0)
+assert os.WIFEXITED(status), f"child did not exit normally: status={status}"
+assert os.WEXITSTATUS(status) == 0, f"child exit code {os.WEXITSTATUS(status)}"
+
+for i in range(100):  # parent keeps working after the fork
+    xs.append(i)
+print(f"SESSIONS={len(daemon.sessions)}", flush=True)
+print("PARENT-OK", flush=True)
+if not crash:
+    daemon.close()
+"""
+
+
+def _run_scenario(policy: str, crash: bool) -> tuple[subprocess.CompletedProcess, float]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC)] + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+    )
+    env["FORK_POLICY"] = policy
+    env["DAEMON_CRASH"] = "1" if crash else "0"
+    start = time.monotonic()
+    proc = subprocess.run(
+        [sys.executable, "-c", SCRIPT],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    return proc, time.monotonic() - start
+
+
+@pytest.mark.parametrize("crash", [False, True], ids=["daemon-up", "daemon-crashed"])
+@pytest.mark.parametrize("policy", ["disable", "resession"])
+def test_fork_under_load_exits_cleanly(policy, crash):
+    proc, elapsed = _run_scenario(policy, crash)
+    assert proc.returncode == 0, (proc.stdout, proc.stderr)
+    assert "CHILD-OK" in proc.stdout, (proc.stdout, proc.stderr)
+    assert "PARENT-OK" in proc.stdout, (proc.stdout, proc.stderr)
+    # Both drains were bounded: two 3 s deadlines plus slack, never a
+    # hang on a dead daemon or an inherited lock.
+    assert elapsed < 60, f"scenario took {elapsed:.1f}s"
+
+
+def test_resession_child_opens_a_fresh_daemon_session():
+    """With the daemon up and ``fork_policy='resession'``, the child must
+    appear at the daemon as its own session rather than writing into the
+    parent's (which would interleave two processes' frames on one
+    socket)."""
+    proc, _ = _run_scenario("resession", crash=False)
+    assert proc.returncode == 0, (proc.stdout, proc.stderr)
+    sessions = [
+        int(line.split("=", 1)[1])
+        for line in proc.stdout.splitlines()
+        if line.startswith("SESSIONS=")
+    ]
+    assert sessions, proc.stdout
+    assert sessions[0] >= 2, f"expected parent + child sessions, saw {sessions[0]}"
