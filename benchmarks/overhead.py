@@ -1,284 +1,24 @@
-"""Recording-overhead microbenchmark (machine-readable).
+"""Back-compat shim: the overhead benchmark now lives in ``repro.bench``.
 
-Measures the per-event cost of each transport at its hot-path producer
-API — ``post`` for the synchronous and async channels, the cached
-:meth:`~repro.events.BatchingChannel.producer` callable for the batched
-pipeline — timed over a full capture (post loop *plus* terminal drain,
-so asynchronous transports cannot hide work in their drainer thread).
-A second section measures the realistic ``EventCollector.record`` path
-with and without sampling.  Emits one JSON document consumed by the CI
-overhead gate (``examples/ci_gate.py --overhead``).
-
-Run directly::
+The measurement core moved into the package so the CLI (``dsspy
+bench``), the CI perf-ratchet, and this script share one
+implementation.  Existing invocations keep working::
 
     PYTHONPATH=src python benchmarks/overhead.py --events 100000 -o overhead.json
 
-Absolute nanoseconds vary wildly across machines, so the gated metric
-is *normalized*: ``batching_vs_plain`` is the batched per-event cost
-divided by a bare ``list.append`` measured on the same machine in the
-same process.  ``batching_vs_async`` is the speedup of the batched
-pipeline over the per-event-queue AsyncChannel — the paper-architecture
-baseline this pipeline is designed to beat.  ``remote_vs_plain`` gates
-the networked transport the same way: a ``RemoteChannel`` shipping to a
-loopback :class:`~repro.service.ProfilingDaemon` must keep its producer
-hot path within budget of the in-process batched pipeline.
-``journal_vs_plain`` repeats the remote measurement against a daemon
-with the write-ahead journal and checkpointing enabled — durability
-lives on the daemon's ingest thread, so the producer hot path must not
-notice it.  ``guard_vs_plain`` gates the fail-open firewall of
-:mod:`repro.runtime`: the full ``TrackedList.append`` hot path with an
-armed healthy guard (one cell read, one try/except, one thread-local
-check per event) must stay within budget of a plain append; the
-informational ``guard_overhead`` ratio isolates the guard's own cost
-against the same path unarmed.
+New capabilities (``--check``, ``--json``, ``--append-trajectory``)
+are documented in :mod:`repro.bench`.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import sys
-import tempfile
-import time
-from pathlib import Path
-
-from repro.events import (
-    AccessKind,
-    AsyncChannel,
-    BatchingChannel,
-    Burst,
-    Decimate,
-    EventCollector,
-    OperationKind,
-    SamplingPolicy,
-    StructureKind,
-    SynchronousChannel,
+from repro.bench import (  # noqa: F401  (re-exported for callers of the old module)
+    GATED_METRICS,
+    SCHEMA_VERSION,
+    check,
+    main,
+    run_overhead_benchmark,
 )
-from repro.runtime import RuntimeGuard
-from repro.service import ProfilingDaemon, RemoteChannel
-from repro.structures import TrackedList
-
-SCHEMA_VERSION = 4
-
-#: A representative raw event (list read at position 5 of 1000).
-RAW = (0, int(OperationKind.READ), int(AccessKind.READ), 5, 1000, 0, None)
-
-
-def _time_channel(make_channel, events: int) -> float:
-    """Seconds to push ``events`` raw tuples through a channel's hot
-    path and drain it."""
-    channel = make_channel()
-    produce = channel.producer() if hasattr(channel, "producer") else channel.post
-    raw = RAW
-    start = time.perf_counter()
-    for _ in range(events):
-        produce(raw)
-    channel.drain()
-    return time.perf_counter() - start
-
-
-def _time_record(
-    make_channel,
-    events: int,
-    sampling: SamplingPolicy | None = None,
-) -> float:
-    """Seconds for the realistic path: ``EventCollector.record`` per
-    event, then the channel drained (profiles not materialized — that
-    cost is post-mortem analysis, not recording)."""
-    collector = EventCollector(channel=make_channel(), sampling=sampling)
-    iid = collector.register_instance(StructureKind.LIST)
-    record = collector.record
-    op = OperationKind.READ
-    kind = AccessKind.READ
-    start = time.perf_counter()
-    for i in range(events):
-        record(iid, op, kind, i % 1000, 1000)
-    collector.channel.drain()
-    return time.perf_counter() - start
-
-
-def _time_tracked_append(events: int, guard: RuntimeGuard | None = None) -> float:
-    """Seconds for the full structure hot path — ``TrackedList.append``
-    through ``_record`` into a batching channel — optionally under an
-    armed (healthy) firewall."""
-    channel = BatchingChannel()
-    collector = EventCollector(channel=channel)
-    xs = TrackedList(collector=collector)
-    append = xs.append
-    if guard is not None:
-        guard.__enter__()
-    try:
-        start = time.perf_counter()
-        for _ in range(events):
-            append(1)
-        channel.drain()
-        return time.perf_counter() - start
-    finally:
-        if guard is not None:
-            guard.__exit__(None, None, None)
-
-
-def _time_plain_append(events: int) -> float:
-    """The uninstrumented floor: a bare bound ``list.append`` loop."""
-    xs: list = []
-    append = xs.append
-    raw = RAW
-    start = time.perf_counter()
-    for _ in range(events):
-        append(raw)
-    return time.perf_counter() - start
-
-
-def _best(measure, repeats: int) -> float:
-    """Minimum over ``repeats`` runs — the standard noise filter."""
-    return min(measure() for _ in range(repeats))
-
-
-def run_overhead_benchmark(events: int = 100_000, repeats: int = 3) -> dict:
-    """Measure every transport and sampling tier; return the JSON doc."""
-    channels = {
-        "sync": lambda: SynchronousChannel(),
-        "async": lambda: AsyncChannel(),
-        "batching": lambda: BatchingChannel(),
-        "batching_drop": lambda: BatchingChannel(policy="drop"),
-    }
-    recorders = {
-        "sync": (lambda: SynchronousChannel(), None),
-        "batching": (lambda: BatchingChannel(), None),
-        "batching_decimate10": (lambda: BatchingChannel(), lambda: Decimate(10)),
-        "batching_burst1000_10": (lambda: BatchingChannel(), lambda: Burst(1000, 10)),
-    }
-
-    plain_s = _best(lambda: _time_plain_append(events), repeats)
-    doc: dict = {
-        "schema": SCHEMA_VERSION,
-        "events": events,
-        "repeats": repeats,
-        "python": sys.version.split()[0],
-        "plain_append_ns": plain_s / events * 1e9,
-        "channels": {},
-        "recording": {},
-    }
-    for name, factory in channels.items():
-        total_s = _best(lambda: _time_channel(factory, events), repeats)
-        doc["channels"][name] = {
-            "total_s": total_s,
-            "per_event_ns": total_s / events * 1e9,
-        }
-    # The networked transport: same producer hot path as "batching",
-    # plus loopback shipping to a live daemon (one daemon reused across
-    # repeats; every repeat is a fresh session, and drain() includes the
-    # FIN handshake so the full capture cost is measured).
-    with ProfilingDaemon(port=0, session_linger=0.1) as daemon:
-        total_s = _best(
-            lambda: _time_channel(lambda: RemoteChannel(daemon.address), events),
-            repeats,
-        )
-    doc["channels"]["remote"] = {
-        "total_s": total_s,
-        "per_event_ns": total_s / events * 1e9,
-    }
-    # Same transport against a durable daemon: every window is journaled
-    # before it is acknowledged, with periodic checkpoints.
-    with tempfile.TemporaryDirectory(prefix="dsspy-bench-state-") as state_dir:
-        with ProfilingDaemon(
-            port=0,
-            session_linger=0.1,
-            state_dir=state_dir,
-            checkpoint_every=max(events // 2, 10_000),
-        ) as daemon:
-            total_s = _best(
-                lambda: _time_channel(lambda: RemoteChannel(daemon.address), events),
-                repeats,
-            )
-    doc["channels"]["remote_journal"] = {
-        "total_s": total_s,
-        "per_event_ns": total_s / events * 1e9,
-    }
-
-    for name, (factory, make_policy) in recorders.items():
-        total_s = _best(
-            lambda: _time_record(
-                factory, events, sampling=make_policy() if make_policy else None
-            ),
-            repeats,
-        )
-        doc["recording"][name] = {
-            "total_s": total_s,
-            "per_event_ns": total_s / events * 1e9,
-        }
-
-    # The firewall hot path: a healthy armed guard on the tracked-append
-    # loop, against the identical loop with no guard armed (seed mode).
-    unguarded_s = _best(lambda: _time_tracked_append(events), repeats)
-    guarded_s = _best(
-        lambda: _time_tracked_append(events, guard=RuntimeGuard(budget=25)), repeats
-    )
-    doc["structures"] = {
-        "tracked_append": {
-            "total_s": unguarded_s,
-            "per_event_ns": unguarded_s / events * 1e9,
-        },
-        "tracked_append_guarded": {
-            "total_s": guarded_s,
-            "per_event_ns": guarded_s / events * 1e9,
-        },
-    }
-
-    batching_ns = doc["channels"]["batching"]["per_event_ns"]
-    drop_ns = doc["channels"]["batching_drop"]["per_event_ns"]
-    async_ns = doc["channels"]["async"]["per_event_ns"]
-    doc["derived"] = {
-        # Speedup of the batched pipeline over the per-event queue
-        # (default lossless policy, and the bare-append drop policy).
-        "batching_vs_async": async_ns / batching_ns,
-        "batching_drop_vs_async": async_ns / drop_ns,
-        # Machine-normalized cost multiples — the CI-gated metrics.
-        "batching_vs_plain": batching_ns / doc["plain_append_ns"],
-        "remote_vs_plain": doc["channels"]["remote"]["per_event_ns"]
-        / doc["plain_append_ns"],
-        "journal_vs_plain": doc["channels"]["remote_journal"]["per_event_ns"]
-        / doc["plain_append_ns"],
-        "record_batching_vs_plain": doc["recording"]["batching"]["per_event_ns"]
-        / doc["plain_append_ns"],
-        # Firewall cost, gated: full guarded tracked-append vs a bare
-        # append — and, informational, vs the same path unguarded.
-        "guard_vs_plain": doc["structures"]["tracked_append_guarded"]["per_event_ns"]
-        / doc["plain_append_ns"],
-        "guard_overhead": guarded_s / unguarded_s,
-    }
-    return doc
-
-
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--events", type=int, default=100_000)
-    parser.add_argument("--repeats", type=int, default=3)
-    parser.add_argument("-o", "--output", default=None, help="write JSON here")
-    args = parser.parse_args(argv)
-
-    doc = run_overhead_benchmark(events=args.events, repeats=args.repeats)
-    text = json.dumps(doc, indent=2, sort_keys=True)
-    if args.output:
-        Path(args.output).write_text(text + "\n", encoding="utf-8")
-        print(f"overhead benchmark written to {args.output}")
-    else:
-        print(text)
-    derived = doc["derived"]
-    print(
-        f"batching: {doc['channels']['batching']['per_event_ns']:.0f} ns/event "
-        f"({derived['batching_vs_plain']:.1f}x a plain append; "
-        f"{derived['batching_vs_async']:.1f}x faster than async, "
-        f"{derived['batching_drop_vs_async']:.1f}x with the drop policy); "
-        f"remote: {doc['channels']['remote']['per_event_ns']:.0f} ns/event "
-        f"({derived['remote_vs_plain']:.1f}x a plain append; "
-        f"{derived['journal_vs_plain']:.1f}x journaled); "
-        f"guard: {derived['guard_vs_plain']:.1f}x a plain append "
-        f"({derived['guard_overhead']:.2f}x the unguarded tracked append)",
-        file=sys.stderr,
-    )
-    return 0
-
 
 if __name__ == "__main__":
     raise SystemExit(main())

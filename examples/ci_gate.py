@@ -8,17 +8,16 @@ Two gates share this entry point:
     parallelization smells were introduced.
 
 ``python examples/ci_gate.py --overhead CUR.json --baseline BASE.json``
-    The recording-overhead gate: compare a fresh
-    ``benchmarks/overhead.py`` JSON against the checked-in baseline and
+    The recording-overhead gate: compare a fresh benchmark JSON
+    (``dsspy bench -o CUR.json``) against the checked-in baseline and
     fail when a gated transport's per-event cost regressed by more
-    than ``--max-regression`` (default 25%).  The compared metrics are
-    ``derived.batching_vs_plain``, ``derived.remote_vs_plain``,
-    ``derived.journal_vs_plain`` (the remote transport against a daemon
-    with write-ahead journaling enabled), and ``derived.guard_vs_plain``
-    (the tracked-append hot path under an armed fail-open firewall) —
-    recording cost as a multiple of a plain ``list.append`` measured on
-    the same machine — so the gate is portable across CI runners with
-    different absolute clock speeds.
+    than ``--max-regression`` (default 25%).  The comparison itself is
+    :func:`repro.bench.check` — the same ratchet CI runs via ``dsspy
+    bench --check`` — enforcing every metric in
+    :data:`repro.bench.GATED_METRICS` (cost as a multiple of a plain
+    ``list.append`` measured on the same machine, so the gate is
+    portable across CI runners with different absolute clock speeds)
+    plus the hard ceilings pinned in the baseline's ``gates`` object.
 """
 
 from __future__ import annotations
@@ -29,17 +28,7 @@ import sys
 import tempfile
 from pathlib import Path
 
-#: The machine-normalized metrics the overhead gate enforces: the
-#: in-process batched pipeline, the networked RemoteChannel, the
-#: RemoteChannel against a journaling (crash-safe) daemon, and the
-#: guarded (fail-open firewall) tracked-append path, each as a cost
-#: multiple of a plain ``list.append`` on the same machine.
-GATED_METRICS = (
-    "batching_vs_plain",
-    "remote_vs_plain",
-    "journal_vs_plain",
-    "guard_vs_plain",
-)
+from repro.bench import GATED_METRICS, check  # noqa: F401  (re-exported)
 
 
 def overhead_gate(
@@ -48,38 +37,18 @@ def overhead_gate(
     """Fail (1) when any gated normalized recording cost regressed."""
     current = json.loads(Path(current_path).read_text(encoding="utf-8"))
     baseline = json.loads(Path(baseline_path).read_text(encoding="utf-8"))
-    failed = []
-    for metric in GATED_METRICS:
-        in_current = metric in current.get("derived", {})
-        in_baseline = metric in baseline.get("derived", {})
-        if not in_current and not in_baseline:
-            print(f"overhead gate: {metric} absent from both documents, skipped")
-            continue
-        if not (in_current and in_baseline):
-            print(
-                f"overhead gate: {metric} missing from "
-                f"{'current' if not in_current else 'baseline'} benchmark JSON",
-                file=sys.stderr,
-            )
-            return 2
-        cur = float(current["derived"][metric])
-        base = float(baseline["derived"][metric])
-        regression = cur / base - 1.0
-        print(
-            f"overhead gate: {metric} = {cur:.2f} "
-            f"(baseline {base:.2f}, change {regression:+.1%}, "
-            f"allowed +{max_regression:.0%})"
-        )
-        if cur > base * (1.0 + max_regression):
-            failed.append((metric, regression))
+    try:
+        failures, report = check(current, baseline, max_regression=max_regression)
+    except ValueError as exc:
+        print(f"overhead gate: {exc}", file=sys.stderr)
+        return 2
+    for line in report:
+        print(f"overhead gate: {line}")
     for name, entry in sorted(current.get("channels", {}).items()):
         print(f"  {name:<14} {entry['per_event_ns']:8.0f} ns/event")
-    if failed:
-        for metric, regression in failed:
-            print(
-                f"CI GATE: FAILED — {metric} is {regression:+.1%} "
-                f"vs baseline (limit +{max_regression:.0%})"
-            )
+    if failures:
+        for failure in failures:
+            print(f"CI GATE: FAILED — {failure}")
         return 1
     print("CI GATE: passed")
     return 0

@@ -1,4 +1,54 @@
-"""Shim for environments without the `wheel` package (offline editable installs)."""
-from setuptools import setup
+"""Build shim: compiles the optional record-kernel extension.
 
-setup()
+The package is pure python by policy; ``repro._fastrecord`` is a
+strictly optional accelerator for the per-event record hot path
+(see ``repro/events/fastpath.py``, which falls back to a pure-python
+kernel when the import fails).  Any build failure — no compiler, no
+headers, exotic platform — must therefore never fail the install:
+the extension is marked optional and every error is downgraded to a
+warning.  Set ``DSSPY_NO_EXTENSION=1`` to skip the build entirely.
+"""
+
+import os
+
+from setuptools import Extension, setup
+from setuptools.command.build_ext import build_ext
+
+
+class OptionalBuildExt(build_ext):
+    """A build_ext that treats every compile failure as a warning."""
+
+    def run(self):
+        try:
+            super().run()
+        except Exception as exc:  # e.g. no C compiler at all
+            self._skip(exc)
+
+    def build_extension(self, ext):
+        try:
+            super().build_extension(ext)
+        except Exception as exc:
+            self._skip(exc)
+
+    @staticmethod
+    def _skip(exc):
+        print(
+            f"warning: building repro._fastrecord failed ({exc}); "
+            "the pure-python record kernel will be used instead"
+        )
+
+
+if os.environ.get("DSSPY_NO_EXTENSION"):
+    ext_modules = []
+    cmdclass = {}
+else:
+    ext_modules = [
+        Extension(
+            "repro._fastrecord",
+            sources=["src/repro/_fastrecord.c"],
+            optional=True,
+        )
+    ]
+    cmdclass = {"build_ext": OptionalBuildExt}
+
+setup(ext_modules=ext_modules, cmdclass=cmdclass)

@@ -37,6 +37,12 @@ Subcommands:
     randomized trace through batch analysis, the streaming engine, and
     a live daemon behind a fault-injecting proxy, asserting all three
     agree exactly.  Failing seeds are shrunk to a minimal trace.
+
+``dsspy bench``
+    The recording-overhead benchmark (:mod:`repro.bench`): measure
+    every transport's per-event cost, emit the machine-readable JSON
+    document, and — with ``--check`` — enforce the CI perf-ratchet
+    against the checked-in baseline.
 """
 
 from __future__ import annotations
@@ -77,6 +83,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                     batch_size=args.batch_size,
                     give_up_after=args.remote_give_up,
                     fallback_spill=args.remote_spill,
+                    transport=args.transport,
                 )
             except OSError as exc:
                 print(
@@ -85,8 +92,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 )
                 return 2
         else:
+            # The encode-at-record fast path rides on the packed batch
+            # channel; --record-fastpath off keeps the legacy tuple
+            # pipeline (the differential oracle's reference encoder).
+            channel_name = args.channel
+            if channel_name == "batch" and args.record_fastpath == "auto":
+                channel_name = "packed"
             channel = make_channel(
-                args.channel, batch_size=args.batch_size, spill=args.spill
+                channel_name, batch_size=args.batch_size, spill=args.spill
             )
     except (ValueError, OSError) as exc:
         print(str(exc), file=sys.stderr)
@@ -537,6 +550,12 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import run as bench_run
+
+    return bench_run(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="dsspy",
@@ -590,6 +609,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="HOST:PORT",
         help="stream events to a dsspy daemon (see 'dsspy serve') instead of "
         "keeping the capture purely in-process; overrides --channel",
+    )
+    analyze.add_argument(
+        "--transport",
+        choices=("socket", "shm"),
+        default="socket",
+        help="with --remote: ship events over the TCP/Unix socket, or "
+        "offer a same-host shared-memory ring (falls back to the socket "
+        "when the daemon declines)",
+    )
+    analyze.add_argument(
+        "--record-fastpath",
+        choices=("auto", "off"),
+        default="auto",
+        help="with --channel batch: 'auto' engages the encode-at-record "
+        "fast path (compiled kernel when built, packed byte buffers); "
+        "'off' keeps the legacy tuple pipeline",
     )
     analyze.add_argument(
         "--remote-give-up",
@@ -830,6 +865,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="run all trials even after a failure",
     )
     selftest.set_defaults(fn=_cmd_selftest)
+
+    bench = sub.add_parser(
+        "bench",
+        help="recording-overhead benchmark and CI perf-ratchet",
+    )
+    from .bench import configure_parser as _configure_bench
+
+    _configure_bench(bench)
+    bench.set_defaults(fn=_cmd_bench)
     return parser
 
 

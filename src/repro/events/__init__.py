@@ -25,6 +25,7 @@ from .collector import (
     reset_ambient,
 )
 from .event import AccessEvent, materialize
+from .fastpath import KERNEL, PackedBatchingChannel, PyRecorder, kernel_name, make_recorder
 from .merge import merge_archives, merge_profiles
 from .profile import NO_POSITION, AllocationSite, RuntimeProfile
 from .sampling import (
@@ -52,6 +53,7 @@ from .spill import (
     read_spill_raw,
     record_is_plausible,
     unpack_record,
+    unpack_records,
 )
 from .types import FRONT, AccessKind, OperationKind, StructureKind, end_of
 
@@ -66,9 +68,12 @@ __all__ = [
     "Decimate",
     "EventCollector",
     "FRONT",
+    "KERNEL",
     "NO_POSITION",
     "OperationKind",
+    "PackedBatchingChannel",
     "ProcessChannel",
+    "PyRecorder",
     "RECORD_ALL",
     "RECORD_SIZE",
     "RecordAll",
@@ -83,8 +88,10 @@ __all__ = [
     "get_collector",
     "iter_spill_events",
     "iter_spill_raw",
+    "kernel_name",
     "load_profiles",
     "make_channel",
+    "make_recorder",
     "materialize",
     "merge_archives",
     "merge_profiles",
@@ -98,6 +105,7 @@ __all__ = [
     "record_is_plausible",
     "reset_ambient",
     "unpack_record",
+    "unpack_records",
     "save_collector",
     "save_profiles",
 ]

@@ -433,10 +433,13 @@ def make_channel(
 ):
     """Channel factory behind the CLI's ``--channel`` flag.
 
-    ``sync`` | ``async`` | ``batch`` | ``process``; ``spill`` and
-    ``batch_size`` only apply to ``batch``.
+    ``sync`` | ``async`` | ``batch`` | ``packed`` | ``process``;
+    ``spill`` and ``batch_size`` only apply to ``batch``/``packed``.
+    ``packed`` is the encode-at-record fast path
+    (:class:`~repro.events.fastpath.PackedBatchingChannel`).
     """
     from .channel import AsyncChannel, ProcessChannel, SynchronousChannel
+    from .fastpath import PackedBatchingChannel
 
     key = name.strip().lower()
     if key in ("sync", "synchronous"):
@@ -445,8 +448,10 @@ def make_channel(
         return AsyncChannel()
     if key in ("batch", "batching"):
         return BatchingChannel(batch_size=batch_size, spill=spill)
+    if key in ("packed", "fast", "fastpath"):
+        return PackedBatchingChannel(batch_size=batch_size, spill=spill)
     if key == "process":
         return ProcessChannel()
     raise ValueError(
-        f"unknown channel {name!r}; expected sync, async, batch, or process"
+        f"unknown channel {name!r}; expected sync, async, batch, packed, or process"
     )

@@ -49,12 +49,14 @@ from .protocol import (
     send_frame,
 )
 from .session import IngestPipeline, RateMeter, Session, SessionState
+from .shm import DEFAULT_RING_RECORDS, ShmRing
 from .streaming import StreamingUseCaseEngine
 
 __all__ = [
     "AdmissionController",
     "AdmissionStage",
     "BackoffPolicy",
+    "DEFAULT_RING_RECORDS",
     "FrameDecoder",
     "IngestPipeline",
     "MAX_EVENTS_PER_FRAME",
@@ -70,6 +72,7 @@ __all__ = [
     "Session",
     "SessionJournal",
     "SessionState",
+    "ShmRing",
     "StreamingUseCaseEngine",
     "decode_events",
     "decode_json",

@@ -47,16 +47,96 @@ from .durability import (
     scan_state_dir,
     warn_notes,
 )
+from ..events.spill import RECORD_SIZE, unpack_records
 from .protocol import (
     MessageType,
     ProtocolError,
     decode_events,
     decode_json,
     encode_json,
+    parse_shm_offer,
     recv_frame,
 )
 from .session import Session, SessionState
+from .shm import ShmRing
 from .streaming import StreamingUseCaseEngine
+
+
+class _ShmConsumer:
+    """Per-session drain thread for a client's shared-memory ring.
+
+    Polls the ring and folds whole records into the session's ingest
+    pipeline.  Records are *not* individually screened the way socket
+    EVENTS frames are: skipping one would desynchronize the stream
+    cursor both sides use for exact resume, and the trust boundary was
+    already enforced at attach time (header validation in
+    :meth:`~repro.service.shm.ShmRing.attach`) — the ring lives in the
+    same trust domain as the client's own memory.
+
+    Admission control still applies: when the controller says shed,
+    the consumer simply stops reading — the ring fills up and the
+    *client* stalls, which is backpressure with zero protocol traffic.
+    """
+
+    def __init__(
+        self,
+        ring: ShmRing,
+        session: Session,
+        admission: AdmissionController | None = None,
+        poll_interval: float = 0.001,
+    ) -> None:
+        self._ring = ring
+        self._session = session
+        self._admission = admission
+        self._poll = poll_interval
+        self._stop = threading.Event()
+        self._stopped = False
+        self.error: Exception | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="dsspy-daemon-shm", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        try:
+            while not self._stop.is_set():
+                if not self._drain_once():
+                    self._stop.wait(self._poll)
+        except Exception as exc:  # ring torn down under us, pipeline dead
+            self.error = exc
+
+    def _drain_once(self, final: bool = False) -> bool:
+        """Ingest one batch; returns whether any records moved."""
+        count = self._ring.used // RECORD_SIZE
+        if count <= 0:
+            return False
+        stage = AdmissionStage.NORMAL
+        if self._admission is not None and not final:
+            stage = self._admission.admit(self._session, count)
+            if stage >= AdmissionStage.SHED:
+                return False  # leave the bytes in the ring: backpressure
+        data = self._ring.read(count * RECORD_SIZE)
+        raws = unpack_records(data)
+        session = self._session
+        session.ingest(session.received, raws, stage=stage)
+        session.touch()
+        return True
+
+    def stop(self, drain: bool = True, timeout: float = 5.0) -> None:
+        """Stop the thread; with ``drain``, ingest the ring's remainder
+        so ``session.received`` is final before anyone reads it."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self._stop.set()
+        self._thread.join(timeout)
+        if drain:
+            try:
+                while self._drain_once(final=True):
+                    pass
+            except Exception as exc:
+                self.error = exc
+        self._ring.close()
 
 
 def _remove_stale_unix_socket(path: Path) -> None:
@@ -169,6 +249,8 @@ class ProfilingDaemon:
 
         self.sessions: dict[str, Session] = {}
         self._sessions_lock = threading.Lock()
+        self._shm_consumers: dict[str, _ShmConsumer] = {}
+        self._shm_lock = threading.Lock()
         self._conns: dict[int, socket.socket] = {}
         self._conn_sessions: dict[int, str] = {}
         self._conns_lock = threading.Lock()
@@ -344,6 +426,10 @@ class ProfilingDaemon:
                         )
                     )
                 elif mtype == MessageType.FIN:
+                    # The ring may still hold events the consumer has
+                    # not folded yet; drain it before finalizing so the
+                    # report covers everything the client shipped.
+                    self._stop_shm_consumer(session.session_id)
                     report = session.finish()
                     self._write_report(session)
                     conn.sendall(
@@ -376,7 +462,39 @@ class ProfilingDaemon:
             except OSError:
                 pass
             if session is not None:
+                # Salvage whatever reached the ring before the link
+                # died, so the resume cursor reflects it.
+                self._stop_shm_consumer(session.session_id)
                 session.detach()
+
+    def _stop_shm_consumer(self, session_id: str, drain: bool = True) -> None:
+        with self._shm_lock:
+            consumer = self._shm_consumers.pop(session_id, None)
+        if consumer is not None:
+            consumer.stop(drain=drain)
+
+    def _attach_shm(self, session: Session, offer: tuple[str, int] | None) -> bool:
+        """Negotiate the HELLO shm capability for ``session``.
+
+        Any previous consumer is stopped and drained *first* — also
+        when the new connection offers no ring — so the ``received``
+        cursor sent back in the ACK is final.  Returns whether the
+        offered ring was attached; a stale, foreign, or unreachable
+        segment declines the capability instead of failing the session.
+        """
+        self._stop_shm_consumer(session.session_id)
+        if offer is None:
+            return False
+        name, _capacity = offer
+        try:
+            ring = ShmRing.attach(name)
+        except (ValueError, OSError):
+            return False
+        with self._shm_lock:
+            self._shm_consumers[session.session_id] = _ShmConsumer(
+                ring, session, admission=self._admission
+            )
+        return True
 
     def _hello(self, conn: socket.socket, payload: bytes) -> Session | None:
         obj = decode_json(payload)
@@ -415,6 +533,7 @@ class ProfilingDaemon:
                 resumed = False
             else:
                 resumed = session.resume()
+        shm_ok = self._attach_shm(session, parse_shm_offer(obj))
         conn.sendall(
             encode_json(
                 MessageType.ACK,
@@ -423,6 +542,7 @@ class ProfilingDaemon:
                     "received": session.received,
                     "resumed": resumed,
                     "recovered": session.recovered,
+                    "shm": shm_ok,
                 },
             )
         )
@@ -556,6 +676,11 @@ class ProfilingDaemon:
                 pass
         self._accept_thread.join(timeout=5.0)
         self._reaper_thread.join(timeout=5.0)
+        with self._shm_lock:
+            consumers = list(self._shm_consumers.values())
+            self._shm_consumers.clear()
+        for consumer in consumers:
+            consumer.stop(drain=False)  # a crash salvages nothing
         with self._sessions_lock:
             sessions = list(self.sessions.values())
             self.sessions.clear()
@@ -574,6 +699,7 @@ class ProfilingDaemon:
             sessions = list(self.sessions.values())
             self.sessions.clear()
         for session in sessions:
+            self._stop_shm_consumer(session.session_id)
             if session.state != SessionState.FINISHED:
                 session.finish()  # idempotent; joins the pipeline worker
             session.delete_journal()
@@ -615,6 +741,7 @@ class ProfilingDaemon:
         with self._sessions_lock:
             sessions = list(self.sessions.values())
         for session in sessions:
+            self._stop_shm_consumer(session.session_id)
             if session.state != SessionState.FINISHED:
                 session.finish()
             self._write_report(session)

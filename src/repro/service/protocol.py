@@ -173,6 +173,42 @@ def decode_json(payload: bytes) -> dict[str, Any]:
     return obj
 
 
+# -- HELLO capabilities ------------------------------------------------------
+
+#: HELLO payload key under which a client offers the shared-memory ring
+#: transport (:mod:`repro.service.shm`).  The daemon answers with the
+#: same key in its ACK: ``true`` when it attached the ring (EVENTS move
+#: off the socket entirely), ``false``/absent when the client must keep
+#: shipping EVENTS frames.  Control traffic (REGISTER, HEARTBEAT, FIN,
+#: STATS) stays on the socket either way.
+SHM_CAPABILITY = "shm"
+
+
+def shm_offer(name: str, capacity_bytes: int) -> dict[str, Any]:
+    """HELLO capability value offering a shared-memory ring."""
+    return {"name": name, "capacity": int(capacity_bytes)}
+
+
+def parse_shm_offer(obj: dict[str, Any]) -> tuple[str, int] | None:
+    """Extract a well-formed shm offer from a HELLO payload.
+
+    Returns ``(segment_name, capacity_bytes)`` or ``None`` when the
+    client offered nothing.  A *malformed* offer raises
+    :class:`ProtocolError` — the client spoke the capability but got
+    the schema wrong, which is a bug worth surfacing, not a reason to
+    silently fall back to the socket.
+    """
+    offer = obj.get(SHM_CAPABILITY)
+    if offer is None:
+        return None
+    if not isinstance(offer, dict) or not isinstance(offer.get("name"), str):
+        raise ProtocolError("HELLO 'shm' capability must be {name, capacity}")
+    capacity = offer.get("capacity", 0)
+    if not isinstance(capacity, int) or capacity <= 0:
+        raise ProtocolError("HELLO 'shm' capacity must be a positive integer")
+    return offer["name"], capacity
+
+
 # -- EVENTS payloads ---------------------------------------------------------
 
 

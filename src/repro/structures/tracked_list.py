@@ -17,11 +17,21 @@ from typing import Any
 from ..events.collector import EventCollector
 from ..events.profile import AllocationSite
 from ..events.types import AccessKind, OperationKind, StructureKind
+from ..runtime.guard import ACTIVE_GUARD
 from .base import TrackedBase
 
 _READ = AccessKind.READ
 _WRITE = AccessKind.WRITE
 _OP = OperationKind
+
+# Plain-int spellings for the inlined guard-free hot paths below: the
+# record hook only needs the enum *values*, and a module-global int
+# load is cheaper than an enum attribute access per event.
+_OP_READ = int(_OP.READ)
+_OP_WRITE = int(_OP.WRITE)
+_OP_INSERT = int(_OP.INSERT)
+_K_READ = int(_READ)
+_K_WRITE = int(_WRITE)
 
 
 class TrackedList(TrackedBase):
@@ -94,7 +104,18 @@ class TrackedList(TrackedBase):
                 self._record(_OP.READ, _READ, j, self._reported_size())
             return [self._data[j] for j in indices]
         value = self._data[i]
-        self._record(_OP.READ, _READ, self._index(i), self._reported_size())
+        if ACTIVE_GUARD[0] is None:
+            n = len(self._data)
+            cap = self._capacity
+            self._record_fn(
+                self._instance_id,
+                _OP_READ,
+                _K_READ,
+                i + n if i < 0 else i,
+                n if n >= cap else cap,
+            )
+        else:
+            self._record(_OP.READ, _READ, self._index(i), self._reported_size())
         return value
 
     def __setitem__(self, i, value) -> None:
@@ -108,7 +129,18 @@ class TrackedList(TrackedBase):
                 self._record(_OP.WRITE, _WRITE, j, self._reported_size())
             return
         self._data[i] = value
-        self._record(_OP.WRITE, _WRITE, self._index(i), self._reported_size())
+        if ACTIVE_GUARD[0] is None:
+            n = len(self._data)
+            cap = self._capacity
+            self._record_fn(
+                self._instance_id,
+                _OP_WRITE,
+                _K_WRITE,
+                i + n if i < 0 else i,
+                n if n >= cap else cap,
+            )
+        else:
+            self._record(_OP.WRITE, _WRITE, self._index(i), self._reported_size())
 
     def __delitem__(self, i) -> None:
         if isinstance(i, slice):
@@ -164,9 +196,19 @@ class TrackedList(TrackedBase):
     # -- growth -----------------------------------------------------------
 
     def append(self, value) -> None:
-        self._data.append(value)
-        self._grow_if_needed()
-        self._record(_OP.INSERT, _WRITE, len(self._data) - 1, self._reported_size())
+        data = self._data
+        data.append(value)
+        if self._capacity:
+            self._grow_if_needed()
+            self._record(_OP.INSERT, _WRITE, len(data) - 1, self._reported_size())
+        elif ACTIVE_GUARD[0] is None:
+            # Inlined guard-free hot path: one direct call into the
+            # pre-bound record hook (the packed kernel when the fast
+            # path is engaged) — no helper frames per event.
+            n = len(data)
+            self._record_fn(self._instance_id, _OP_INSERT, _K_WRITE, n - 1, n)
+        else:
+            self._record(_OP.INSERT, _WRITE, len(data) - 1, len(data))
 
     #: .NET spelling used throughout the paper's snippets.
     add = append

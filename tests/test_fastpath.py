@@ -1,0 +1,244 @@
+"""Encode-at-record fast path: engagement, equivalence, backpressure.
+
+The differential core of this module is byte identity: the fast
+encoder (record kernel → packed per-thread buffers) and the legacy
+encoder (tuple pipeline → ``pack_record`` at spill/wire time) must
+produce the *identical* byte stream for the identical workload — over
+every tracked structure's full method surface and over all seven
+Table V evaluation workloads.  Anything short of equality means the
+fast path changed what the analyzer sees, which no speedup justifies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import (
+    BatchingChannel,
+    Burst,
+    EventCollector,
+    PackedBatchingChannel,
+    collecting,
+)
+from repro.events.fastpath import KERNEL, PyRecorder, make_recorder
+from repro.events.spill import RECORD_SIZE, pack_record, unpack_records
+from repro.workloads import EVALUATION_WORKLOADS
+
+from .test_firewall_sweep import STRUCTURES, run_script
+
+
+def _legacy_bytes(run) -> bytes:
+    """Capture ``run(collector)`` through the legacy tuple pipeline and
+    encode the drained stream the way spill/wire would."""
+    channel = BatchingChannel()
+    collector = EventCollector(channel=channel, fastpath="off")
+    run(collector)
+    return b"".join(pack_record(raw) for raw in channel.drain())
+
+
+def _fast_bytes(run) -> tuple[bytes, EventCollector]:
+    channel = PackedBatchingChannel()
+    collector = EventCollector(channel=channel)
+    run(collector)
+    return bytes(channel.drain_packed()), collector
+
+
+class TestEngagement:
+    def test_engages_on_packed_channel(self):
+        collector = EventCollector(channel=PackedBatchingChannel())
+        assert collector.fastpath == KERNEL
+        assert collector.record is collector._recorder
+
+    def test_not_on_plain_batching_channel(self):
+        collector = EventCollector(channel=BatchingChannel())
+        assert collector.fastpath is None
+
+    def test_not_with_sampling(self):
+        collector = EventCollector(
+            channel=PackedBatchingChannel(), sampling=Burst(100, 10)
+        )
+        assert collector.fastpath is None
+
+    def test_not_with_wall_time(self):
+        collector = EventCollector(
+            channel=PackedBatchingChannel(), capture_wall_time=True
+        )
+        assert collector.fastpath is None
+
+    def test_off_forces_legacy_path(self):
+        collector = EventCollector(channel=PackedBatchingChannel(), fastpath="off")
+        assert collector.fastpath is None
+        assert collector.record.__func__ is EventCollector.record
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            EventCollector(channel=PackedBatchingChannel(), fastpath="maybe")
+
+
+class TestPackedChannelProtocol:
+    def test_tuple_producers_round_trip(self):
+        channel = PackedBatchingChannel()
+        produce = channel.producer()
+        raws = [(i, 1, 0, i % 7, 50, 0, None) for i in range(500)]
+        for raw in raws:
+            produce(raw)
+        assert channel.drain() == raws
+
+    def test_drain_packed_then_drain_agree(self):
+        channel = PackedBatchingChannel()
+        produce = channel.producer()
+        raws = [(i, 2, 1, None, 9, 0, None) for i in range(100)]
+        for raw in raws:
+            produce(raw)
+        packed = bytes(channel.drain_packed())
+        assert len(packed) == 100 * RECORD_SIZE
+        assert unpack_records(packed) == raws
+        assert channel.drain() == raws  # decode after the packed drain
+
+    def test_drain_then_drain_packed_agree(self):
+        channel = PackedBatchingChannel()
+        produce = channel.producer()
+        raws = [(3, 1, 0, i, 100, 0, None) for i in range(64)]
+        for raw in raws:
+            produce(raw)
+        assert channel.drain() == raws
+        assert unpack_records(bytes(channel.drain_packed())) == raws
+
+    def test_spill_streams_packed_records(self, tmp_path):
+        spill = tmp_path / "events.bin"
+        channel = PackedBatchingChannel(spill=spill)
+        produce = channel.producer()
+        raws = [(1, 1, 0, i, 10, 0, None) for i in range(2000)]
+        for raw in raws:
+            produce(raw)
+        assert channel.drain() == raws
+        assert unpack_records(bytes(channel.drain_packed())) == raws
+
+    def test_drop_policy_accounts_overflow(self):
+        channel = PackedBatchingChannel(policy="drop", max_buffered=100)
+        produce = channel.producer()
+        for i in range(1000):
+            produce((0, 1, 0, i, 10, 0, None))
+        drained = channel.drain()
+        assert len(drained) == 100
+        assert channel.dropped == 900
+
+    def test_kernel_invalidated_when_gate_closes(self):
+        channel = PackedBatchingChannel(max_buffered=50, block_timeout=0.2)
+        collector = EventCollector(channel=channel)
+        record = collector.record
+        for i in range(200):
+            record(0, 1, 0, i, 10)
+        # Force a harvest: the drainer sees the bound overrun, closes
+        # the gate, and invalidates every kernel — so the *next* record
+        # re-enters bind, where the closed gate blocks it until timeout.
+        channel.snapshot()
+        assert not channel._open[0]
+        with pytest.raises(RuntimeError, match="backpressure"):
+            record(0, 1, 0, 0, 10)
+        channel.fail_open()
+        # The gated record raised in bind, before packing anything.
+        assert len(channel.drain()) == 200
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("kind", sorted(STRUCTURES), ids=str)
+    def test_structure_method_surface(self, kind):
+        make_tracked, _make_plain, ops, _state_of = STRUCTURES[kind]
+
+        def run(collector):
+            run_script(make_tracked(collector), ops, "tracked")
+
+        legacy = _legacy_bytes(run)
+        fast, collector = _fast_bytes(run)
+        assert collector.fastpath == KERNEL
+        assert len(legacy) % RECORD_SIZE == 0 and len(legacy) > 0
+        assert fast == legacy
+
+    @pytest.mark.parametrize("workload", EVALUATION_WORKLOADS, ids=lambda w: w.name)
+    def test_evaluation_workloads(self, workload):
+        def run_legacy(_collector):
+            workload.run_tracked(scale=0.05)
+
+        channel = BatchingChannel()
+        with collecting(channel=channel, fastpath="off") as legacy_session:
+            workload.run_tracked(scale=0.05)
+        assert legacy_session.fastpath is None
+        legacy = b"".join(pack_record(raw) for raw in channel.drain())
+
+        fast_channel = PackedBatchingChannel()
+        with collecting(channel=fast_channel) as fast_session:
+            workload.run_tracked(scale=0.05)
+        assert fast_session.fastpath == KERNEL
+        fast = bytes(fast_channel.drain_packed())
+
+        assert len(legacy) % RECORD_SIZE == 0 and len(legacy) > 0
+        assert fast == legacy
+
+    def test_collector_profiles_identical(self):
+        """Post-mortem assembly sees the same events either way."""
+
+        def run(collector):
+            make_tracked, _p, ops, _s = STRUCTURES["list"]
+            run_script(make_tracked(collector), ops, "tracked")
+
+        legacy_channel = BatchingChannel()
+        legacy_collector = EventCollector(channel=legacy_channel, fastpath="off")
+        run(legacy_collector)
+        fast_channel = PackedBatchingChannel()
+        fast_collector = EventCollector(channel=fast_channel)
+        run(fast_collector)
+
+        legacy_events = [
+            (e.instance_id, int(e.op), int(e.kind), e.position, e.size)
+            for p in legacy_collector.finish().values()
+            for e in p
+        ]
+        fast_events = [
+            (e.instance_id, int(e.op), int(e.kind), e.position, e.size)
+            for p in fast_collector.finish().values()
+            for e in p
+        ]
+        assert fast_events == legacy_events
+
+
+class TestPyRecorderKernel:
+    """The fallback kernel must behave identically to the C one; these
+    run it explicitly so pure-python builds and C builds test the same
+    contract."""
+
+    def test_packs_records_through_bind(self):
+        buf = bytearray()
+        recorder = PyRecorder(lambda: (7, buf))
+        recorder(1, 2, 1, 5, 100)
+        recorder(1, 2, 1, None, 100)
+        raws = unpack_records(bytes(buf))
+        assert raws == [(1, 2, 1, 5, 100, 7, None), (1, 2, 1, None, 100, 7, None)]
+
+    def test_invalidate_forces_rebind(self):
+        binds = []
+        buf = bytearray()
+
+        def bind():
+            binds.append(1)
+            return (0, buf)
+
+        recorder = PyRecorder(bind)
+        recorder(0, 1, 0, 1, 10)
+        recorder(0, 1, 0, 2, 10)
+        assert len(binds) == 1
+        recorder.invalidate()
+        recorder(0, 1, 0, 3, 10)
+        assert len(binds) == 2
+        assert len(buf) == 3 * RECORD_SIZE
+
+    def test_make_recorder_matches_pyrecorder_bytes(self):
+        buf_a, buf_b = bytearray(), bytearray()
+        fast = make_recorder(lambda: (3, buf_a))
+        pure = PyRecorder(lambda: (3, buf_b))
+        for i in range(50):
+            fast(9, 1, 0, i, 64)
+            pure(9, 1, 0, i, 64)
+        fast(9, 3, 1, None, 64)
+        pure(9, 3, 1, None, 64)
+        assert bytes(buf_a) == bytes(buf_b)

@@ -16,7 +16,8 @@ import bisect
 
 import pytest
 
-from repro.events import EventCollector, collecting
+from repro.events import EventCollector, PackedBatchingChannel, collecting
+from repro.events.fastpath import KERNEL
 from repro.runtime import firewall
 from repro.service import StreamingUseCaseEngine
 from repro.structures import (
@@ -273,12 +274,23 @@ STRUCTURES = {
     ),
 }
 
+class BindRaisingPackedChannel(PackedBatchingChannel):
+    """A packed channel whose bind path dies: the collector's record
+    kernel engages normally, then every record faults inside the
+    kernel's buffer acquisition.  The hardest hostile case for the
+    fast path — the fault fires *after* dispatch was pre-bound."""
+
+    def acquire_buffer(self) -> bytearray:
+        raise RuntimeError("hostile bind")
+
+
 #: Hostile profiler variants the firewall must contain.
 FAULTS = {
     "record-every-call": lambda: HostileCollector(every=1),
     "record-every-3rd": lambda: HostileCollector(every=3),
     "register-raises": lambda: HostileCollector(fail_record=False, fail_register=True),
     "channel-post-raises": lambda: EventCollector(channel=RaisingChannel()),
+    "fastpath-bind-raises": lambda: EventCollector(channel=BindRaisingPackedChannel()),
 }
 
 
@@ -353,6 +365,48 @@ class TestHostileSweep:
 
         assert tracked_results == plain_results
         assert tracked_state == plain
+
+
+class TestFastpathUnderFirewall:
+    """The record kernel is the one hook that bypasses per-event Python
+    plumbing — the firewall must contain its faults all the same."""
+
+    @pytest.mark.parametrize("kind", sorted(STRUCTURES), ids=str)
+    def test_hostile_bind_contained_with_kernel_engaged(self, kind):
+        make_tracked, make_plain, ops, state_of = STRUCTURES[kind]
+
+        plain = make_plain()
+        plain_results = run_script(plain, ops, "plain")
+
+        collector = EventCollector(channel=BindRaisingPackedChannel())
+        assert collector.fastpath == KERNEL  # the kernel really engaged
+
+        with firewall(budget=10**6) as guard:
+            tracked = make_tracked(collector)
+            tracked_results = run_script(tracked, ops, "tracked")
+            tracked_state = state_of(tracked)
+
+        assert tracked_results == plain_results
+        assert tracked_state == plain
+        report = guard.report()
+        assert report.state == "closed"
+        assert report.faults > 0
+
+    @pytest.mark.parametrize("kind", sorted(STRUCTURES), ids=str)
+    def test_healthy_fastpath_under_guard_is_faultless(self, kind):
+        make_tracked, _make_plain, ops, _state_of = STRUCTURES[kind]
+
+        channel = PackedBatchingChannel()
+        collector = EventCollector(channel=channel)
+        assert collector.fastpath == KERNEL
+        with firewall(budget=25) as guard:
+            run_script(make_tracked(collector), ops, "tracked")
+
+        report = guard.report()
+        assert report.faults == 0
+        assert not report.tripped
+        # The kernel kept packing while guarded: events are all there.
+        assert len(channel.drain()) > 0
 
 
 # ---------------------------------------------------------------------------
