@@ -43,10 +43,24 @@ Metric map (all under ``derived``):
 ``guard_vs_plain``
     The tracked-append path under an armed fail-open firewall.
 
+With ``--fleet`` the document additionally carries a ``fleet`` section:
+a many-producer ingestion load (default 1000 sessions) replayed
+against fleets of 1/2/4/8 sharded workers (client-side sharding — the
+production ``fleet_run`` data path), yielding ``fleet_4w_vs_1w`` under
+``derived`` and a ``floors`` object.  Floors are the dual of gates:
+hard *minimums* (``fleet_4w_vs_1w`` ≥ 2.5× is the fleet scaling
+acceptance bound).  Because scaling is physically bounded by core
+count, :func:`check` enforces floors only when the current document
+was measured on at least :data:`FLEET_FLOOR_MIN_CORES` cores — a
+1-core curve is committed honestly and skipped loudly, CI's 4-vCPU
+runner enforces for real.
+
 Run via the CLI (``dsspy bench``) or directly::
 
     PYTHONPATH=src python -m repro.bench --events 100000 -o overhead.json
     PYTHONPATH=src python -m repro.bench --input overhead.json --check
+    PYTHONPATH=src python -m repro.bench --fleet --fleet-producers 1000 \
+        --fleet-curve benchmarks/results/scaling_fleet.txt
 """
 
 from __future__ import annotations
@@ -60,7 +74,7 @@ import tempfile
 import time
 from pathlib import Path
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 #: The machine-normalized metrics the ratchet enforces relatively
 #: (``current <= baseline * (1 + max_regression)``).
@@ -81,6 +95,18 @@ GATED_METRICS = (
 ABSOLUTE_GATES = {
     "tracked_batching_vs_plain": 5.0,
 }
+
+#: Hard minimums — the dual of :data:`ABSOLUTE_GATES` — embedded in
+#: every document that measured the fleet benchmark.  Enforced by
+#: :func:`check` only when the current document was measured on at
+#: least :data:`FLEET_FLOOR_MIN_CORES` cores (scaling is physically
+#: bounded by core count; a 1-core machine cannot speak to it).
+ABSOLUTE_FLOORS = {
+    "fleet_4w_vs_1w": 2.5,
+}
+
+#: Minimum ``fleet.cpu_count`` for floor enforcement.
+FLEET_FLOOR_MIN_CORES = 4
 
 DEFAULT_BASELINE = "benchmarks/baselines/overhead_baseline.json"
 
@@ -373,6 +399,207 @@ def run_overhead_benchmark(events: int = 100_000, repeats: int = 3) -> dict:
     return doc
 
 
+# -- fleet scaling ----------------------------------------------------------
+
+
+def fleet_producer_main(argv: list[str] | None = None) -> int:
+    """Subprocess entry for one fleet-benchmark producer process.
+
+    Reads a JSON spec (addresses, session count, events per session,
+    thread concurrency, session-id prefix) from ``argv[0]``, replays
+    its sessions against the fleet with client-side sharding, and
+    prints one JSON line — wall-clock start/end (``time.time``, so
+    timestamps are comparable across processes) and the event total.
+
+    The collector stack is process-global, which is exactly why this
+    runs as a subprocess: each producer process owns its collectors
+    outright, and the parent only aggregates timestamps.
+    """
+    import concurrent.futures
+
+    from .events import AccessKind, EventCollector, OperationKind, StructureKind
+    from .service import RemoteChannel
+    from .service.router import shard_for
+
+    spec = json.loads(sys.argv[1] if argv is None else argv[0])
+    addresses: list[str] = spec["addresses"]
+    events: int = spec["events"]
+
+    def one_session(index: int) -> int:
+        session_id = f"{spec['prefix']}-s{index:04d}"
+        address = addresses[shard_for(session_id, len(addresses))]
+        channel = RemoteChannel(address, session_id=session_id, give_up_after=30.0)
+        collector = EventCollector(channel=channel, fastpath="off")
+        iid = collector.register_instance(StructureKind.LIST)
+        record = collector.record
+        op = OperationKind.READ
+        kind = AccessKind.READ
+        for i in range(events):
+            record(iid, op, kind, i % 1000, 1000)
+        channel.drain()
+        return events
+
+    start = time.time()
+    total = 0
+    with concurrent.futures.ThreadPoolExecutor(
+        max_workers=spec["concurrency"]
+    ) as pool:
+        for n in pool.map(one_session, range(spec["sessions"])):
+            total += n
+    end = time.time()
+    print(json.dumps({"start": start, "end": end, "events": total}))
+    return 0
+
+
+def _run_fleet_config(
+    n_workers: int,
+    producers: int,
+    events_per_producer: int,
+    procs: int,
+    concurrency: int,
+) -> dict:
+    """Throughput of one fleet size: ``producers`` sessions spread over
+    ``procs`` producer processes against ``n_workers`` sharded workers."""
+    import subprocess
+
+    from .service.fleet import FleetSupervisor, _repro_env
+
+    with tempfile.TemporaryDirectory(prefix="dsspy-bench-fleet-") as state_dir:
+        with FleetSupervisor(
+            n_workers, state_dir, heartbeat_timeout=120.0
+        ) as supervisor:
+            addresses = supervisor.worker_addresses()
+            per_proc = [producers // procs] * procs
+            for i in range(producers % procs):
+                per_proc[i] += 1
+            children = []
+            for index, sessions in enumerate(p for p in per_proc if p):
+                spec = {
+                    "addresses": addresses,
+                    "sessions": sessions,
+                    "events": events_per_producer,
+                    "concurrency": concurrency,
+                    "prefix": f"bench-w{n_workers}-p{index}",
+                }
+                children.append(
+                    subprocess.Popen(
+                        [
+                            sys.executable,
+                            "-c",
+                            "from repro.bench import fleet_producer_main; "
+                            "import sys; sys.exit(fleet_producer_main())",
+                            json.dumps(spec),
+                        ],
+                        stdout=subprocess.PIPE,
+                        stderr=subprocess.PIPE,
+                        text=True,
+                        env=_repro_env(),
+                    )
+                )
+            results = []
+            for child in children:
+                out, err = child.communicate(timeout=1800)
+                if child.returncode != 0:
+                    raise RuntimeError(
+                        f"fleet benchmark producer failed "
+                        f"(rc={child.returncode}): {err.strip()[-500:]}"
+                    )
+                results.append(json.loads(out.strip().splitlines()[-1]))
+    wall_s = max(r["end"] for r in results) - min(r["start"] for r in results)
+    events = sum(r["events"] for r in results)
+    return {
+        "workers": n_workers,
+        "events": events,
+        "wall_s": wall_s,
+        "throughput_eps": events / wall_s if wall_s > 0 else float("inf"),
+    }
+
+
+def run_fleet_benchmark(
+    producers: int = 1000,
+    events_per_producer: int = 200,
+    worker_counts: tuple[int, ...] = (1, 2, 4, 8),
+    procs: int = 4,
+    concurrency: int = 16,
+) -> dict:
+    """The many-producer scaling curve: total ingestion throughput
+    (events/s over the union wall-clock of all producer processes) for
+    each fleet size.  Sessions shard client-side with the same hash the
+    router and supervisor use, so this measures the production
+    ``fleet_run`` data path — no router hop in the middle."""
+    section: dict = {
+        "producers": producers,
+        "events_per_producer": events_per_producer,
+        "producer_processes": procs,
+        "producer_concurrency": concurrency,
+        "cpu_count": os.cpu_count() or 1,
+        "workers": {},
+    }
+    for n in worker_counts:
+        result = _run_fleet_config(
+            n, producers, events_per_producer, procs, concurrency
+        )
+        section["workers"][str(n)] = result
+        print(
+            f"fleet: {n} worker(s): {result['events']} events in "
+            f"{result['wall_s']:.2f}s = {result['throughput_eps']:,.0f} ev/s",
+            file=sys.stderr,
+        )
+    return section
+
+
+def fleet_derived(section: dict) -> dict:
+    """Scaling ratios from a ``fleet`` section (NxW throughput over
+    1-worker throughput) for every measured fleet size."""
+    workers = section.get("workers", {})
+    if "1" not in workers:
+        return {}
+    base = float(workers["1"]["throughput_eps"])
+    return {
+        f"fleet_{n}w_vs_1w": float(cfg["throughput_eps"]) / base
+        for n, cfg in sorted(workers.items(), key=lambda kv: int(kv[0]))
+        if n != "1" and base > 0
+    }
+
+
+def format_fleet_curve(doc: dict) -> str:
+    """The committed scaling-curve artifact
+    (``benchmarks/results/scaling_fleet.txt``)."""
+    section = doc["fleet"]
+    derived = doc.get("derived", {})
+    lines = [
+        "Fleet ingestion scaling: total throughput vs worker count",
+        f"schema {doc.get('schema', '?')} | python {doc.get('python', '?')} | "
+        f"cpu_count {section['cpu_count']}",
+        f"{section['producers']} producer sessions x "
+        f"{section['events_per_producer']} events, "
+        f"{section['producer_processes']} producer processes x "
+        f"{section['producer_concurrency']} threads, client-side sharding",
+        "",
+        f"{'workers':>7}  {'events':>9}  {'wall_s':>8}  "
+        f"{'events/s':>10}  {'vs 1w':>6}",
+    ]
+    for n, cfg in sorted(section["workers"].items(), key=lambda kv: int(kv[0])):
+        ratio = derived.get(f"fleet_{n}w_vs_1w")
+        lines.append(
+            f"{n:>7}  {cfg['events']:>9}  {cfg['wall_s']:>8.2f}  "
+            f"{cfg['throughput_eps']:>10,.0f}  "
+            f"{'  1.00' if n == '1' else f'{ratio:>6.2f}' if ratio else '     ?'}"
+        )
+    lines.append("")
+    floor = ABSOLUTE_FLOORS.get("fleet_4w_vs_1w")
+    cores = section["cpu_count"]
+    if cores < FLEET_FLOOR_MIN_CORES:
+        lines.append(
+            f"floor fleet_4w_vs_1w >= {floor} NOT ENFORCED: measured on "
+            f"{cores} core(s) (needs >= {FLEET_FLOOR_MIN_CORES}); scaling is "
+            "physically bounded by core count on this machine."
+        )
+    else:
+        lines.append(f"floor fleet_4w_vs_1w >= {floor} (enforced by --check)")
+    return "\n".join(lines) + "\n"
+
+
 # -- the ratchet ------------------------------------------------------------
 
 
@@ -425,6 +652,33 @@ def check(
         if cur > float(cap):
             failures.append(
                 f"{metric} = {cur:.2f} exceeds the hard ceiling {float(cap):.2f}x"
+            )
+    # Hard floors (fleet scaling).  Self-enforcing from the current
+    # document — a doc that measured the fleet benchmark carries its own
+    # floors — plus any pinned in the baseline.  A floor on a metric the
+    # current run did not measure is skipped, not an error: the fleet
+    # benchmark is opt-in (--fleet), unlike the always-on overhead suite.
+    floors = {**baseline.get("floors", {}), **current.get("floors", {})}
+    cores = int((current.get("fleet") or {}).get("cpu_count") or 0)
+    for metric, floor in sorted(floors.items()):
+        if metric not in cur_derived:
+            report.append(
+                f"{metric}: floor {float(floor):.2f}x skipped "
+                "(not measured in the current document)"
+            )
+            continue
+        cur = float(cur_derived[metric])
+        if cores < FLEET_FLOOR_MIN_CORES:
+            report.append(
+                f"{metric} = {cur:.2f} (floor {float(floor):.2f}x skipped: "
+                f"measured on {cores} core(s), "
+                f"needs >= {FLEET_FLOOR_MIN_CORES})"
+            )
+            continue
+        report.append(f"{metric} = {cur:.2f} (hard floor {float(floor):.2f}x)")
+        if cur < float(floor):
+            failures.append(
+                f"{metric} = {cur:.2f} is below the hard floor {float(floor):.2f}x"
             )
     return failures, report
 
@@ -516,6 +770,52 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         metavar="CSV",
         help="append this run to the benchmark-trajectory CSV",
     )
+    parser.add_argument(
+        "--fleet",
+        action="store_true",
+        help="also run the many-producer fleet scaling benchmark "
+        "(adds the 'fleet' section, fleet_*_vs_1w metrics, and floors)",
+    )
+    parser.add_argument(
+        "--fleet-producers",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="total producer sessions for the fleet benchmark",
+    )
+    parser.add_argument(
+        "--fleet-events",
+        type=int,
+        default=200,
+        metavar="N",
+        help="events recorded per producer session",
+    )
+    parser.add_argument(
+        "--fleet-workers",
+        default="1,2,4,8",
+        metavar="LIST",
+        help="comma-separated fleet sizes to measure",
+    )
+    parser.add_argument(
+        "--fleet-procs",
+        type=int,
+        default=4,
+        metavar="N",
+        help="producer subprocesses the sessions are spread over",
+    )
+    parser.add_argument(
+        "--fleet-concurrency",
+        type=int,
+        default=16,
+        metavar="N",
+        help="concurrent sessions per producer subprocess",
+    )
+    parser.add_argument(
+        "--fleet-curve",
+        default=None,
+        metavar="TXT",
+        help="write the human-readable scaling curve here",
+    )
 
 
 def run(args: argparse.Namespace) -> int:
@@ -524,6 +824,30 @@ def run(args: argparse.Namespace) -> int:
         doc = json.loads(Path(args.input).read_text(encoding="utf-8"))
     else:
         doc = run_overhead_benchmark(events=args.events, repeats=args.repeats)
+    if getattr(args, "fleet", False) and not args.input:
+        worker_counts = tuple(
+            int(n) for n in args.fleet_workers.split(",") if n.strip()
+        )
+        doc["fleet"] = run_fleet_benchmark(
+            producers=args.fleet_producers,
+            events_per_producer=args.fleet_events,
+            worker_counts=worker_counts,
+            procs=args.fleet_procs,
+            concurrency=args.fleet_concurrency,
+        )
+        doc.setdefault("derived", {}).update(fleet_derived(doc["fleet"]))
+        doc["floors"] = dict(ABSOLUTE_FLOORS)
+    if getattr(args, "fleet_curve", None):
+        if "fleet" not in doc:
+            print("bench: --fleet-curve needs a document with a 'fleet' "
+                  "section (pass --fleet or an --input that has one)",
+                  file=sys.stderr)
+            return 2
+        curve = format_fleet_curve(doc)
+        Path(args.fleet_curve).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.fleet_curve).write_text(curve, encoding="utf-8")
+        print(f"fleet scaling curve written to {args.fleet_curve}",
+              file=sys.stderr)
     text = json.dumps(doc, indent=2, sort_keys=True)
     if args.output:
         Path(args.output).write_text(text + "\n", encoding="utf-8")

@@ -338,7 +338,22 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0 if report.headline_ok else 1
 
 
+def _write_port_file(path: str | None, port: int | None) -> None:
+    """Publish the bound port atomically (supervisors poll this file, so
+    they must never read a partial write)."""
+    if path is None or port is None:
+        return
+    import os
+
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text(f"{port}\n")
+    os.replace(tmp, target)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.workers > 1:
+        return _serve_fleet(args)
     from .service import ProfilingDaemon
 
     daemon = ProfilingDaemon(
@@ -356,8 +371,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_events_per_sec=args.max_events_per_sec,
         session_max_events_per_sec=args.session_max_events_per_sec,
         retry_after=args.retry_after,
+        reuseport=args.reuseport,
     )
     print(f"dsspy daemon listening on {daemon.address}")
+    if daemon.bound_port is not None:
+        # Machine-readable: callers that asked for --port 0 parse the
+        # real port from this line (or from --port-file).
+        print(f"PORT={daemon.bound_port}", flush=True)
+    _write_port_file(args.port_file, daemon.bound_port)
     if args.report_dir:
         print(f"session reports will be written to {args.report_dir}")
     if args.state_dir:
@@ -370,6 +391,64 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print("press Ctrl-C or send SIGTERM to shut down")
     daemon.serve_forever()
     print("daemon shut down; all sessions flushed")
+    return 0
+
+
+def _serve_fleet(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .service.fleet import FleetSupervisor
+
+    if args.unix:
+        print("--workers is TCP-only (--unix is single-daemon)", file=sys.stderr)
+        return 2
+    if not args.state_dir:
+        print(
+            "--workers requires --state-dir: supervised restart recovers "
+            "crashed workers from their shard journals",
+            file=sys.stderr,
+        )
+        return 2
+    mode = "reuseport" if args.reuseport else "router"
+    supervisor = FleetSupervisor(
+        args.workers,
+        args.state_dir,
+        mode=mode,
+        host=args.host,
+        port=args.port,
+        report_dir=args.report_dir,
+        overflow=args.overflow,
+        checkpoint_every=args.checkpoint_every,
+        heartbeat_timeout=args.heartbeat_timeout,
+        linger=args.linger,
+    )
+    supervisor.start()
+    port = int(supervisor.address.rsplit(":", 1)[1])
+    print(
+        f"dsspy fleet listening on {supervisor.address} "
+        f"({args.workers} workers, {mode} mode)"
+    )
+    print(f"PORT={port}", flush=True)
+    _write_port_file(args.port_file, port)
+    print(f"shard state under {args.state_dir}/shard-NN")
+    if supervisor.rebalanced:
+        moved = sum(1 for m in supervisor.rebalanced if m["moved"])
+        print(f"rebalanced {moved} on-disk session(s) to their assigned shards")
+    print("press Ctrl-C or send SIGTERM to shut down")
+    stop = threading.Event()
+
+    def _handler(signum, frame):  # noqa: ARG001
+        stop.set()
+
+    try:
+        signal.signal(signal.SIGTERM, _handler)
+        signal.signal(signal.SIGINT, _handler)
+    except ValueError:
+        pass  # not the main thread
+    stop.wait()
+    supervisor.stop()
+    print("fleet shut down; all workers drained")
     return 0
 
 
@@ -396,6 +475,8 @@ def _cmd_sessions(args: argparse.Namespace) -> int:
     if args.json:
         print(_json.dumps(stats, indent=2))
         return 0
+    if args.fleet or stats.get("fleet"):
+        return _render_fleet_sessions(stats)
     print(f"daemon {stats['address']}, up {stats['uptime_sec']}s")
     sessions = stats["sessions"]
     if not sessions:
@@ -425,17 +506,72 @@ def _cmd_sessions(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_fleet_sessions(stats: dict) -> int:
+    """Fleet-shaped STATS reply (a router's aggregated view): worker
+    summary plus the merged session table with a shard column."""
+    workers = stats.get("workers", [])
+    print(
+        f"fleet {stats['address']}: {len(workers)} workers, "
+        f"{stats.get('routed_connections', 0)} connections routed"
+    )
+    for row in workers:
+        if "error" in row:
+            print(
+                f"  worker {row['worker']} at {row['address']}: "
+                f"DOWN ({row['error']})"
+            )
+        else:
+            recovered = row.get("recovered_sessions") or []
+            note = f", {len(recovered)} recovered" if recovered else ""
+            print(
+                f"  worker {row['worker']} at {row['address']}: "
+                f"{row['sessions']} session(s){note}"
+            )
+    sessions = stats.get("sessions", [])
+    if not sessions:
+        print("no sessions")
+        return 0
+    header = (
+        f"{'session':<14} {'wkr':>3} {'state':<9} {'received':>10} "
+        f"{'ev/s':>8} {'defer':>6} {'stage':<8} {'inst':>5}  flagged"
+    )
+    print(header)
+    print("-" * len(header))
+    for s in sorted(sessions, key=lambda s: s["session"]):
+        flagged = ", ".join(
+            f"#{iid}:{'/'.join(kinds)}" for iid, kinds in sorted(s["flagged"].items())
+        ) or "-"
+        state = s["state"] + ("*" if s.get("recovered") else "")
+        print(
+            f"{s['session']:<14} {s.get('worker', '?'):>3} {state:<9} "
+            f"{s['received']:>10} {s['events_per_sec']:>8} "
+            f"{s.get('deferred', 0):>6} {s.get('stage', 'normal'):<8} "
+            f"{s['instances']:>5}  {flagged}"
+        )
+    if any(s.get("recovered") for s in sessions):
+        print("(* = session rebuilt from its write-ahead journal)")
+    return 0
+
+
 def _cmd_recover(args: argparse.Namespace) -> int:
     import json as _json
     import shutil
 
-    from .service import recover_session_dir, scan_state_dir
+    from .service import recover_session_dir, scan_fleet_state_dir
     from .usecases.json_export import report_to_dict, summarize_json
 
-    session_dirs = scan_state_dir(args.state_dir)
+    # Fleet-aware: covers session dirs at the top level (single-daemon
+    # layout) and under every shard-NN subdirectory in one invocation.
+    session_dirs = scan_fleet_state_dir(args.state_dir)
     if not session_dirs:
         print(f"no recoverable sessions under {args.state_dir}")
         return 0
+    shards = {d.parent.name for d in session_dirs if d.parent.name.startswith("shard-")}
+    if shards:
+        print(
+            f"fleet state dir: recovering {len(session_dirs)} session(s) "
+            f"across {len(shards)} shard(s)"
+        )
     report_dir = Path(args.report_dir) if args.report_dir else None
     results = []
     for directory in session_dirs:
@@ -485,6 +621,75 @@ def _cmd_recover(args: argparse.Namespace) -> int:
             shutil.rmtree(directory, ignore_errors=True)
         print(f"purged {len(session_dirs)} session journal(s)")
     return 0
+
+
+def _cmd_fleet_run(args: argparse.Namespace) -> int:
+    import json as _json
+    import tempfile
+
+    from .service.fleet import FleetSupervisor, ResultCache, fleet_run
+    from .usecases.json_export import summarize_json
+    from .workloads import EVALUATION_WORKLOADS, workload_by_name
+
+    names = args.workloads or [w.name for w in EVALUATION_WORKLOADS]
+    try:
+        names = [workload_by_name(n).name for n in names]
+    except KeyError as exc:
+        print(f"unknown workload {exc.args[0]!r}", file=sys.stderr)
+        return 2
+    tasks = [
+        {
+            "workload": name,
+            "scale": args.scale,
+            "session": f"{name.lower().replace(' ', '-')}-x{args.scale}-r{index}",
+        }
+        for name in names
+        for index in range(args.sessions)
+    ]
+    cache = ResultCache(args.cache_dir)
+    state_dir = args.state_dir or tempfile.mkdtemp(prefix="dsspy-fleet-run-")
+
+    def progress(kind: str, config: dict) -> None:
+        print(f"  [{kind}] {config['session']}")
+
+    with FleetSupervisor(args.workers, state_dir, heartbeat_timeout=60.0) as sup:
+        print(
+            f"fleet of {args.workers} workers at {sup.address}; "
+            f"{len(tasks)} task(s), cache at {cache.root}"
+        )
+        summary = fleet_run(
+            tasks,
+            sup.address,
+            cache,
+            workers=sup.worker_addresses(),
+            concurrency=args.concurrency,
+            on_progress=None if args.json else progress,
+        )
+        # Merge what this run actually streamed (cache hits never
+        # touched the fleet): the converged fleet-wide report.
+        merged = sup.coordinator().collect()
+    out = {"summary": {k: v for k, v in summary.items() if k != "results"},
+           "results": summary["results"], "merged": merged}
+    if args.output:
+        Path(args.output).write_text(_json.dumps(out, indent=2))
+    if args.json:
+        print(_json.dumps(out, indent=2))
+    else:
+        print(
+            f"{summary['tasks']} task(s): {summary['cache_hits']} cached, "
+            f"{summary['ran']} ran, {len(summary['failures'])} failed"
+        )
+        mix = ", ".join(f"{k}={v}" for k, v in sorted(summary["flagged"].items()))
+        print(f"flagged across all sessions: {mix or 'none'}")
+        if merged["report"] is not None:
+            print(f"fleet-merged (this run): {summarize_json(merged['report'])}")
+        if not merged["complete"]:
+            print(f"merge incomplete: {merged['errors']}", file=sys.stderr)
+        if args.output:
+            print(f"full results written to {args.output}")
+    for failure in summary["failures"]:
+        print(f"FAILED {failure}", file=sys.stderr)
+    return 1 if summary["failures"] or not merged["complete"] else 0
 
 
 def _cmd_selftest(args: argparse.Namespace) -> int:
@@ -795,14 +1000,91 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SEC",
         help="backoff hint sent to shed clients",
     )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard ingestion across N worker processes behind a "
+        "session-affine router (requires --state-dir; 1 = single daemon)",
+    )
+    serve.add_argument(
+        "--reuseport",
+        action="store_true",
+        help="bind with SO_REUSEPORT; with --workers the workers share "
+        "the listen port (kernel load balancing, no session affinity) "
+        "instead of the router",
+    )
+    serve.add_argument(
+        "--port-file",
+        default=None,
+        metavar="PATH",
+        help="write the bound port here once listening (atomic; lets "
+        "supervisors and scripts use --port 0)",
+    )
     serve.set_defaults(fn=_cmd_serve)
 
     sessions = sub.add_parser(
-        "sessions", help="query a running daemon for session statistics"
+        "sessions", help="query a running daemon or fleet for session statistics"
     )
     sessions.add_argument("address", metavar="ADDRESS", help="HOST:PORT or unix:PATH")
     sessions.add_argument("--json", action="store_true", help="raw JSON output")
+    sessions.add_argument(
+        "--fleet",
+        action="store_true",
+        help="render the fleet view (per-worker summary + shard column); "
+        "implied when the address is a fleet router",
+    )
     sessions.set_defaults(fn=_cmd_sessions)
+
+    fleet_run_p = sub.add_parser(
+        "fleet-run",
+        help="batch-profile many workload sessions against a sharded "
+        "worker fleet, with a result cache keyed by task config",
+    )
+    fleet_run_p.add_argument(
+        "workloads",
+        nargs="*",
+        metavar="WORKLOAD",
+        help="Table V workload names (default: all 7)",
+    )
+    fleet_run_p.add_argument(
+        "--workers", type=int, default=4, metavar="N", help="fleet size"
+    )
+    fleet_run_p.add_argument(
+        "--sessions",
+        type=int,
+        default=1,
+        metavar="N",
+        help="sessions per workload (distinct cache entries)",
+    )
+    fleet_run_p.add_argument(
+        "--scale", type=float, default=0.5, help="workload scale factor"
+    )
+    fleet_run_p.add_argument(
+        "--cache-dir",
+        default=".dsspy-fleet-cache",
+        metavar="DIR",
+        help="result cache; reruns of unchanged (workload, config) skip",
+    )
+    fleet_run_p.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="fleet journal root (default: a fresh temp dir)",
+    )
+    fleet_run_p.add_argument(
+        "--concurrency",
+        type=int,
+        default=2,
+        metavar="N",
+        help="producer subprocesses in flight at once",
+    )
+    fleet_run_p.add_argument(
+        "--output", "-o", default=None, metavar="FILE", help="write full JSON here"
+    )
+    fleet_run_p.add_argument("--json", action="store_true", help="raw JSON output")
+    fleet_run_p.set_defaults(fn=_cmd_fleet_run)
 
     recover = sub.add_parser(
         "recover",

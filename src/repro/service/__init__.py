@@ -19,6 +19,7 @@ from .client import (
     BackoffPolicy,
     RemoteChannel,
     ServiceClient,
+    fetch_snapshot,
     fetch_stats,
     parse_address,
 )
@@ -30,8 +31,18 @@ from .durability import (
     SessionJournal,
     engine_from_dict,
     engine_to_dict,
+    merge_engine_dicts,
+    merge_engines,
     recover_session_dir,
     scan_state_dir,
+)
+from .fleet import (
+    FleetCoordinator,
+    FleetSupervisor,
+    ResultCache,
+    fleet_run,
+    rebalance_state_dir,
+    scan_fleet_state_dir,
 )
 from .protocol import (
     MAX_EVENTS_PER_FRAME,
@@ -48,6 +59,7 @@ from .protocol import (
     recv_frame,
     send_frame,
 )
+from .router import SessionRouter, shard_for
 from .session import IngestPipeline, RateMeter, Session, SessionState
 from .shm import DEFAULT_RING_RECORDS, ShmRing
 from .streaming import StreamingUseCaseEngine
@@ -57,6 +69,8 @@ __all__ = [
     "AdmissionStage",
     "BackoffPolicy",
     "DEFAULT_RING_RECORDS",
+    "FleetCoordinator",
+    "FleetSupervisor",
     "FrameDecoder",
     "IngestPipeline",
     "MAX_EVENTS_PER_FRAME",
@@ -67,10 +81,12 @@ __all__ = [
     "RateMeter",
     "RecoveredSession",
     "RemoteChannel",
+    "ResultCache",
     "RetryAfterError",
     "ServiceClient",
     "Session",
     "SessionJournal",
+    "SessionRouter",
     "SessionState",
     "ShmRing",
     "StreamingUseCaseEngine",
@@ -81,10 +97,17 @@ __all__ = [
     "encode_json",
     "engine_from_dict",
     "engine_to_dict",
+    "fetch_snapshot",
     "fetch_stats",
+    "fleet_run",
     "parse_address",
+    "merge_engine_dicts",
+    "merge_engines",
+    "rebalance_state_dir",
     "recover_session_dir",
     "recv_frame",
+    "scan_fleet_state_dir",
     "scan_state_dir",
     "send_frame",
+    "shard_for",
 ]

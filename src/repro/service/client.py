@@ -180,6 +180,38 @@ def fetch_stats(address: str, timeout: float = 10.0) -> dict[str, Any]:
         sock.close()
 
 
+def fetch_snapshot(
+    address: str, session: str | None = None, timeout: float = 10.0
+) -> dict[str, Any]:
+    """One-shot SNAPSHOT query: serialized engine state for merging.
+
+    Like STATS, spoken before HELLO — the fleet coordinator observes a
+    worker without creating a session on it.  ``session`` narrows the
+    reply to one session (the coordinator fetches per-session to stay
+    far below the frame ceiling); ``None`` asks for all of them.
+    """
+    family, connect_arg = parse_address(address)
+    sock = socket.socket(family, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    try:
+        sock.connect(connect_arg)
+        req: dict[str, Any] = {} if session is None else {"session": session}
+        sock.sendall(encode_json(MessageType.SNAPSHOT, req))
+        frame = recv_frame(sock)
+        if frame is None:
+            raise ProtocolError("server closed the connection")
+        rtype, payload = frame
+        obj = decode_json(payload)
+        if rtype != MessageType.ACK:
+            raise ProtocolError(
+                f"expected ACK, got {MessageType.name(rtype)}: "
+                f"{obj.get('error', '')}"
+            )
+        return obj
+    finally:
+        sock.close()
+
+
 def _site_to_dict(site: AllocationSite | None) -> dict[str, Any] | None:
     if site is None:
         return None

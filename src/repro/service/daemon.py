@@ -224,6 +224,7 @@ class ProfilingDaemon:
         detector_config: DetectorConfig | None = None,
         rules: tuple[Rule, ...] = ALL_RULES,
         clock: Clock = SYSTEM_CLOCK,
+        reuseport: bool = False,
     ) -> None:
         self.clock = clock
         self.heartbeat_timeout = heartbeat_timeout
@@ -273,6 +274,12 @@ class ProfilingDaemon:
         else:
             self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
             self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            if reuseport:
+                # Fleet workers in "reuseport" mode share one listen
+                # address; the kernel spreads accepts across them.
+                if not hasattr(socket, "SO_REUSEPORT"):
+                    raise OSError("SO_REUSEPORT is not supported on this platform")
+                self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
             self._listener.bind((host, port))
             self.host, self.port = self._listener.getsockname()[:2]
         self._listener.listen(64)
@@ -294,6 +301,13 @@ class ProfilingDaemon:
         if self.unix_socket_path is not None:
             return f"unix:{self.unix_socket_path}"
         return f"{self.host}:{self.port}"
+
+    @property
+    def bound_port(self) -> int | None:
+        """The actually-bound TCP port (resolves ``port=0``); ``None``
+        for Unix-socket daemons.  Fleet supervisors and tests that ask
+        for an ephemeral port read the real one back from here."""
+        return self.port
 
     # -- crash recovery --------------------------------------------------
 
@@ -378,6 +392,15 @@ class ProfilingDaemon:
                         self._conn_sessions[key] = session.session_id
                 elif mtype == MessageType.STATS:
                     conn.sendall(encode_json(MessageType.ACK, self.stats()))
+                elif mtype == MessageType.SNAPSHOT:
+                    # Like STATS, allowed before HELLO: the fleet
+                    # coordinator is an observer, not a producer.
+                    req = decode_json(payload)
+                    conn.sendall(
+                        encode_json(
+                            MessageType.ACK, self.snapshot(req.get("session"))
+                        )
+                    )
                 elif session is None:
                     raise ProtocolError(
                         f"{MessageType.name(mtype)} before HELLO"
@@ -624,6 +647,33 @@ class ProfilingDaemon:
         }
         if self._admission is not None:
             out["admission"] = self._admission.stats()
+        return out
+
+    def snapshot(self, session_id: str | None = None) -> dict[str, Any]:
+        """Serialized engine state of one session (or all of them).
+
+        The payload feeds :func:`~repro.service.durability.merge_engine_dicts`
+        on the fleet coordinator.  A session whose ingest folder cannot
+        drain within its flush timeout is reported under ``"errors"``
+        instead of being silently skipped — a partial merge must be
+        visible to the caller, never mistaken for a converged one.
+        """
+        with self._sessions_lock:
+            if session_id is not None:
+                found = self.sessions.get(session_id)
+                sessions = [found] if found is not None else []
+            else:
+                sessions = list(self.sessions.values())
+        snapshots: list[dict[str, Any]] = []
+        errors: list[dict[str, Any]] = []
+        for session in sessions:
+            try:
+                snapshots.append(session.snapshot())
+            except TimeoutError as exc:
+                errors.append({"session": session.session_id, "error": str(exc)})
+        out: dict[str, Any] = {"address": self.address, "snapshots": snapshots}
+        if errors:
+            out["errors"] = errors
         return out
 
     # -- lifecycle -------------------------------------------------------

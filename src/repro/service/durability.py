@@ -282,6 +282,63 @@ def engine_from_dict(
     return engine
 
 
+def merge_engine_dicts(dicts: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Merge serialized engine states from disjoint session shards.
+
+    Folds are strictly per-instance and ``report()`` evaluates each
+    instance independently, so a fleet-wide engine is the union of the
+    shards' folds plus summed counters.  The *disjointness* contract is
+    the sharding invariant (a session — and therefore every instance it
+    registers — lives on exactly one worker); a duplicate instance id
+    means two shards claim the same instance and the merge would be
+    silently lossy, so it raises instead.
+    """
+    merged: dict[str, Any] = {
+        "events_folded": 0,
+        "peak_resident_events": 0,
+        "unknown_instance_events": 0,
+        "folds": [],
+    }
+    seen: set[int] = set()
+    folds: list[dict[str, Any]] = []
+    for obj in dicts:
+        merged["events_folded"] += obj["events_folded"]
+        merged["unknown_instance_events"] += obj["unknown_instance_events"]
+        # Peak residency is per-process; the fleet-wide figure is the
+        # worst single shard, not a sum of non-simultaneous peaks.
+        merged["peak_resident_events"] = max(
+            merged["peak_resident_events"], obj["peak_resident_events"]
+        )
+        for fold_obj in obj["folds"]:
+            iid = int(fold_obj["instance_id"])
+            if iid in seen:
+                raise ValueError(
+                    f"instance id {iid} appears in more than one shard; "
+                    "shards must hold disjoint session subsets"
+                )
+            seen.add(iid)
+            folds.append(fold_obj)
+    merged["folds"] = sorted(folds, key=lambda f: int(f["instance_id"]))
+    return merged
+
+
+def merge_engines(
+    engines: Iterable[StreamingUseCaseEngine],
+    *,
+    thresholds: Thresholds = PAPER_THRESHOLDS,
+    detector_config: DetectorConfig | None = None,
+    rules: tuple[Rule, ...] = ALL_RULES,
+) -> StreamingUseCaseEngine:
+    """Fuse quiescent shard engines into one whose ``report()`` equals
+    a single engine fed the union of the shards' streams."""
+    return engine_from_dict(
+        merge_engine_dicts(engine_to_dict(e) for e in engines),
+        thresholds=thresholds,
+        detector_config=detector_config,
+        rules=rules,
+    )
+
+
 # -- the write-ahead journal -------------------------------------------------
 
 

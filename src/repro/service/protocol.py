@@ -71,6 +71,7 @@ class MessageType:
     ERROR = 8
     RETRY_AFTER = 9
     JOURNALED = 10
+    SNAPSHOT = 11
 
     _NAMES = {
         1: "HELLO",
@@ -83,6 +84,7 @@ class MessageType:
         8: "ERROR",
         9: "RETRY_AFTER",
         10: "JOURNALED",
+        11: "SNAPSHOT",
     }
 
     @classmethod

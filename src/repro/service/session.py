@@ -536,6 +536,31 @@ class Session:
         if self.journal is not None:
             self.journal.delete()
 
+    def snapshot(self, flush_timeout: float = 5.0) -> dict[str, Any]:
+        """Serialized engine state + cursors, for fleet-wide merging.
+
+        The engine must be quiescent while it is serialized, so the
+        deferred backlog is drained and the pipeline flushed first
+        (holding the session lock keeps new windows out, exactly as
+        :meth:`_maybe_checkpoint_locked` does).  Raises
+        :class:`TimeoutError` when the folder cannot drain in time —
+        the coordinator retries on its next merge pass rather than
+        reading a torn engine.
+        """
+        from .durability import engine_to_dict
+
+        with self._lock:
+            if self.state != SessionState.FINISHED:
+                self._drain_deferred_locked()
+                self.pipeline.flush(timeout=flush_timeout)
+            return {
+                "session": self.session_id,
+                "state": self.state,
+                "received": self.received,
+                "applied": self.applied,
+                "engine": engine_to_dict(self.engine),
+            }
+
     # -- observability ---------------------------------------------------
 
     def stats(self) -> dict[str, Any]:

@@ -1,0 +1,168 @@
+"""Fleet merge correctness: a report merged from sharded engines must
+be *identical* to one engine that saw the union of the streams.
+
+This is the invariant the whole fleet subsystem rests on — folds are
+strictly per-instance and ``report()`` evaluates instances
+independently, so partitioning instances across shards loses nothing.
+Exercised on every Table V workload, under both a disjoint split (each
+shard owns a contiguous block of instances) and an interleaved one
+(instances round-robined across shards, events fed window-by-window in
+alternating shard order, with mid-stream report() calls thrown in).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import collecting
+from repro.service import (
+    StreamingUseCaseEngine,
+    engine_from_dict,
+    engine_to_dict,
+    merge_engine_dicts,
+    merge_engines,
+)
+from repro.workloads import EVALUATION_WORKLOADS
+
+WINDOW = 256
+
+
+def _raw(event):
+    return (
+        event.instance_id,
+        int(event.op),
+        int(event.kind),
+        event.position,
+        event.size,
+        event.thread_id,
+        event.wall_time,
+    )
+
+
+def _signature(report):
+    return sorted(
+        (u.instance_id, u.kind.abbreviation, tuple(sorted(u.evidence.items())))
+        for u in report.use_cases
+    )
+
+
+def _capture(workload):
+    """(profiles, events-in-capture-order) for one tracked run."""
+    with collecting() as collector:
+        workload.run_tracked(scale=0.5)
+    profiles = collector.profiles()
+    events = sorted(
+        (event for profile in profiles for event in profile), key=lambda e: e.seq
+    )
+    return profiles, events
+
+
+def _feed(engine, events, window=WINDOW):
+    for i in range(0, len(events), window):
+        engine.feed_window([_raw(e) for e in events[i : i + window]])
+
+
+def _reference_engine(profiles, events):
+    engine = StreamingUseCaseEngine()
+    for p in profiles:
+        engine.register_instance(p.instance_id, p.kind, p.site, p.label)
+    _feed(engine, events)
+    return engine
+
+
+def _shard_engines(profiles, events, n_shards, assign):
+    """One engine per shard; instance ``assign(iid) -> shard`` decides
+    ownership of registrations and events alike."""
+    engines = [StreamingUseCaseEngine() for _ in range(n_shards)]
+    for p in profiles:
+        engines[assign(p.instance_id)].register_instance(
+            p.instance_id, p.kind, p.site, p.label
+        )
+    for shard, engine in enumerate(engines):
+        _feed(engine, [e for e in events if assign(e.instance_id) == shard])
+    return engines
+
+
+def _assert_equivalent(merged, reference):
+    assert _signature(merged.report()) == _signature(reference.report())
+    assert (
+        merged.report().instances_analyzed
+        == reference.report().instances_analyzed
+    )
+    assert (
+        merged.report().search_space_reduction
+        == reference.report().search_space_reduction
+    )
+    assert merged.events_folded == reference.events_folded
+    assert merged.unknown_instance_events == reference.unknown_instance_events
+
+
+@pytest.mark.parametrize("workload", EVALUATION_WORKLOADS, ids=lambda w: w.name)
+class TestTableVMergeEquivalence:
+    def test_round_trip_preserves_report(self, workload):
+        profiles, events = _capture(workload)
+        reference = _reference_engine(profiles, events)
+        restored = engine_from_dict(engine_to_dict(reference))
+        _assert_equivalent(restored, reference)
+
+    def test_disjoint_split_merges_to_reference(self, workload):
+        profiles, events = _capture(workload)
+        reference = _reference_engine(profiles, events)
+        n = max(p.instance_id for p in profiles) + 1
+        # Contiguous halves: shard 0 gets the low instance ids.
+        engines = _shard_engines(
+            profiles, events, 2, lambda iid: 0 if iid < n // 2 else 1
+        )
+        _assert_equivalent(merge_engines(engines), reference)
+
+    def test_interleaved_split_merges_to_reference(self, workload):
+        profiles, events = _capture(workload)
+        reference = _reference_engine(profiles, events)
+        # Round-robin ownership over three shards; feed the shards'
+        # windows in alternating order with interim report() calls, the
+        # way a live fleet is snapshotted mid-stream.
+        assign = lambda iid: iid % 3  # noqa: E731
+        engines = [StreamingUseCaseEngine() for _ in range(3)]
+        for p in profiles:
+            engines[assign(p.instance_id)].register_instance(
+                p.instance_id, p.kind, p.site, p.label
+            )
+        per_shard = [
+            [e for e in events if assign(e.instance_id) == shard]
+            for shard in range(3)
+        ]
+        cursors = [0, 0, 0]
+        while any(c < len(s) for c, s in zip(cursors, per_shard)):
+            for shard in range(3):
+                chunk = per_shard[shard][cursors[shard] : cursors[shard] + WINDOW]
+                cursors[shard] += WINDOW
+                if chunk:
+                    engines[shard].feed_window([_raw(e) for e in chunk])
+            engines[0].report()  # interim snapshot must be non-destructive
+        _assert_equivalent(merge_engines(engines), reference)
+
+
+class TestMergeSemantics:
+    def test_duplicate_instance_id_is_rejected(self):
+        from repro.events import StructureKind
+
+        a = StreamingUseCaseEngine()
+        a.register_instance(7, StructureKind.LIST, None, "left")
+        b = StreamingUseCaseEngine()
+        b.register_instance(7, StructureKind.LIST, None, "right")
+        with pytest.raises(ValueError, match="instance id 7"):
+            merge_engine_dicts([engine_to_dict(a), engine_to_dict(b)])
+
+    def test_counters_sum_and_peak_maxes(self):
+        a = StreamingUseCaseEngine()
+        b = StreamingUseCaseEngine()
+        a.feed_window([(99, 0, 0, 0, 1, 0, None)] * 3)  # unknown instance
+        b.feed_window([(98, 0, 0, 0, 1, 0, None)] * 2)
+        merged = merge_engine_dicts([engine_to_dict(a), engine_to_dict(b)])
+        assert merged["unknown_instance_events"] == 5
+        assert merged["peak_resident_events"] == 3
+
+    def test_merge_of_empty_is_empty_engine(self):
+        merged = merge_engines([])
+        assert merged.report().instances_analyzed == 0
+        assert merged.events_folded == 0
