@@ -55,6 +55,17 @@ was measured on at least :data:`FLEET_FLOOR_MIN_CORES` cores — a
 1-core curve is committed honestly and skipped loudly, CI's 4-vCPU
 runner enforces for real.
 
+With ``--whatif`` (schema 7) the document carries a ``whatif`` section:
+the causal profiler's measured-vs-predicted differential on all 7
+Table V workloads (:func:`repro.eval.run_whatif_validation` — the
+top-ranked recommendation per workload is *executed* on a thread pool
+and its accounted schedule compared to the analytic prediction).  The
+derived ``whatif_within_band`` metric is the fraction of workloads
+whose measured speedup landed inside the committed tolerance band, and
+its embedded hard floor of 1.0 is enforced under the same ≥4-core rule
+as the fleet floor (``--whatif-only`` skips the overhead suite for a
+fast accuracy-gate run).
+
 Run via the CLI (``dsspy bench``) or directly::
 
     PYTHONPATH=src python -m repro.bench --events 100000 -o overhead.json
@@ -74,7 +85,7 @@ import tempfile
 import time
 from pathlib import Path
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 #: The machine-normalized metrics the ratchet enforces relatively
 #: (``current <= baseline * (1 + max_regression)``).
@@ -103,10 +114,23 @@ ABSOLUTE_GATES = {
 #: bounded by core count; a 1-core machine cannot speak to it).
 ABSOLUTE_FLOORS = {
     "fleet_4w_vs_1w": 2.5,
+    # Every Table V workload's measured speedup must land inside the
+    # committed tolerance band of its what-if prediction (fraction, so
+    # 1.0 = all seven).
+    "whatif_within_band": 1.0,
 }
 
-#: Minimum ``fleet.cpu_count`` for floor enforcement.
+#: Minimum measured-section ``cpu_count`` for floor enforcement (both
+#: the fleet scaling floor and the what-if accuracy floor follow the
+#: same rule: commit honestly on small boxes, enforce on >= 4 cores).
 FLEET_FLOOR_MIN_CORES = 4
+
+#: Which document section carries the ``cpu_count`` that gates each
+#: floor metric's enforcement.
+_FLOOR_CORES_SECTION = {
+    "fleet_4w_vs_1w": "fleet",
+    "whatif_within_band": "whatif",
+}
 
 DEFAULT_BASELINE = "benchmarks/baselines/overhead_baseline.json"
 
@@ -600,6 +624,91 @@ def format_fleet_curve(doc: dict) -> str:
     return "\n".join(lines) + "\n"
 
 
+# -- what-if prediction accuracy --------------------------------------------
+
+
+def run_whatif_benchmark(cores: int = 8, scale: float = 1.0) -> dict:
+    """The measured-vs-predicted differential as a bench section.
+
+    Deterministic given (cores, scale): the prediction is analytic and
+    the measured side accounts the real executed chunk schedule on the
+    machine model, so the numbers are reproducible anywhere — only the
+    *enforcement* of the floor is core-gated (the real thread execution
+    underneath needs actual cores to be a meaningful rehearsal).
+    """
+    from .eval.speedup_eval import WHATIF_TOLERANCE, run_whatif_validation
+    from .parallel.machine import MachineConfig, SimulatedMachine
+
+    machine = SimulatedMachine(MachineConfig(cores=cores))
+    rows = run_whatif_validation(machine=machine, scale=scale)
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "model_cores": cores,
+        "tolerance": WHATIF_TOLERANCE,
+        "rows": [
+            {
+                "workload": r.workload,
+                "use_case": r.use_case,
+                "predicted": r.predicted,
+                "measured": r.measured,
+                "relative_error": r.relative_error,
+                "matches_sequential": r.matches_sequential,
+                "within_band": r.within_band,
+                "note": r.note,
+            }
+            for r in rows
+        ],
+    }
+
+
+def whatif_derived(section: dict) -> dict:
+    """``whatif_within_band``: the fraction of workloads whose measured
+    speedup landed inside the tolerance band (floor: 1.0 = all)."""
+    rows = section.get("rows", [])
+    if not rows:
+        return {}
+    within = sum(1 for r in rows if r["within_band"])
+    return {"whatif_within_band": within / len(rows)}
+
+
+def format_whatif_accuracy(doc: dict) -> str:
+    """The committed prediction-accuracy artifact
+    (``benchmarks/results/whatif_accuracy.txt``)."""
+    section = doc["whatif"]
+    lines = [
+        "What-if prediction accuracy: measured vs predicted speedup",
+        f"schema {doc.get('schema', '?')} | python {doc.get('python', '?')} | "
+        f"cpu_count {section['cpu_count']} | "
+        f"model cores {section['model_cores']} | "
+        f"tolerance ±{section['tolerance']:.0%}",
+        "",
+        f"{'workload':<18} {'top use case':<24} {'predicted':>9}  "
+        f"{'measured':>9}  {'error':>7}  {'band':>5}",
+    ]
+    for row in section["rows"]:
+        note = f"  ({row['note']})" if row["note"] else ""
+        lines.append(
+            f"{row['workload']:<18} {row['use_case']:<24} "
+            f"{row['predicted']:>8.2f}x  {row['measured']:>8.2f}x  "
+            f"{row['relative_error']:>6.2%}  "
+            f"{'ok' if row['within_band'] else 'MISS':>5}{note}"
+        )
+    lines.append("")
+    floor = ABSOLUTE_FLOORS["whatif_within_band"]
+    cores = section["cpu_count"]
+    if cores < FLEET_FLOOR_MIN_CORES:
+        lines.append(
+            f"floor whatif_within_band >= {floor} NOT ENFORCED: measured on "
+            f"{cores} core(s) (needs >= {FLEET_FLOOR_MIN_CORES}); the thread "
+            "pool under the measured side is not a meaningful rehearsal here."
+        )
+    else:
+        lines.append(
+            f"floor whatif_within_band >= {floor} (enforced by --check)"
+        )
+    return "\n".join(lines) + "\n"
+
+
 # -- the ratchet ------------------------------------------------------------
 
 
@@ -659,7 +768,6 @@ def check(
     # current run did not measure is skipped, not an error: the fleet
     # benchmark is opt-in (--fleet), unlike the always-on overhead suite.
     floors = {**baseline.get("floors", {}), **current.get("floors", {})}
-    cores = int((current.get("fleet") or {}).get("cpu_count") or 0)
     for metric, floor in sorted(floors.items()):
         if metric not in cur_derived:
             report.append(
@@ -668,6 +776,10 @@ def check(
             )
             continue
         cur = float(cur_derived[metric])
+        # Each floor is gated on the cores of the section that measured
+        # it (fleet scaling vs what-if accuracy).
+        section = _FLOOR_CORES_SECTION.get(metric, "fleet")
+        cores = int((current.get(section) or {}).get("cpu_count") or 0)
         if cores < FLEET_FLOOR_MIN_CORES:
             report.append(
                 f"{metric} = {cur:.2f} (floor {float(floor):.2f}x skipped: "
@@ -816,14 +928,71 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         metavar="TXT",
         help="write the human-readable scaling curve here",
     )
+    parser.add_argument(
+        "--whatif",
+        action="store_true",
+        help="also run the what-if prediction-accuracy differential "
+        "(adds the 'whatif' section, whatif_within_band, and its floor)",
+    )
+    parser.add_argument(
+        "--whatif-only",
+        action="store_true",
+        help="run ONLY the what-if differential (skip the overhead "
+        "suite) — the CI whatif-accuracy job's fast path",
+    )
+    parser.add_argument(
+        "--whatif-cores",
+        type=int,
+        default=8,
+        metavar="N",
+        help="machine-model core count for the what-if differential",
+    )
+    parser.add_argument(
+        "--whatif-table",
+        default=None,
+        metavar="TXT",
+        help="write the human-readable prediction-accuracy table here",
+    )
 
 
 def run(args: argparse.Namespace) -> int:
     """Execute a parsed ``bench`` invocation."""
+    whatif_only = getattr(args, "whatif_only", False)
     if args.input:
         doc = json.loads(Path(args.input).read_text(encoding="utf-8"))
+    elif whatif_only:
+        # A minimal document: no overhead metrics at all, so --check
+        # against itself skips every gated metric and enforces only the
+        # floors it carries (the whatif-accuracy CI job's shape).
+        doc = {
+            "schema": SCHEMA_VERSION,
+            "python": sys.version.split()[0],
+        }
     else:
         doc = run_overhead_benchmark(events=args.events, repeats=args.repeats)
+    if (getattr(args, "whatif", False) or whatif_only) and not args.input:
+        doc["whatif"] = run_whatif_benchmark(
+            cores=getattr(args, "whatif_cores", 8)
+        )
+        doc.setdefault("derived", {}).update(whatif_derived(doc["whatif"]))
+        doc.setdefault("floors", {}).update(
+            {"whatif_within_band": ABSOLUTE_FLOORS["whatif_within_band"]}
+        )
+    if getattr(args, "whatif_table", None):
+        if "whatif" not in doc:
+            print(
+                "bench: --whatif-table needs a document with a 'whatif' "
+                "section (pass --whatif or an --input that has one)",
+                file=sys.stderr,
+            )
+            return 2
+        table = format_whatif_accuracy(doc)
+        Path(args.whatif_table).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.whatif_table).write_text(table, encoding="utf-8")
+        print(
+            f"what-if accuracy table written to {args.whatif_table}",
+            file=sys.stderr,
+        )
     if getattr(args, "fleet", False) and not args.input:
         worker_counts = tuple(
             int(n) for n in args.fleet_workers.split(",") if n.strip()
@@ -836,7 +1005,9 @@ def run(args: argparse.Namespace) -> int:
             concurrency=args.fleet_concurrency,
         )
         doc.setdefault("derived", {}).update(fleet_derived(doc["fleet"]))
-        doc["floors"] = dict(ABSOLUTE_FLOORS)
+        doc.setdefault("floors", {}).update(
+            {"fleet_4w_vs_1w": ABSOLUTE_FLOORS["fleet_4w_vs_1w"]}
+        )
     if getattr(args, "fleet_curve", None):
         if "fleet" not in doc:
             print("bench: --fleet-curve needs a document with a 'fleet' "
@@ -855,7 +1026,16 @@ def run(args: argparse.Namespace) -> int:
     if args.json:
         print(text)
     derived = doc.get("derived", {})
-    if derived and not args.json:
+    if "whatif" in doc and not args.json:
+        band = derived.get("whatif_within_band")
+        rows = doc["whatif"].get("rows", [])
+        print(
+            f"whatif: {sum(1 for r in rows if r['within_band'])}/{len(rows)} "
+            f"workloads within ±{doc['whatif']['tolerance']:.0%} of prediction "
+            f"(whatif_within_band = {band if band is None else round(band, 3)})",
+            file=sys.stderr,
+        )
+    if derived and "plain_append_ns" in doc and not args.json:
         print(
             f"plain append: {doc['plain_append_ns']:.0f} ns; "
             f"record hook ({doc.get('record_kernel', '?')} kernel): "

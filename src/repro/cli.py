@@ -52,6 +52,17 @@ import sys
 from pathlib import Path
 
 
+def _rank_with_predictions(report, profiles, cores: int = 8):
+    """Annotate every use case with its what-if predicted speedup and
+    order the report by expected payoff (ties keep threshold order)."""
+    from .parallel.machine import MachineConfig, SimulatedMachine
+    from .whatif import annotate_report, rank_report, workspans_from_profiles
+
+    machine = SimulatedMachine(MachineConfig(cores=cores))
+    spans = workspans_from_profiles(profiles)
+    return rank_report(annotate_report(report, machine, spans))
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from .events import make_channel, parse_sampling, read_profiles, save_profiles
     from .instrument import RewriteConfig, run_instrumented_file
@@ -61,7 +72,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if args.load:
         profiles = read_profiles(args.load)
         print(f"{args.load}: {len(profiles)} archived profiles loaded")
-        report = UseCaseEngine().analyze(profiles)
+        report = _rank_with_predictions(
+            UseCaseEngine().analyze(profiles), profiles
+        )
         print(format_table_v(report, title=f"DSspy use cases from {args.load}"))
         print(format_summary(report, name=str(args.load)))
         return 0
@@ -167,7 +180,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(f"profiles archived to {args.save}")
     # analyze_collector recalibrates the detector when the capture was
     # sampled (wider max_gap, rescaled count thresholds).
-    report = UseCaseEngine().analyze_collector(run.collector)
+    report = _rank_with_predictions(
+        UseCaseEngine().analyze_collector(run.collector), run.profiles
+    )
     print()
     print(format_table_v(report, title=f"DSspy use cases for {args.file}"))
     print()
@@ -201,6 +216,102 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             print()
             print(f"--- {profile} ---")
             print(render_profile(profile, width=72, height=10))
+    return 0
+
+
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    from .parallel.machine import MachineConfig, SimulatedMachine
+    from .usecases import UseCaseEngine, report_to_json
+    from .whatif import (
+        annotate_report,
+        format_whatif_table,
+        rank_report,
+        workspans_from_engine,
+        workspans_from_profiles,
+    )
+
+    machine = SimulatedMachine(MachineConfig(cores=args.cores))
+
+    def emit(report, spans, title: str) -> None:
+        report = rank_report(annotate_report(report, machine, spans))
+        if args.json:
+            print(report_to_json(report))
+        else:
+            print(format_whatif_table(report, machine, spans, top=args.top, title=title))
+            if not report.use_cases:
+                print("no use cases flagged — nothing to parallelize here")
+            elif not any(u.parallel for u in report.use_cases):
+                print("no parallel use cases flagged — sequential advice only")
+
+    if args.address:
+        # Live path: quiesced engine snapshots over the SNAPSHOT verb.
+        from .service import ProtocolError, fetch_snapshot
+        from .service.durability import engine_from_dict
+
+        try:
+            payload = fetch_snapshot(args.address, session=args.session)
+        except (OSError, ProtocolError, ValueError) as exc:
+            print(f"cannot snapshot {args.address}: {exc}", file=sys.stderr)
+            return 2
+        snapshots = payload.get("snapshots", [])
+        if not snapshots:
+            detail = "; ".join(str(e) for e in payload.get("errors", []))
+            which = f"session {args.session!r}" if args.session else "any session"
+            print(
+                f"{args.address}: no snapshot for {which}"
+                + (f" ({detail})" if detail else ""),
+                file=sys.stderr,
+            )
+            return 1
+        for snap in snapshots:
+            engine = engine_from_dict(snap["engine"])
+            emit(
+                engine.report(),
+                workspans_from_engine(engine),
+                f"What-if predictions for session {snap['session']} @ {args.address}",
+            )
+        return 0
+
+    if not args.trace:
+        print("whatif needs a trace file or --address", file=sys.stderr)
+        return 2
+    path = Path(args.trace)
+    if not path.exists():
+        print(f"no such trace: {path}", file=sys.stderr)
+        return 2
+    with path.open("rb") as fh:
+        head = fh.read(8)
+    from .events.spill import MAGIC
+
+    if head == MAGIC:
+        # Binary spill: raw tuples with no registrations, so profiles
+        # are rebuilt with a default structure kind (list).
+        from .events.profile import RuntimeProfile
+        from .events.spill import iter_spill_events
+        from .events.types import StructureKind
+
+        profiles_by_id: dict[int, object] = {}
+        for event in iter_spill_events(path):
+            profile = profiles_by_id.get(event.instance_id)
+            if profile is None:
+                profile = profiles_by_id[event.instance_id] = RuntimeProfile(
+                    event.instance_id, kind=StructureKind.LIST
+                )
+            profile.append(event)
+        profiles = [profiles_by_id[iid] for iid in sorted(profiles_by_id)]
+    else:
+        from .events import read_profiles
+
+        try:
+            profiles = read_profiles(path)
+        except (ValueError, UnicodeDecodeError) as exc:
+            print(f"{path}: not a spill file or profile archive: {exc}", file=sys.stderr)
+            return 2
+    emit(
+        UseCaseEngine().analyze(profiles),
+        workspans_from_profiles(profiles),
+        f"What-if predictions for {path}",
+    )
     return 0
 
 
@@ -872,6 +983,47 @@ def build_parser() -> argparse.ArgumentParser:
         "walk) — faster for workloads allocating many structures",
     )
     analyze.set_defaults(fn=_cmd_analyze)
+
+    whatif = sub.add_parser(
+        "whatif",
+        help="rank flagged use cases by predicted speedup (work/span what-if)",
+    )
+    whatif.add_argument(
+        "trace",
+        nargs="?",
+        default=None,
+        help="recorded trace: a --spill file or a --save profile archive",
+    )
+    whatif.add_argument(
+        "--address",
+        default=None,
+        help="predict from a live daemon/fleet session via SNAPSHOT "
+        "instead of a trace file",
+    )
+    whatif.add_argument(
+        "--session",
+        default=None,
+        help="narrow --address to one session id (default: all sessions)",
+    )
+    whatif.add_argument(
+        "--cores",
+        type=int,
+        default=8,
+        help="machine model core count for the prediction (default 8, "
+        "the paper's evaluation box)",
+    )
+    whatif.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        help="show only the N highest-payoff rows",
+    )
+    whatif.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the annotated, ranked report as JSON",
+    )
+    whatif.set_defaults(fn=_cmd_whatif)
 
     transform = sub.add_parser(
         "transform", help="auto-parallelize safe Long-Insert fill loops"

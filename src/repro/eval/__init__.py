@@ -16,12 +16,15 @@ from .harness import (
 from .report import ReproductionReport, build_report, write_report
 from .speedup_eval import (
     TABLE6_PAPER_ROWS,
+    WHATIF_TOLERANCE,
     FractionRow,
     ProseCase,
+    WhatIfRow,
     fractions_explain_speedups,
     paper_fraction,
     run_fraction_analysis,
     run_prose_cases,
+    run_whatif_validation,
 )
 from .tables import (
     TABLE7_MATRIX,
@@ -62,4 +65,7 @@ __all__ = [
     "render_table7",
     "run_fraction_analysis",
     "run_prose_cases",
+    "run_whatif_validation",
+    "WHATIF_TOLERANCE",
+    "WhatIfRow",
 ]

@@ -6,6 +6,16 @@ fraction is 94.29%, against 3.89% (GPdotNET), 9.09% (Mandelbrot) and
 workloads' declared decompositions, computes the resulting program
 speedups on the simulated machine, and verifies the paper's qualitative
 claim — the lower the sequential fraction, the higher the speedup.
+
+:func:`run_whatif_validation` closes the causal-profiling loop: on
+every Table V workload it takes the *top-ranked* what-if prediction,
+really executes the recommended transform
+(:func:`repro.parallel.transforms.execute_transform`), and checks that
+the measured end-to-end speedup lands within :data:`WHATIF_TOLERANCE`
+of the prediction.  Both sides share the same serial remainder, so the
+band isolates exactly the modeling gaps the prediction accepts by
+design: per-task spawn overhead, chunk-size rounding, and LPT placement
+versus the analytic equal split.
 """
 
 from __future__ import annotations
@@ -156,3 +166,101 @@ def run_prose_cases(
             )
         )
     return out
+
+
+#: Measured speedup must land within this relative band of the
+#: prediction — the committed accuracy contract of the what-if profiler.
+WHATIF_TOLERANCE = 0.15
+
+
+@dataclass(frozen=True)
+class WhatIfRow:
+    """Measured vs predicted speedup for one workload's top-ranked
+    recommendation."""
+
+    workload: str
+    use_case: str
+    predicted: float
+    measured: float
+    matches_sequential: bool
+    note: str = ""
+
+    @property
+    def relative_error(self) -> float:
+        if self.predicted <= 0:
+            return 0.0
+        return abs(self.measured - self.predicted) / self.predicted
+
+    @property
+    def within_band(self) -> bool:
+        """Inside the committed tolerance AND the real parallel
+        execution produced the sequential result."""
+        return self.matches_sequential and self.relative_error <= WHATIF_TOLERANCE
+
+
+def run_whatif_validation(
+    machine: SimulatedMachine = EVAL_MACHINE, scale: float = 1.0
+) -> list[WhatIfRow]:
+    """Measured-vs-predicted differential over all 7 Table V workloads.
+
+    For each workload: record the tracked run, rank the flagged use
+    cases by predicted speedup, *execute* the top recommendation on a
+    real thread pool, and compare.  Workloads with no flagged parallel
+    use case contribute a trivially-in-band 1.0/1.0 row (there is
+    nothing to transform), flagged loudly in the note.
+    """
+    from ..events.collector import collecting
+    from ..parallel.transforms import execute_transform
+    from ..usecases.engine import UseCaseEngine
+    from ..usecases.rules import PARALLEL_RULES
+    from ..whatif.predict import (
+        annotate_report,
+        end_to_end_speedup,
+        predict_use_case,
+        rank_report,
+        workspans_from_profiles,
+    )
+    from ..workloads import EVALUATION_WORKLOADS
+
+    engine = UseCaseEngine(rules=PARALLEL_RULES)
+    rows: list[WhatIfRow] = []
+    for workload in EVALUATION_WORKLOADS:
+        with collecting() as session:
+            workload.run_tracked(scale=scale)
+        workspans = workspans_from_profiles(session.profiles())
+        report = rank_report(
+            annotate_report(engine.analyze_collector(session), machine, workspans)
+        )
+        top = next((u for u in report.use_cases if u.parallel), None)
+        if top is None or not top.predicted_speedup or top.predicted_speedup <= 1.0:
+            rows.append(
+                WhatIfRow(
+                    workload=workload.name,
+                    use_case="-",
+                    predicted=1.0,
+                    measured=1.0,
+                    matches_sequential=True,
+                    note="no parallel use case with predicted payoff",
+                )
+            )
+            continue
+        prediction = predict_use_case(
+            top, machine, workspans.get(top.instance_id)
+        )
+        executed = execute_transform(top, machine)
+        measured = end_to_end_speedup(
+            prediction.serial_rest,
+            executed.sequential_time,
+            executed.parallel_time,
+        )
+        label = top.profile.label or f"#{top.instance_id}"
+        rows.append(
+            WhatIfRow(
+                workload=workload.name,
+                use_case=f"{top.kind.abbreviation} on {label}",
+                predicted=top.predicted_speedup,
+                measured=measured,
+                matches_sequential=executed.matches_sequential,
+            )
+        )
+    return rows

@@ -19,10 +19,14 @@ from .machine import (
 from .parallel_list import ParallelList, ParallelQueue, parallel_sorted
 from .transforms import (
     SPEEDUP_SUCCESS_THRESHOLD,
+    ExecutedTransform,
     TransformOutcome,
     apply_all,
     apply_recommendation,
+    estimate_operations,
     estimate_region,
+    execute_transform,
+    transform_ways,
 )
 from .validate import ValidationPoint, measure_point, validate_machine_model
 
@@ -38,6 +42,7 @@ __all__ = [
     "ParallelQueue",
     "ParallelRegion",
     "SPEEDUP_SUCCESS_THRESHOLD",
+    "ExecutedTransform",
     "SimulatedMachine",
     "TransformOutcome",
     "ValidationPoint",
@@ -49,6 +54,9 @@ __all__ = [
     "apply_recommendation",
     "chunk_ranges",
     "default_workers",
+    "estimate_operations",
     "estimate_region",
+    "execute_transform",
     "parallel_sorted",
+    "transform_ways",
 ]

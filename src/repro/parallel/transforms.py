@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from ..events.types import OperationKind
 from ..usecases.model import UseCase, UseCaseKind
+from .executor import ParallelExecutor, chunk_ranges
 from .machine import ParallelRegion, SimulatedMachine
 
 #: A transform must beat this to count as a successful parallelization.
@@ -119,6 +120,131 @@ def estimate_operations(use_case: UseCase) -> int:
             )
         )
     return 1
+
+
+def transform_ways(
+    region_work: float, max_parallelism: int | None, cores: int
+) -> int:
+    """How many ways a transform actually splits its region: capped by
+    the core count, the region's structural limit (e.g. 2-way for a
+    producer/consumer queue), and the number of work items.  Shared by
+    the analytic what-if prediction and the measured execution so both
+    describe the same schedule."""
+    items = max(int(round(region_work)), 1)
+    ways = cores if max_parallelism is None else min(cores, max_parallelism)
+    return max(1, min(ways, items))
+
+
+#: Execution correctness is checked on at most this many real items;
+#: the *accounted* schedule always reflects the full region.
+_MAX_EXECUTED_ITEMS = 1 << 16
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutedTransform:
+    """Result of *really* applying one recommendation.
+
+    Unlike :class:`TransformOutcome` (equal-split accounting of a
+    virtual schedule), this runs the recommended transform on a thread
+    pool via :class:`~repro.parallel.executor.ParallelExecutor`, checks
+    the parallel result against the sequential one, and accounts the
+    *actual* chunk schedule — including per-task spawn overhead and LPT
+    placement — on the machine model.  The gap between this and the
+    analytic prediction is what the ``bench --whatif`` accuracy band
+    measures.
+    """
+
+    use_case: UseCase
+    region: ParallelRegion
+    operations: int
+    ways: int
+    chunk_sizes: tuple[int, ...]
+    matches_sequential: bool
+    sequential_time: float
+    parallel_time: float
+
+    @property
+    def speedup(self) -> float:
+        if self.parallel_time <= 0:
+            return 1.0
+        return self.sequential_time / self.parallel_time
+
+
+def _run_transform_body(
+    kind: UseCaseKind, n: int, executor: ParallelExecutor
+) -> bool:
+    """Execute a representative body of the recommended transform on
+    real threads and verify it against the sequential result."""
+    items = list(range(n))
+    if kind is UseCaseKind.FREQUENT_SEARCH:
+        # Parallel chunked search — the recommended transform itself.
+        target = items[-1]
+        return executor.parallel_index(items, target) == items.index(target)
+    if kind is UseCaseKind.IMPLEMENT_QUEUE:
+        # End-operations overlap 2-way: a chunked fold stands in for the
+        # producer/consumer split.
+        parallel = executor.parallel_reduce(
+            items, lambda acc, x: acc + x, lambda a, b: a + b, 0
+        )
+        return parallel == sum(items)
+    # Insert/read phases (LI, SAI, FLR): parallel fill of the phase.
+    filled = executor.parallel_fill(lambda i: i * 2 + 1, n)
+    return filled == [i * 2 + 1 for i in items]
+
+
+def execute_transform(
+    use_case: UseCase,
+    machine: SimulatedMachine,
+    executor: ParallelExecutor | None = None,
+) -> ExecutedTransform:
+    """Apply the recommendation for real and measure its schedule.
+
+    The region is split into :func:`transform_ways` contiguous chunks
+    (:func:`~repro.parallel.executor.chunk_ranges` — the exact split the
+    executor runs), the body executes on a thread pool with the result
+    checked against the sequential computation, and the measured
+    parallel time is the machine model's accounting of the actual chunk
+    sizes: ``fork_join + LPT-makespan(chunk + task_overhead)`` per
+    operation.
+    """
+    region = estimate_region(use_case)
+    operations = estimate_operations(use_case)
+    sequential = region.work * operations
+    if not use_case.kind.parallel or sequential <= 0:
+        return ExecutedTransform(
+            use_case=use_case,
+            region=region,
+            operations=operations,
+            ways=1,
+            chunk_sizes=(),
+            matches_sequential=True,
+            sequential_time=0.0,
+            parallel_time=0.0,
+        )
+    n = max(int(round(region.work)), 1)
+    ways = transform_ways(region.work, region.max_parallelism, machine.cores)
+    if executor is None:
+        executor = ParallelExecutor(workers=ways)
+    exec_n = min(n, _MAX_EXECUTED_ITEMS)
+    matches = _run_transform_body(use_case.kind, exec_n, executor)
+    # Account the real chunk split of the full region; each item carries
+    # region.work / n work units (== 1 except for rounding).
+    unit = region.work / n
+    chunks = chunk_ranges(n, ways)
+    chunk_sizes = tuple(len(r) for r in chunks)
+    parallel = operations * machine.parallel_time(
+        [size * unit for size in chunk_sizes]
+    )
+    return ExecutedTransform(
+        use_case=use_case,
+        region=region,
+        operations=operations,
+        ways=ways,
+        chunk_sizes=chunk_sizes,
+        matches_sequential=matches,
+        sequential_time=sequential,
+        parallel_time=parallel,
+    )
 
 
 def apply_recommendation(

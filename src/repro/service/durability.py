@@ -69,6 +69,7 @@ from ..patterns.phases import Run, _RunBuilder
 from ..testing.clock import SYSTEM_CLOCK, Clock
 from ..usecases.rules import ALL_RULES, Rule
 from ..usecases.thresholds import PAPER_THRESHOLDS, Thresholds
+from ..whatif.dag import LaneSummary
 from .protocol import _EVENTS_HEADER
 from .streaming import StreamingUseCaseEngine, _InstanceFold
 
@@ -210,6 +211,7 @@ def _fold_to_dict(fold: _InstanceFold) -> dict[str, Any]:
             for tid, b in fold.builders.items()
         },
         "completed_runs": [_run_to_dict(r) for r in fold.completed_runs],
+        "lanes": fold.lanes.to_dict(),
     }
 
 
@@ -242,6 +244,9 @@ def _fold_from_dict(obj: dict[str, Any], max_gap: int) -> _InstanceFold:
         builder.run = None if run_obj is None else _run_from_dict(run_obj)
         fold.builders[int(tid_str)] = builder
     fold.completed_runs = [_run_from_dict(r) for r in obj["completed_runs"]]
+    # Checkpoints written before the what-if profiler existed have no
+    # lane summary; recover them with an empty one rather than failing.
+    fold.lanes = LaneSummary.from_dict(obj.get("lanes"))
     return fold
 
 

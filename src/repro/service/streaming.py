@@ -41,6 +41,7 @@ from ..usecases.features import ProfileFeatures
 from ..usecases.model import UseCase, UseCaseKind
 from ..usecases.rules import ALL_RULES, Rule
 from ..usecases.thresholds import PAPER_THRESHOLDS, Thresholds
+from ..whatif.dag import LaneSummary
 
 _READ = int(AccessKind.READ)
 _INSERT = int(OperationKind.INSERT)
@@ -77,6 +78,7 @@ class _InstanceFold:
         "trailing_max_size",
         "builders",
         "completed_runs",
+        "lanes",
     )
 
     def __init__(
@@ -110,11 +112,16 @@ class _InstanceFold:
         self.trailing_max_size = 0
         self.builders: dict[int, _RunBuilder] = {}
         self.completed_runs: list = []
+        # Happens-before lane summary for the what-if profiler: O(threads)
+        # state that survives checkpoints, because the events themselves
+        # are discarded after this fold (the bug ISSUE 8 fixes).
+        self.lanes = LaneSummary()
 
     def feed(self, raw: RawEvent) -> None:
         _, op, kind, position, size, thread_id, _ = raw
         i = self.index
         self.index = i + 1
+        self.lanes.feed(thread_id, kind == _READ)
 
         # -- scalar aggregates (features_of's numpy masks, one row) -----
         counts = self.op_counts

@@ -38,6 +38,7 @@ def use_case_to_dict(use_case: UseCase) -> dict[str, Any]:
             "action": use_case.recommendation.action,
             "rationale": use_case.recommendation.rationale,
         },
+        "predicted_speedup": use_case.predicted_speedup,
         "evidence": {
             key: value
             for key, value in use_case.evidence.items()

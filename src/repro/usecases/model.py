@@ -130,6 +130,11 @@ class UseCase:
     ``evidence`` carries the rule's measured quantities (e.g. the
     insert-phase fraction that crossed the threshold) so reports can
     state *why* the recommendation fires -- the paper's trust argument.
+
+    ``predicted_speedup`` is filled in by the what-if profiler
+    (:func:`repro.whatif.annotate_report`): the end-to-end speedup the
+    recommendation is expected to yield on the analysis machine.  It is
+    ``None`` until annotated; sequential-optimization kinds get 1.0.
     """
 
     kind: UseCaseKind
@@ -137,6 +142,7 @@ class UseCase:
     analysis: PatternAnalysis
     recommendation: Recommendation
     evidence: dict[str, Any] = field(default_factory=dict)
+    predicted_speedup: float | None = None
 
     @property
     def site(self) -> AllocationSite | None:

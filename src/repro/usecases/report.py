@@ -34,6 +34,10 @@ def format_use_case(use_case: UseCase, index: int | None = None) -> str:
     lines.append(f"  Data structure: {kind}#{use_case.instance_id}{label}")
     lines.append(f"  Use Case:       {use_case.kind.label}")
     lines.append(f"  Recommendation: {use_case.recommendation.describe()}")
+    if use_case.predicted_speedup is not None:
+        lines.append(
+            f"  Predicted:      {use_case.predicted_speedup:.2f}x speedup"
+        )
     return "\n".join(lines)
 
 

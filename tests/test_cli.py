@@ -289,3 +289,73 @@ class TestSelftestCommand:
     def test_selftest_rejects_unknown_fault_kind(self, capsys):
         assert main(["selftest", "--trials", "1", "--faults", "gremlin"]) == 2
         assert "unknown fault kind" in capsys.readouterr().err
+
+
+class TestWhatIfCommand:
+    def test_whatif_on_saved_archive(self, legacy_file, tmp_path, capsys):
+        archive = tmp_path / "run.jsonl"
+        assert main(
+            ["analyze", str(legacy_file), "--entry", "main", "--save", str(archive)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["whatif", str(archive), "--cores", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "What-if predictions" in out
+        assert "pred" in out  # the ranked table header
+
+    def test_whatif_json_carries_predictions(self, legacy_file, tmp_path, capsys):
+        import json
+
+        archive = tmp_path / "run.jsonl"
+        main(["analyze", str(legacy_file), "--entry", "main", "--save", str(archive)])
+        capsys.readouterr()
+        assert main(["whatif", str(archive), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["use_cases"], "expected the 300-append workload to flag"
+        speeds = [u["predicted_speedup"] for u in doc["use_cases"]]
+        assert all(s is not None for s in speeds)
+        assert speeds == sorted(speeds, reverse=True)
+
+    def test_whatif_without_input_is_an_error(self, capsys):
+        assert main(["whatif"]) == 2
+        assert "trace file or --address" in capsys.readouterr().err
+
+    def test_whatif_missing_trace(self, tmp_path, capsys):
+        assert main(["whatif", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such trace" in capsys.readouterr().err
+
+    def test_whatif_garbage_input(self, tmp_path, capsys):
+        junk = tmp_path / "junk.bin"
+        junk.write_bytes(b"\x00\xff\x13\x37 not a trace \x80\x81")
+        assert main(["whatif", str(junk)]) == 2
+        assert "not a spill file or profile archive" in capsys.readouterr().err
+
+    def test_whatif_daemon_down(self, capsys):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        assert main(["whatif", "--address", f"127.0.0.1:{port}"]) == 2
+        assert "cannot snapshot" in capsys.readouterr().err
+
+    def test_whatif_no_sessions_on_live_daemon(self, capsys):
+        from repro.service import ProfilingDaemon
+
+        with ProfilingDaemon(port=0) as daemon:
+            assert main(["whatif", "--address", daemon.address]) == 1
+            assert "no snapshot" in capsys.readouterr().err
+
+    def test_whatif_quiet_on_unflagged_trace(self, tmp_path, capsys):
+        quiet = tmp_path / "quiet.py"
+        quiet.write_text("def main():\n    xs = []\n    xs.append(1)\n")
+        archive = tmp_path / "quiet.jsonl"
+        main(["analyze", str(quiet), "--entry", "main", "--save", str(archive)])
+        capsys.readouterr()
+        assert main(["whatif", str(archive)]) == 0
+        assert "no use cases flagged" in capsys.readouterr().out
+
+    def test_whatif_malformed_address(self, capsys):
+        assert main(["whatif", "--address", "not-an-address"]) == 2
+        assert "cannot snapshot" in capsys.readouterr().err

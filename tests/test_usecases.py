@@ -355,3 +355,56 @@ class TestKindMetadata:
         tiny = Thresholds().scaled(0.0001)
         assert tiny.li_long_phase >= 2
         assert tiny.fs_min_search_ops >= 1
+
+
+class TestRankedReports:
+    """Regression: reports surfaced to users are ordered by predicted
+    payoff, with ties falling back to the engine's threshold order."""
+
+    def _ranked(self, profiles, cores=8):
+        from repro.parallel.machine import MachineConfig, SimulatedMachine
+        from repro.whatif import annotate_report, rank_report, workspans_from_profiles
+
+        machine = SimulatedMachine(MachineConfig(cores=cores))
+        report = UseCaseEngine().analyze(profiles)
+        return rank_report(
+            annotate_report(report, machine, workspans_from_profiles(profiles))
+        )
+
+    def test_report_orders_by_predicted_speedup(self):
+        small = make_profile([(OP.INSERT, i, i + 1) for i in range(150)])
+        big = make_profile([(OP.INSERT, i, i + 1) for i in range(5000)])
+        ranked = self._ranked([small, big])
+        assert len(ranked.use_cases) >= 2
+        speeds = [u.predicted_speedup for u in ranked.use_cases]
+        assert all(s is not None for s in speeds)
+        assert speeds == sorted(speeds, reverse=True)
+        # The bigger insert has more parallelizable work -> ranks first.
+        assert ranked.use_cases[0].instance_id == big.instance_id
+
+    def test_ties_preserve_threshold_order(self):
+        # Two sequential-advice use cases both predict exactly 1.0;
+        # their relative order must match the unranked engine report.
+        stack_specs = []
+        for i in range(60):
+            stack_specs.append((OP.INSERT, i, i + 1))
+        for i in reversed(range(60)):
+            stack_specs.append((OP.DELETE, i, i))
+        stacky1 = make_profile(stack_specs)
+        stacky2 = make_profile(stack_specs)
+        baseline = UseCaseEngine().analyze([stacky1, stacky2])
+        ranked = self._ranked([stacky1, stacky2])
+        tied = [u for u in ranked.use_cases if u.predicted_speedup == 1.0]
+        base_order = [
+            (u.instance_id, u.kind)
+            for u in baseline.use_cases
+            if (u.instance_id, u.kind) in {(t.instance_id, t.kind) for t in tied}
+        ]
+        assert [(u.instance_id, u.kind) for u in tied] == base_order
+
+    def test_unannotated_report_is_unchanged_by_rank(self):
+        from repro.whatif import rank_report
+
+        hot = make_profile([(OP.INSERT, i, i + 1) for i in range(200)])
+        report = UseCaseEngine().analyze([hot])
+        assert rank_report(report).use_cases == report.use_cases
