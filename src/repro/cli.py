@@ -462,10 +462,35 @@ def _write_port_file(path: str | None, port: int | None) -> None:
     os.replace(tmp, target)
 
 
+def _parse_bytes(text: str) -> int:
+    """Parse a byte count with an optional K/M/G suffix ("64M")."""
+    text = text.strip()
+    multiplier = 1
+    if text and text[-1].upper() in "KMG":
+        multiplier = 1024 ** ("KMG".index(text[-1].upper()) + 1)
+        text = text[:-1]
+    try:
+        value = int(float(text) * multiplier)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid byte size {text!r}; use an integer with optional K/M/G"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"byte size must be positive, got {value}")
+    return value
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     if args.workers > 1:
         return _serve_fleet(args)
     from .service import ProfilingDaemon
+
+    fault_fs = None
+    if args.fault_fs:
+        from .testing.faults import FaultFS
+
+        fault_fs = FaultFS.from_spec(args.fault_fs)
+        print(f"FAULT-FS ACTIVE: {args.fault_fs} (testing only)", file=sys.stderr)
 
     daemon = ProfilingDaemon(
         host=args.host,
@@ -482,6 +507,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_events_per_sec=args.max_events_per_sec,
         session_max_events_per_sec=args.session_max_events_per_sec,
         retry_after=args.retry_after,
+        state_budget=args.state_budget,
+        fs=fault_fs,
         reuseport=args.reuseport,
     )
     print(f"dsspy daemon listening on {daemon.address}")
@@ -595,8 +622,8 @@ def _cmd_sessions(args: argparse.Namespace) -> int:
         return 0
     header = (
         f"{'session':<14} {'state':<9} {'received':>10} {'ev/s':>8} "
-        f"{'dup':>6} {'decim':>6} {'spill':>6} {'defer':>6} {'ckpt':>5} "
-        f"{'stage':<8} {'inst':>5}  flagged"
+        f"{'dup':>6} {'decim':>6} {'spill':>6} {'skip':>5} {'defer':>6} "
+        f"{'ckpt':>5} {'refus':>5} {'stage':<8} {'inst':>5}  flagged"
     )
     print(header)
     print("-" * len(header))
@@ -608,12 +635,19 @@ def _cmd_sessions(args: argparse.Namespace) -> int:
         print(
             f"{s['session']:<14} {state:<9} {s['received']:>10} "
             f"{s['events_per_sec']:>8} {s['duplicates']:>6} {s['decimated']:>6} "
-            f"{s['spilled']:>6} {s.get('deferred', 0):>6} "
-            f"{s.get('checkpoints', 0):>5} {s.get('stage', 'normal'):<8} "
+            f"{s['spilled']:>6} {s.get('spill_corrupt_skipped', 0):>5} "
+            f"{s.get('deferred', 0):>6} "
+            f"{s.get('checkpoints', 0):>5} {s.get('refused_windows', 0):>5} "
+            f"{s.get('stage', 'normal'):<8} "
             f"{s['instances']:>5}  {flagged}"
         )
     if any(s.get("recovered") for s in sessions):
         print("(* = session rebuilt from its write-ahead journal)")
+    if any(s.get("spill_corrupt_skipped") for s in sessions):
+        print(
+            "(skip = corrupt spill records dropped during replay; "
+            "the events are lost but accounted)"
+        )
     return 0
 
 
@@ -732,6 +766,38 @@ def _cmd_recover(args: argparse.Namespace) -> int:
             shutil.rmtree(directory, ignore_errors=True)
         print(f"purged {len(session_dirs)} session journal(s)")
     return 0
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .service.fsck import fsck_state_dir
+
+    report = fsck_state_dir(args.state_dir, repair=args.repair, shards=args.shards)
+    # stdout is the machine-readable report (pipe it to jq / archive it
+    # as a CI artifact); the human summary goes to stderr.
+    print(_json.dumps(report, indent=2))
+    for entry in report["sessions"]:
+        status = "ok" if entry["ok"] else "CORRUPT"
+        if entry["repaired"] or entry["quarantined"]:
+            status = "repaired"
+        print(
+            f"{entry['session']}: {status}, {entry['segments']} segment(s), "
+            f"{len(entry['problems'])} problem(s), "
+            f"{len(entry['quarantined'])} quarantined",
+            file=sys.stderr,
+        )
+        for problem in entry["problems"]:
+            print(f"  problem: {problem}", file=sys.stderr)
+        for action in entry["repaired"]:
+            print(f"  repaired: {action}", file=sys.stderr)
+    print(
+        f"fsck {report['root']}: {report.get('checked', 0)} session(s), "
+        f"{report.get('with_problems', 0)} with problems"
+        + ("" if report["ok"] else " -- NOT CLEAN"),
+        file=sys.stderr,
+    )
+    return 0 if report["ok"] else 1
 
 
 def _cmd_fleet_run(args: argparse.Namespace) -> int:
@@ -864,6 +930,59 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
                 f"--window {args.window}"
             )
     return 1 if failures else 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .testing.chaos import ChaosSoak, InvariantMonitor
+
+    soak = ChaosSoak(
+        backend=args.backend,
+        fault_intensity=args.fault_intensity,
+        max_faults=args.max_faults,
+        window=args.window,
+        disk_fault_rate=args.disk_fault_rate,
+        storm_rate=args.storm_rate,
+        fleet_workers=args.workers,
+        fleet_sessions=args.sessions,
+        fleet_fault_fs_spec=args.fault_fs,
+        monitor=InvariantMonitor(recovery_bound=args.recovery_bound),
+    )
+
+    def progress(result) -> None:
+        if not result.ok:
+            print(result.describe(), file=sys.stderr)
+        elif args.progress and (result.seed - args.seed + 1) % args.progress == 0:
+            print(
+                f"  {result.seed - args.seed + 1} trials ok "
+                f"(last: {result.events} events, {result.kills} kills, "
+                f"{result.refusals_observed} refusals)",
+                file=sys.stderr,
+            )
+
+    try:
+        summary = soak.run(
+            trials=args.trials,
+            duration=args.duration,
+            base_seed=args.seed,
+            ledger_path=args.ledger,
+            progress=progress,
+            stop_on_violation=args.stop_on_violation,
+        )
+    finally:
+        soak.close()
+    # stdout is the machine-readable soak summary; per-trial detail is
+    # in the --ledger JSONL and the stderr stream.
+    print(_json.dumps(summary, indent=2))
+    print(
+        f"chaos soak ({summary['backend']}): {summary['trials']} trials, "
+        f"{summary['kills']} kills, {summary['refusals_observed']} refusals, "
+        f"{len(summary['seeds_with_violations'])} trial(s) with violations"
+        + ("" if summary["ok"] else " -- LEDGER VIOLATED"),
+        file=sys.stderr,
+    )
+    return 0 if summary["ok"] else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -1153,6 +1272,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="backoff hint sent to shed clients",
     )
     serve.add_argument(
+        "--state-budget",
+        type=_parse_bytes,
+        default=None,
+        metavar="BYTES",
+        help="cap on total --state-dir bytes (suffixes K/M/G); over "
+        "budget the daemon force-checkpoints the fattest journals, "
+        "evicts finished sessions, then sheds new windows",
+    )
+    serve.add_argument(
+        "--fault-fs",
+        default=None,
+        metavar="SPEC",
+        help="TESTING ONLY: run all journal/checkpoint I/O through a "
+        "fault-injecting filesystem (enospc-after=N,partial,eio-every=K,"
+        "fsync-stall=SEC or seed=N); the chaos harness uses this to "
+        "starve fleet workers of disk",
+    )
+    serve.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -1259,6 +1396,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     recover.set_defaults(fn=_cmd_recover)
 
+    fsck = sub.add_parser(
+        "fsck",
+        help="deep-verify (and optionally repair) a daemon or fleet "
+        "state directory: segment CRCs, checkpoint schema, cursor "
+        "continuity, shard ownership",
+    )
+    fsck.add_argument(
+        "state_dir",
+        metavar="STATE_DIR",
+        help="a daemon --state-dir, a fleet state dir (shard-NN "
+        "layout), or one session directory",
+    )
+    fsck.add_argument(
+        "--repair",
+        action="store_true",
+        help="truncate torn tails, quarantine damaged segments (and "
+        "everything after them) to quarantine/, and rebuild the "
+        "checkpoint from the surviving journal tail",
+    )
+    fsck.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fleet width for shard-ownership checks (default: the "
+        "number of shard-NN directories present)",
+    )
+    fsck.set_defaults(fn=_cmd_fsck)
+
     selftest = sub.add_parser(
         "selftest",
         help="seeded differential trials: batch vs streaming vs faulted daemon",
@@ -1299,6 +1465,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="run all trials even after a failure",
     )
     selftest.set_defaults(fn=_cmd_selftest)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="time-boxed chaos soak: randomized kill/disk/storm fault "
+        "schedules against the no-silent-loss ledger",
+    )
+    chaos.add_argument(
+        "--backend",
+        choices=("inproc", "fleet"),
+        default="inproc",
+        help="inproc: one daemon per trial, cheap, hundreds of trials; "
+        "fleet: real router + worker subprocesses with SIGKILL",
+    )
+    chaos.add_argument(
+        "--trials", type=int, default=None,
+        help="number of seeded trials (default 100 unless --duration)",
+    )
+    chaos.add_argument(
+        "--duration", type=float, default=None, metavar="SEC",
+        help="time box in seconds; stops after the trial that crosses it",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=0, help="base seed (trial i uses seed+i)"
+    )
+    chaos.add_argument(
+        "--fault-intensity", type=float, default=0.3,
+        help="per-frame network-fault probability",
+    )
+    chaos.add_argument(
+        "--max-faults", type=int, default=6, help="network-fault budget per trial"
+    )
+    chaos.add_argument(
+        "--window", type=int, default=48, help="events per shipped window"
+    )
+    chaos.add_argument(
+        "--disk-fault-rate", type=float, default=0.6,
+        help="probability a trial runs on a seeded FaultFS (inproc only)",
+    )
+    chaos.add_argument(
+        "--storm-rate", type=float, default=0.3,
+        help="probability a trial adds concurrent storm producers",
+    )
+    chaos.add_argument(
+        "--recovery-bound", type=float, default=15.0, metavar="SEC",
+        help="max seconds a single crash-recovery may take",
+    )
+    chaos.add_argument(
+        "--workers", type=int, default=3, help="fleet backend: worker count"
+    )
+    chaos.add_argument(
+        "--sessions", type=int, default=3,
+        help="fleet backend: concurrent sessions per trial",
+    )
+    chaos.add_argument(
+        "--fault-fs", default=None, metavar="SPEC",
+        help="fleet backend: FaultFS spec passed to every worker "
+        "(see dsspy serve --fault-fs)",
+    )
+    chaos.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="append one JSON line per trial to this file",
+    )
+    chaos.add_argument(
+        "--progress", type=int, default=25, metavar="N",
+        help="print a progress line every N ok trials (0 = quiet)",
+    )
+    chaos.add_argument(
+        "--stop-on-violation", action="store_true",
+        help="stop at the first trial that violates the ledger",
+    )
+    chaos.set_defaults(fn=_cmd_chaos)
 
     bench = sub.add_parser(
         "bench",

@@ -34,7 +34,7 @@ from __future__ import annotations
 import struct
 import warnings
 from pathlib import Path
-from typing import BinaryIO, Iterable, Iterator
+from typing import BinaryIO, Callable, Iterable, Iterator
 
 from .event import AccessEvent, RawEvent, materialize
 from .types import AccessKind, OperationKind
@@ -199,7 +199,9 @@ class SpillWriter:
         self.close()
 
 
-def iter_spill_raw(path: str | Path) -> Iterator[RawEvent]:
+def iter_spill_raw(
+    path: str | Path, on_skip: "Callable[[int], None] | None" = None
+) -> Iterator[RawEvent]:
     """Stream raw event tuples back from a spill file, in file order.
 
     A bad magic header still raises (the file is not a spill file at
@@ -208,7 +210,10 @@ def iter_spill_raw(path: str | Path) -> Iterator[RawEvent]:
     crashed daemon, a flipped byte on disk — is *skipped* rather than
     poisoning every later record: its slot is dropped, the skip is
     counted, and one :class:`RuntimeWarning` summarizing the count is
-    emitted when the stream ends.  Validity is judged by
+    emitted when the stream ends.  ``on_skip`` (if given) additionally
+    receives the final skip count, so callers with their own ledgers —
+    session STATS, the chaos invariant monitor — can account the loss
+    instead of losing it to a warning filter.  Validity is judged by
     :func:`record_is_plausible`; record boundaries are assumed intact
     (the format is fixed-width append-only, so corruption overwrites
     bytes in place rather than shifting them).
@@ -234,6 +239,8 @@ def iter_spill_raw(path: str | Path) -> Iterator[RawEvent]:
                 # capture); everything before the tear is still valid.
                 break
     if skipped:
+        if on_skip is not None:
+            on_skip(skipped)
         warnings.warn(
             f"{path}: skipped {skipped} corrupt spill record(s)",
             RuntimeWarning,

@@ -36,6 +36,13 @@ from .durability import (
     recover_session_dir,
     scan_state_dir,
 )
+from .governor import (
+    RESOURCE_ERRNOS,
+    RealFS,
+    ResourceGovernor,
+    ResourcePressure,
+    is_resource_error,
+)
 from .fleet import (
     FleetCoordinator,
     FleetSupervisor,
@@ -78,9 +85,13 @@ __all__ = [
     "MessageType",
     "ProfilingDaemon",
     "ProtocolError",
+    "RESOURCE_ERRNOS",
     "RateMeter",
+    "RealFS",
     "RecoveredSession",
     "RemoteChannel",
+    "ResourceGovernor",
+    "ResourcePressure",
     "ResultCache",
     "RetryAfterError",
     "ServiceClient",
@@ -100,6 +111,7 @@ __all__ = [
     "fetch_snapshot",
     "fetch_stats",
     "fleet_run",
+    "is_resource_error",
     "parse_address",
     "merge_engine_dicts",
     "merge_engines",

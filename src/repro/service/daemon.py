@@ -48,6 +48,7 @@ from .durability import (
     warn_notes,
 )
 from ..events.spill import RECORD_SIZE, unpack_records
+from .governor import RealFS, ResourceGovernor, ResourcePressure, is_resource_error
 from .protocol import (
     MessageType,
     ProtocolError,
@@ -118,7 +119,13 @@ class _ShmConsumer:
         data = self._ring.read(count * RECORD_SIZE)
         raws = unpack_records(data)
         session = self._session
-        session.ingest(session.received, raws, stage=stage)
+        try:
+            session.ingest(session.received, raws, stage=stage)
+        except ResourcePressure:
+            # Journal refused the batch: the session accounted it as a
+            # refused window.  Keep the consumer alive and back off —
+            # the ring backpressures the client while pressure decays.
+            return False
         session.touch()
         return True
 
@@ -220,6 +227,9 @@ class ProfilingDaemon:
         max_events_per_sec: float | None = None,
         session_max_events_per_sec: float | None = None,
         retry_after: float = 2.0,
+        state_budget: int | None = None,
+        governor: ResourceGovernor | None = None,
+        fs: RealFS | None = None,
         thresholds: Thresholds = PAPER_THRESHOLDS,
         detector_config: DetectorConfig | None = None,
         rules: tuple[Rule, ...] = ALL_RULES,
@@ -239,13 +249,34 @@ class ProfilingDaemon:
         self._thresholds = thresholds
         self._detector_config = detector_config
         self._rules = rules
-        if admission is None and (max_events_per_sec or session_max_events_per_sec):
+        # Resource governance: any of state_budget / fs / governor turns
+        # it on; a state_dir alone also gets one so disk failures are
+        # always accounted even without a configured budget.
+        if governor is None and (
+            state_budget is not None or fs is not None or state_dir is not None
+        ):
+            governor = ResourceGovernor(
+                fs=fs,
+                state_budget_bytes=state_budget,
+                retry_after=retry_after,
+                clock=clock,
+            )
+        self._governor = governor
+        self._fs = fs if fs is not None else (
+            governor.fs if governor is not None else None
+        )
+        if admission is None and (
+            max_events_per_sec or session_max_events_per_sec or governor is not None
+        ):
             admission = AdmissionController(
                 global_events_per_sec=max_events_per_sec,
                 session_events_per_sec=session_max_events_per_sec,
                 retry_after=retry_after,
                 clock=clock,
+                governor=governor,
             )
+        elif admission is not None and governor is not None and admission.governor is None:
+            admission.governor = governor
         self._admission = admission
 
         self.sessions: dict[str, Session] = {}
@@ -338,8 +369,13 @@ class ProfilingDaemon:
                 overflow=self._overflow,
                 spill_dir=self._spill_dir,
                 clock=self.clock,
-                journal=SessionJournal(directory, fsync=self._journal_fsync),
+                journal=SessionJournal(
+                    directory,
+                    fsync=self._journal_fsync,
+                    governor=self._governor,
+                ),
                 checkpoint_every=self._checkpoint_every,
+                governor=self._governor,
             )
             session.received = recovered.received
             session.applied = recovered.applied
@@ -354,7 +390,9 @@ class ProfilingDaemon:
         if self.state_dir is None:
             return None
         return SessionJournal(
-            self.state_dir / session_id, fsync=self._journal_fsync
+            self.state_dir / session_id,
+            fsync=self._journal_fsync,
+            governor=self._governor,
         )
 
     # -- accept / handle -------------------------------------------------
@@ -433,7 +471,24 @@ class ProfilingDaemon:
                                 )
                             )
                             break
-                    session.ingest(start, raws, stage=stage)
+                    try:
+                        session.ingest(start, raws, stage=stage)
+                    except ResourcePressure as exc:
+                        # Disk is refusing the durability barrier; the
+                        # window was NOT accepted.  Same contract as
+                        # admission shedding — RETRY_AFTER carries the
+                        # cursor to retransmit from.
+                        conn.sendall(
+                            encode_json(
+                                MessageType.RETRY_AFTER,
+                                {
+                                    "session": session.session_id,
+                                    "received": session.received,
+                                    "retry_after": exc.retry_after,
+                                },
+                            )
+                        )
+                        break
                 elif mtype == MessageType.HEARTBEAT:
                     session.touch()
                     deferred = session.deferred
@@ -511,7 +566,12 @@ class ProfilingDaemon:
         name, _capacity = offer
         try:
             ring = ShmRing.attach(name)
-        except (ValueError, OSError):
+        except (ValueError, OSError) as exc:
+            # An fd-limit or mmap failure here is resource pressure,
+            # not a bad offer; count it so STATS shows why shm rings
+            # are being declined.
+            if self._governor is not None and is_resource_error(exc):
+                self._governor.record_failure("shm-attach", exc)
             return False
         with self._shm_lock:
             self._shm_consumers[session.session_id] = _ShmConsumer(
@@ -528,6 +588,7 @@ class ProfilingDaemon:
             self._admission is not None
             and self._admission.peek() >= AdmissionStage.SHED
         ):
+            self._admission.note_hello_refused()
             conn.sendall(
                 encode_json(
                     MessageType.RETRY_AFTER,
@@ -551,6 +612,7 @@ class ProfilingDaemon:
                     clock=self.clock,
                     journal=self._new_journal(session_id),
                     checkpoint_every=self._checkpoint_every,
+                    governor=self._governor,
                 )
                 self.sessions[session_id] = session
                 resumed = False
@@ -625,6 +687,47 @@ class ProfilingDaemon:
                     conn.shutdown(socket.SHUT_RDWR)
                 except OSError:
                     pass
+        self._enforce_state_budget()
+
+    def _enforce_state_budget(self) -> None:
+        """Keep the state directory under ``--state-budget`` bytes.
+
+        Retention runs cheapest-first: force-checkpoint the fattest
+        journals (pruning their replayed segments), then evict FINISHED
+        sessions oldest-first (their reports are already delivered),
+        and only if the directory *still* overflows pin the admission
+        ladder at shed so no new bytes land until usage drops.  Every
+        action is counted on the governor — an operator reading STATS
+        sees exactly what the cap cost."""
+        gov = self._governor
+        if (
+            gov is None
+            or gov.state_budget_bytes is None
+            or self.state_dir is None
+        ):
+            return
+        if gov.measure_state(self.state_dir) <= gov.state_budget_bytes:
+            return
+        gov.note_budget_overrun()
+        with self._sessions_lock:
+            sessions = list(self.sessions.values())
+        for session in sorted(sessions, key=lambda s: s.journal_bytes(), reverse=True):
+            if session.journal_bytes() == 0:
+                break
+            session.compact()
+            if gov.measure_state(self.state_dir) <= gov.state_budget_bytes:
+                return
+        finished = [s for s in sessions if s.state == SessionState.FINISHED]
+        finished.sort(key=lambda s: s.finished_at or 0.0)
+        for session in finished:
+            with self._sessions_lock:
+                self.sessions.pop(session.session_id, None)
+            session.delete_journal()
+            gov.note_budget_eviction()
+            if gov.measure_state(self.state_dir) <= gov.state_budget_bytes:
+                return
+        # Nothing left to reclaim: stop the bleeding at admission.
+        gov.force_pressure(3)
 
     def _write_report(self, session: Session) -> None:
         if self._report_dir is None:
@@ -647,6 +750,8 @@ class ProfilingDaemon:
         }
         if self._admission is not None:
             out["admission"] = self._admission.stats()
+        elif self._governor is not None:
+            out["governor"] = self._governor.stats()
         return out
 
     def snapshot(self, session_id: str | None = None) -> dict[str, Any]:

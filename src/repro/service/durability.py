@@ -70,6 +70,7 @@ from ..testing.clock import SYSTEM_CLOCK, Clock
 from ..usecases.rules import ALL_RULES, Rule
 from ..usecases.thresholds import PAPER_THRESHOLDS, Thresholds
 from ..whatif.dag import LaneSummary
+from .governor import REAL_FS, RealFS, ResourceGovernor, is_resource_error
 from .protocol import _EVENTS_HEADER
 from .streaming import StreamingUseCaseEngine, _InstanceFold
 
@@ -359,6 +360,16 @@ class SessionJournal:
     own.  Appends are flushed to the OS per record (a SIGKILL'd
     process loses nothing already appended); ``fsync=True`` extends
     that to power loss at a heavy per-append cost.
+
+    Disk I/O goes through ``fs`` (a
+    :class:`~repro.service.governor.RealFS`, or a
+    :class:`~repro.testing.faults.FaultFS` under test) and failures are
+    classified by ``governor``.  A failed append leaves the cursor
+    untouched and *self-heals* the segment: the partial record is
+    truncated away (or, when even that fails, the segment is abandoned
+    and the next append rolls to a fresh one), so a later successful
+    append can never land behind a torn record that a crash-recovery
+    scan would treat as the end of the journal.
     """
 
     def __init__(
@@ -367,42 +378,100 @@ class SessionJournal:
         *,
         segment_max_bytes: int = 4 * 1024 * 1024,
         fsync: bool = False,
+        fs: RealFS | None = None,
+        governor: ResourceGovernor | None = None,
     ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self._segment_max = segment_max_bytes
         self._fsync = fsync
+        self._fs = fs if fs is not None else (
+            governor.fs if governor is not None else REAL_FS
+        )
+        self._governor = governor
         self._lock = threading.Lock()
         self._fh = None
+        self._closed = False
         self._segment_bytes = 0
         self.appended_events = 0
         self.checkpoints = 0
+        self.append_failures = 0
+        self.checkpoint_failures = 0
         existing = sorted(self.directory.glob(_SEGMENT_GLOB))
         self._next_index = (
             int(existing[-1].stem.split("-")[1]) + 1 if existing else 0
         )
-        self._open_segment()
+        try:
+            self._open_segment()
+        except OSError as exc:
+            # A full or failing disk at construction time (typically
+            # crash-recovery on the very volume that caused the crash)
+            # must not prevent the session from coming up: the first
+            # append retries the open, and *its* failure surfaces
+            # through the normal ResourcePressure ladder instead of
+            # aborting recovery.
+            self.append_failures += 1
+            self._record_failure("journal-open", exc)
 
     def _open_segment(self) -> None:
         path = self.directory / f"journal-{self._next_index:06d}.wal"
         self._next_index += 1
-        self._fh = path.open("wb")
-        self._fh.write(JOURNAL_MAGIC)
-        self._fh.flush()
+        fh = self._fs.open(path, "wb")
+        try:
+            self._fs.write(fh, JOURNAL_MAGIC)
+        except OSError:
+            fh.close()
+            self._fs.unlink(path)  # a magic-less file is not a segment
+            raise
+        self._fh = fh
         self._segment_bytes = len(JOURNAL_MAGIC)
 
+    def _record_failure(self, op: str, exc: OSError) -> None:
+        if self._governor is not None and is_resource_error(exc):
+            self._governor.record_failure(op, exc)
+
     def _append(self, rtype: int, payload: bytes) -> None:
-        if self._fh is None:
+        if self._closed:
             raise RuntimeError("journal already closed")
+        if self._fh is None:
+            # A previous failure abandoned the segment; start fresh.
+            try:
+                self._open_segment()
+            except OSError as exc:
+                self.append_failures += 1
+                self._record_failure("journal-append", exc)
+                raise
         record = _encode_record(rtype, payload)
-        self._fh.write(record)
-        self._fh.flush()
-        if self._fsync:
-            os.fsync(self._fh.fileno())
+        try:
+            self._fs.write(self._fh, record)
+            if self._fsync:
+                self._fs.fsync(self._fh)
+        except OSError as exc:
+            self.append_failures += 1
+            self._record_failure("journal-append", exc)
+            # Self-heal: drop whatever partial bytes the failed write
+            # left so the next append starts at a clean record boundary.
+            try:
+                self._fh.seek(self._segment_bytes)
+                self._fh.truncate(self._segment_bytes)
+                self._fh.flush()
+            except OSError:
+                try:
+                    self._fh.close()
+                except OSError:
+                    pass
+                self._fh = None  # next append rolls to a fresh segment
+            raise
         self._segment_bytes += len(record)
         if self._segment_bytes >= self._segment_max:
             self._fh.close()
-            self._open_segment()
+            self._fh = None  # stays None if the roll fails (retried later)
+            try:
+                self._open_segment()
+            except OSError as exc:
+                # The append itself landed in the closed segment; the
+                # roll is retried by the next append.
+                self._record_failure("journal-roll", exc)
 
     # -- appends (called with the session quiescent or locked) -----------
 
@@ -431,20 +500,52 @@ class SessionJournal:
         The caller guarantees ``state`` covers every event appended so
         far (``applied == received`` and the engine flushed); only then
         is deleting the old segments sound.
+
+        A resource failure while writing the checkpoint leaves the old
+        checkpoint and every journal segment in place (the ``.tmp`` +
+        ``replace`` dance means a torn write is never visible), counts
+        the failure, and re-raises; the caller skips the checkpoint and
+        retries later.
         """
         with self._lock:
-            if self._fh is None:
+            if self._closed:
                 raise RuntimeError("journal already closed")
             tmp = self.directory / (_CHECKPOINT_NAME + ".tmp")
-            tmp.write_text(json.dumps(state, separators=(",", ":")))
-            os.replace(tmp, self.directory / _CHECKPOINT_NAME)
-            self._fh.close()
+            try:
+                self._fs.write_text(tmp, json.dumps(state, separators=(",", ":")))
+                self._fs.replace(tmp, self.directory / _CHECKPOINT_NAME)
+            except OSError as exc:
+                self.checkpoint_failures += 1
+                self._record_failure("checkpoint", exc)
+                try:
+                    self._fs.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
             keep_from = self._next_index
-            self._open_segment()
+            try:
+                self._open_segment()
+            except OSError as exc:
+                self._record_failure("journal-roll", exc)
             for seg in self.directory.glob(_SEGMENT_GLOB):
                 if int(seg.stem.split("-")[1]) < keep_from:
-                    seg.unlink(missing_ok=True)
+                    try:
+                        self._fs.unlink(seg)
+                    except OSError:
+                        pass  # pruning is an optimization, not a promise
             self.checkpoints += 1
+
+    def size_bytes(self) -> int:
+        """On-disk footprint of this session (segments + checkpoint),
+        for state-budget accounting."""
+        total = 0
+        for child in self.directory.glob(_SEGMENT_GLOB):
+            total += self._fs.size(child)
+        total += self._fs.size(self.directory / _CHECKPOINT_NAME)
+        return total
 
     # -- reads (deferred-window replay) ----------------------------------
 
@@ -454,11 +555,19 @@ class SessionJournal:
 
         Safe while the journal is open for appending: appends flush per
         record, so every complete record is visible to the reader.
+
+        The cursor advances monotonically across records, so a journal
+        holding retransmit overlap (a legal state — e.g. a window that
+        landed twice around a crash) yields each stream index exactly
+        once, the same dedup :func:`recover_session_dir` applies.
+        Feeding an overlapping record twice would double-fold events
+        into the engine.
         """
         with self._lock:
             if self._fh is not None:
                 self._fh.flush()
             segments = sorted(self.directory.glob(_SEGMENT_GLOB))
+        cursor = from_index
         for segment in segments:
             records, _ = scan_segment(segment)
             for rtype, payload in records:
@@ -466,15 +575,17 @@ class SessionJournal:
                     continue
                 start, raws = _decode_events_payload(payload)
                 end = start + len(raws)
-                if end <= from_index:
+                if end <= cursor:
                     continue
-                if start < from_index:
-                    yield from_index, raws[from_index - start :]
+                if start < cursor:
+                    yield cursor, raws[cursor - start :]
                 else:
                     yield start, raws
+                cursor = end
 
     def close(self) -> None:
         with self._lock:
+            self._closed = True
             if self._fh is not None:
                 self._fh.close()
                 self._fh = None
@@ -500,7 +611,9 @@ def _decode_events_payload(payload: bytes) -> tuple[int, list[RawEvent]]:
     ]
 
 
-def scan_segment(path: str | Path) -> tuple[list[tuple[int, bytes]], int | None]:
+def scan_segment(
+    path: str | Path, *, fs: RealFS | None = None
+) -> tuple[list[tuple[int, bytes]], int | None]:
     """Read one segment; returns ``(records, torn_offset)``.
 
     ``torn_offset`` is the byte offset of the first incomplete or
@@ -510,7 +623,7 @@ def scan_segment(path: str | Path) -> tuple[list[tuple[int, bytes]], int | None]
     after it is not.
     """
     path = Path(path)
-    data = path.read_bytes()
+    data = (fs if fs is not None else REAL_FS).read_bytes(path)
     if not data.startswith(JOURNAL_MAGIC):
         raise ValueError(f"{path}: not a DSspy journal segment")
     records: list[tuple[int, bytes]] = []
@@ -628,6 +741,19 @@ def recover_session_dir(
                     received = end
                 if end <= applied:
                     continue  # checkpoint already covers this window
+                if start > applied:
+                    # Cursor gap: events [applied, start) exist on no
+                    # disk.  Jump the cursor rather than letting it lag
+                    # — a lagging ``applied`` would make the resurrected
+                    # session re-drain (and double-fold) the tail the
+                    # engine is about to absorb right here.  The loss
+                    # itself is fsck's to flag; recovery just must not
+                    # compound it.
+                    notes.append(
+                        f"{segment.name}: cursor gap {applied}..{start}, "
+                        f"{start - applied} events lost"
+                    )
+                    applied = start
                 fresh = raws[applied - start :] if start < applied else raws
                 engine.feed_window(fresh)
                 applied += len(fresh)
@@ -662,14 +788,29 @@ def scan_state_dir(state_dir: str | Path) -> list[Path]:
 
 
 class AdmissionStage:
-    """Degradation ladder positions (ints: comparisons are ordering)."""
+    """Degradation ladder positions (ints: comparisons are ordering).
+
+    ``JOURNAL_COMPACT`` is the disk-pressure rung: ingest continues at
+    full fidelity but every window force-checkpoints the session,
+    which prunes journal segments — the one ladder step that *frees*
+    resources instead of consuming fewer.  Rate overload never selects
+    it (sampling is the right answer there); only the
+    :class:`~repro.service.governor.ResourceGovernor` does.
+    """
 
     NORMAL = 0
     DECIMATE = 1
-    JOURNAL = 2
-    SHED = 3
+    JOURNAL_COMPACT = 2
+    JOURNAL = 3
+    SHED = 4
 
-    _NAMES = {0: "normal", 1: "decimate", 2: "journal", 3: "shed"}
+    _NAMES = {
+        0: "normal",
+        1: "decimate",
+        2: "journal-compact",
+        3: "journal",
+        4: "shed",
+    }
 
     @classmethod
     def name(cls, stage: int) -> str:
@@ -703,6 +844,7 @@ class AdmissionController:
         shed_at: float = 4.0,
         retry_after: float = 2.0,
         clock: Clock = SYSTEM_CLOCK,
+        governor: ResourceGovernor | None = None,
     ) -> None:
         if not (0 < decimate_at <= journal_at <= shed_at):
             raise ValueError(
@@ -717,9 +859,11 @@ class AdmissionController:
         self.journal_at = journal_at
         self.shed_at = shed_at
         self.retry_after = retry_after
+        self.governor = governor
         self._global_rate = RateMeter(clock=clock)
         self._lock = threading.Lock()
-        self.windows_by_stage = {stage: 0 for stage in range(4)}
+        self.windows_by_stage = {stage: 0 for stage in range(5)}
+        self.refused_hellos = 0
 
     def _stage_for(self, load: float) -> int:
         if load >= self.shed_at:
@@ -738,36 +882,61 @@ class AdmissionController:
             load = max(load, session_rate / self.session_quota)
         return load
 
+    def _pressure_stage(self) -> int:
+        """The resource governor's demanded stage (NORMAL without one).
+        Taken *outside* the controller lock — the governor has its own."""
+        if self.governor is None:
+            return AdmissionStage.NORMAL
+        return self.governor.pressure_stage()
+
     def admit(self, session, n: int) -> int:
         """Account ``n`` incoming events and return the stage to apply.
 
         ``session`` supplies its own :class:`RateMeter` (``.rate``);
-        the controller owns the global one.
+        the controller owns the global one.  The verdict is the worse
+        of the rate ladder and the resource governor's pressure ladder.
         """
+        pressure = self._pressure_stage()
         with self._lock:
             self._global_rate.tick(n)
             stage = self._stage_for(self._load(session.rate.rate(min_span=1.0)))
+            stage = max(stage, pressure)
             self.windows_by_stage[stage] += 1
             return stage
 
     def peek(self) -> int:
         """Current global stage without accounting anything (used to
         turn away a HELLO while shedding)."""
+        pressure = self._pressure_stage()
         with self._lock:
-            return self._stage_for(self._load(0.0))
+            return max(self._stage_for(self._load(0.0)), pressure)
+
+    def note_hello_refused(self) -> None:
+        """Account one HELLO turned away while shedding — part of the
+        no-silent-loss ledger: every RETRY-AFTER the daemon ever sends
+        must be visible in some counter."""
+        with self._lock:
+            self.refused_hellos += 1
 
     def stats(self) -> dict[str, Any]:
+        pressure = self._pressure_stage()
         with self._lock:
-            return {
+            out = {
                 "global_events_per_sec": round(self._global_rate.rate(min_span=1.0), 1),
                 "global_quota": self.global_quota,
                 "session_quota": self.session_quota,
-                "stage": AdmissionStage.name(self._stage_for(self._load(0.0))),
+                "stage": AdmissionStage.name(
+                    max(self._stage_for(self._load(0.0)), pressure)
+                ),
                 "windows_by_stage": {
                     AdmissionStage.name(s): n
                     for s, n in self.windows_by_stage.items()
                 },
+                "refused_hellos": self.refused_hellos,
             }
+        if self.governor is not None:
+            out["governor"] = self.governor.stats()
+        return out
 
 
 def warn_notes(session_id: str, notes: list[str]) -> None:

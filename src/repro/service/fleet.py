@@ -40,6 +40,7 @@ sharding decision.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -703,6 +704,7 @@ class ResultCache:
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.lock_takeovers = 0
 
     @staticmethod
     def key(config: dict[str, Any]) -> str:
@@ -727,11 +729,89 @@ class ResultCache:
 
     def put(self, config: dict[str, Any], result: dict[str, Any]) -> None:
         path = self.path(config)
-        tmp = path.with_suffix(".tmp")
+        # pid-suffixed tmp: two processes racing to fill the same entry
+        # never tear each other's tmp file; last replace wins whole.
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
         tmp.write_text(
             json.dumps({"config": config, "result": result}), encoding="utf-8"
         )
         os.replace(tmp, path)  # atomic: a torn write is never a valid entry
+
+    @contextlib.contextmanager
+    def lock(self, config: dict[str, Any], *, timeout: float = 600.0,
+             poll: float = 0.05):
+        """Advisory per-entry exclusive lock, so concurrent ``fleet_run``
+        invocations sharing one cache dir compute each miss once.
+
+        Uses ``fcntl.flock`` where available: the kernel releases the
+        lock when the holder dies, so a crashed holder is taken over
+        automatically (the leftover ``.lock`` file is inert and is
+        deliberately never unlinked — unlinking a flock'd path races a
+        third process onto a fresh inode and splits the lock).  Where
+        ``fcntl`` is missing the fallback is a pid lock file; a holder
+        pid that no longer exists is removed and taken over.  Raises
+        ``TimeoutError`` when a *live* holder keeps the lock past
+        ``timeout`` — callers should treat that as "compute without the
+        lock": duplicated work is safe, deadlock is not.
+        """
+        path = self.root / f"{self.key(config)}.lock"
+        try:
+            import fcntl
+        except ImportError:  # pragma: no cover - non-POSIX fallback
+            fcntl = None
+        deadline = time.monotonic() + timeout
+        fh = None
+        acquired = False
+        try:
+            while True:
+                if fcntl is not None:
+                    fh = open(path, "a+", encoding="utf-8")
+                    try:
+                        fcntl.flock(fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+                        acquired = True
+                        break
+                    except OSError:
+                        fh.close()
+                        fh = None
+                else:  # pragma: no cover - non-POSIX fallback
+                    try:
+                        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                        os.write(fd, str(os.getpid()).encode("ascii"))
+                        os.close(fd)
+                        acquired = True
+                        break
+                    except FileExistsError:
+                        try:
+                            holder = int(path.read_text(encoding="ascii"))
+                            os.kill(holder, 0)  # raises if the pid is gone
+                        except (OSError, ValueError):
+                            try:
+                                path.unlink()
+                                self.lock_takeovers += 1
+                            except OSError:
+                                pass
+                            continue
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"cache entry lock {path.name} held past {timeout}s"
+                    )
+                time.sleep(poll)
+            if fh is not None:
+                # Record the holder for operators (`cat *.lock`); the
+                # flock itself, not this pid, is the source of truth.
+                fh.seek(0)
+                fh.truncate()
+                fh.write(f"{os.getpid()}\n")
+                fh.flush()
+            yield
+        finally:
+            if fh is not None:
+                fh.close()  # closing drops the flock
+            elif fcntl is None and acquired:  # pragma: no cover
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.json"))
@@ -808,7 +888,7 @@ def fleet_run(
 
     lock = threading.Lock()
 
-    def run_one(config: dict[str, Any]) -> None:
+    def execute(config: dict[str, Any]) -> None:
         target = address
         if workers:
             target = workers[shard_for(config["session"], len(workers))]
@@ -842,6 +922,25 @@ def fleet_run(
             results[config["session"]] = result
         if on_progress is not None:
             on_progress("ran", config)
+
+    def run_one(config: dict[str, Any]) -> None:
+        # The entry lock serializes concurrent fleet_run invocations
+        # sharing this cache dir; whoever loses the race re-checks the
+        # cache and takes the winner's result instead of recomputing.
+        try:
+            with cache.lock(config, timeout=task_timeout):
+                cached = cache.get(config)
+                if cached is not None:
+                    with lock:
+                        results[config["session"]] = cached
+                    if on_progress is not None:
+                        on_progress("cached", config)
+                    return
+                execute(config)
+        except TimeoutError:
+            # A live holder wedged past the task timeout: duplicated
+            # work is safe, waiting forever is not.
+            execute(config)
 
     threads: list[threading.Thread] = []
     queue = list(pending)

@@ -128,6 +128,7 @@ class IngestPipeline:
 
         self.decimated = 0
         self.spilled = 0
+        self.spill_corrupt_skipped = 0
         self._decim_counter = 0
         self._spill_writer: SpillWriter | None = None
         self._spill_path: str | None = None
@@ -224,8 +225,14 @@ class IngestPipeline:
             self._spill_writer = None
             self._spill_path = None
             backlog = self._spill_backlog
+        def count_skips(n: int) -> None:
+            # Surfaced through session STATS ("spill_corrupt_skipped"):
+            # a corrupt record dropped here is data loss and must be
+            # visible to operators, not just a RuntimeWarning.
+            self.spill_corrupt_skipped += n
+
         window: list[RawEvent] = []
-        for raw in iter_spill_raw(path):
+        for raw in iter_spill_raw(path, on_skip=count_skips):
             window.append(raw)
             if len(window) >= 4096:
                 self._fold(window)
@@ -313,6 +320,7 @@ class Session:
         journal=None,
         checkpoint_every: int = 0,
         decimate_stride: int = 10,
+        governor=None,
     ) -> None:
         self.session_id = session_id
         self.engine = engine
@@ -321,7 +329,10 @@ class Session:
         self.applied = 0  # events handed to the engine path
         self.duplicates = 0
         self.admission_decimated = 0
+        self.refused_windows = 0  # windows turned away under resource pressure
+        self.forced_checkpoints = 0  # journal-compact rung compactions
         self.recovered = False
+        self._governor = governor
         self.last_stage = 0  # AdmissionStage.NORMAL
         self.journal = journal
         self._checkpoint_every = checkpoint_every
@@ -365,9 +376,15 @@ class Session:
         ``stage`` is the admission controller's verdict for this
         window (:class:`~repro.service.durability.AdmissionStage`);
         SHED never reaches here — the daemon refuses the window before
-        calling in.
+        calling in.  A journal append that fails on a resource error
+        (disk full, fd exhaustion) raises
+        :class:`~repro.service.governor.ResourcePressure` with the
+        cursor untouched: the window is *refused*, never half-accepted,
+        and the client's backoff retransmits it — after a best-effort
+        compaction attempt to free journal segments.
         """
         from .durability import AdmissionStage
+        from .governor import ResourcePressure, is_resource_error
 
         with self._lock:
             if self.state == SessionState.FINISHED:
@@ -387,7 +404,28 @@ class Session:
             # cursor moves, so a cursor the client ever observes only
             # covers events that survive a daemon death.
             if self.journal is not None:
-                self.journal.append_events(self.received, fresh)
+                try:
+                    self.journal.append_events(self.received, fresh)
+                except OSError as exc:
+                    if not is_resource_error(exc):
+                        raise
+                    # The governor was already notified by the journal;
+                    # try to reclaim disk, then refuse the window with
+                    # full accounting.
+                    self._compact_locked(best_effort=True)
+                    self.refused_windows += 1
+                    if self._governor is not None:
+                        self._governor.note_refused()
+                    retry = (
+                        self._governor.retry_after
+                        if self._governor is not None
+                        else 2.0
+                    )
+                    raise ResourcePressure(
+                        f"session {self.session_id}: journal append "
+                        f"refused under resource pressure ({exc})",
+                        retry_after=retry,
+                    ) from exc
             self.received += len(fresh)
             self.touch()
             self.rate.tick(len(fresh))
@@ -413,7 +451,12 @@ class Session:
             self.applied = self.received
             if fresh:
                 self.pipeline.submit(fresh)
-            self._maybe_checkpoint_locked()
+            if stage == AdmissionStage.JOURNAL_COMPACT:
+                # Disk-pressure rung: checkpoint *now* — pruning the
+                # journal segments behind it is what frees space.
+                self._compact_locked()
+            else:
+                self._maybe_checkpoint_locked()
         return self.received - start - skip
 
     def _admission_decimate(self, batch: list[RawEvent]) -> tuple[list[RawEvent], int]:
@@ -450,8 +493,34 @@ class Session:
             self.pipeline.flush(timeout=5.0)
         except TimeoutError:
             return  # folder busy; try again on a later window
-        self.journal.checkpoint(self._checkpoint_state())
+        try:
+            self.journal.checkpoint(self._checkpoint_state())
+        except OSError:
+            # Recorded by the journal/governor; the old checkpoint and
+            # every segment are intact, so skipping is always safe.
+            return
         self._last_checkpoint = self.received
+
+    def _compact_locked(self, best_effort: bool = False) -> None:
+        """Force a checkpoint to prune journal segments (caller holds
+        the lock).  Only sound when the engine covers every received
+        event; a deferred backlog or a busy folder skips silently —
+        compaction is pressure relief, not a correctness step."""
+        if (
+            self.journal is None
+            or self.applied != self.received
+            or self.received == self._last_checkpoint
+        ):
+            return
+        try:
+            self.pipeline.flush(timeout=1.0 if best_effort else 5.0)
+            self.journal.checkpoint(self._checkpoint_state())
+        except (TimeoutError, OSError):
+            return
+        self._last_checkpoint = self.received
+        self.forced_checkpoints += 1
+        if self._governor is not None:
+            self._governor.note_compaction()
 
     def _checkpoint_state(self) -> dict[str, Any]:
         from .durability import CHECKPOINT_VERSION, engine_to_dict
@@ -464,6 +533,20 @@ class Session:
             "duplicates": self.duplicates,
             "engine": engine_to_dict(self.engine),
         }
+
+    def compact(self) -> bool:
+        """Force a checkpoint to shrink the on-disk journal; the
+        daemon's state-budget enforcement calls this on the fattest
+        sessions first.  Returns whether a checkpoint was written."""
+        with self._lock:
+            before = self.forced_checkpoints
+            self._compact_locked()
+            return self.forced_checkpoints > before
+
+    def journal_bytes(self) -> int:
+        """On-disk footprint of this session's journal (0 without one)."""
+        journal = self.journal
+        return journal.size_bytes() if journal is not None else 0
 
     def register(self, instance_id: int, kind, site, label) -> None:
         with self._lock:
@@ -517,7 +600,16 @@ class Session:
                 self.state = SessionState.FINISHED
                 self.finished_at = self._clock.monotonic()
                 if self.journal is not None:
-                    self.journal.append_fin()
+                    try:
+                        self.journal.append_fin()
+                    except OSError:
+                        # Every event the report covers is already
+                        # journaled; the FIN marker only lets recovery
+                        # skip the replay-and-report step.  A full disk
+                        # here must not turn a finished session into an
+                        # unackable retry loop — the journal already
+                        # classified the failure with the governor.
+                        pass
                     self.journal.close()
             return self._report_dict
 
@@ -577,6 +669,12 @@ class Session:
                 "duplicates": self.duplicates,
                 "decimated": self.pipeline.decimated + self.admission_decimated,
                 "spilled": self.pipeline.spilled,
+                "spill_corrupt_skipped": self.pipeline.spill_corrupt_skipped,
+                "refused_windows": self.refused_windows,
+                "forced_checkpoints": self.forced_checkpoints,
+                "append_failures": (
+                    self.journal.append_failures if self.journal is not None else 0
+                ),
                 "dropped_unknown_instance": engine.unknown_instance_events,
                 "instances": engine.instances_analyzed,
                 "events_per_sec": round(self.rate.rate(), 1),

@@ -14,6 +14,9 @@ ingest → analysis path reproducible on demand:
   duplicates, reorders, corrupt records, stalls, and partial frames.
 - :mod:`~repro.testing.oracle` — the differential oracle asserting
   batch, streaming, and full daemon-round-trip analysis agree exactly.
+- :mod:`~repro.testing.chaos` — the time-boxed chaos soak: randomized
+  kill/disk/storm schedules against the no-silent-loss ledger
+  (``dsspy chaos``).
 - :mod:`~repro.testing.shrink` — delta-debugging minimization of
   failing traces.
 - :mod:`~repro.testing.hostile` — client-side injected faults (raising
@@ -34,8 +37,12 @@ package for the clock; eager imports here would make that a cycle.
 from .clock import SYSTEM_CLOCK, Clock, SimClock, SystemClock
 
 _LAZY = {
+    "ChaosSoak": "chaos",
+    "ChaosTrialResult": "chaos",
+    "InvariantMonitor": "chaos",
     "FAULT_KINDS": "faults",
     "Fault": "faults",
+    "FaultFS": "faults",
     "FaultPlan": "faults",
     "FaultProxy": "faults",
     "CLIENT_FAULT_KINDS": "hostile",

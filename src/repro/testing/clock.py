@@ -83,6 +83,7 @@ class SimClock(Clock):
         self._now = float(start)
         self._start = float(start)
         self._epoch = float(epoch)
+        self.skewed = 0.0  # cumulative wall-clock skew injected via skew()
         self._cond = threading.Condition()
 
     def monotonic(self) -> float:
@@ -101,6 +102,22 @@ class SimClock(Clock):
             self._now += seconds
             self._cond.notify_all()
             return self._now
+
+    def skew(self, seconds: float) -> float:
+        """Shift the *wall* clock by ``seconds`` (either direction)
+        without moving monotonic time — an NTP step or a VM migration.
+
+        Every policy deadline in the service compares ``monotonic()``
+        readings, so a skewed wall clock must change nothing but
+        display output (``uptime_sec``, report timestamps).  The chaos
+        harness injects skew mid-soak to keep that property honest.
+        Returns the new wall time.
+        """
+        with self._cond:
+            self._epoch += seconds
+            self.skewed += seconds
+            self._cond.notify_all()
+            return self._epoch + (self._now - self._start)
 
     def sleep(self, seconds: float) -> None:
         """Block until virtual time reaches ``now + seconds``.

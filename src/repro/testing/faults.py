@@ -47,11 +47,15 @@ guarantees every trial eventually completes.
 
 from __future__ import annotations
 
+import errno
+import os
 import random
 import socket
 import threading
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO
 
 from ..events.spill import RECORD_SIZE
 from ..service.protocol import (
@@ -329,6 +333,222 @@ class FaultProxy:
         self.close()
 
 
+class FaultFS:
+    """A filesystem that runs out of things, on schedule.
+
+    Duck-types :class:`repro.service.governor.RealFS` so it can be
+    injected anywhere the durability layer takes an ``fs`` — journal
+    appends, checkpoint renames, state-budget measurement — and makes
+    the resource-exhaustion branches deterministically reachable:
+
+    ``enospc_after_bytes``
+        A write budget.  Once cumulative written bytes reach it, every
+        mutating operation (write, write_text, replace) raises
+        ``ENOSPC`` until :meth:`relieve` frees space.  With
+        ``partial_writes`` the failing write first lands as many bytes
+        as still fit — the torn-record case the journal's self-healing
+        truncate exists for.
+    ``eio_every_reads``
+        Every k-th read (``read_bytes``/``read_text``) raises ``EIO``
+        — a disk developing bad sectors under a recovery scan.
+    ``fsync_stall_seconds``
+        Every fsync sleeps this long (real time) before completing — a
+        saturated device making the durability barrier *slow* rather
+        than broken.
+
+    Failure decisions are counter-based, not sampled per call, so a
+    single-threaded test replays exactly; :meth:`from_seed` rolls a
+    randomized-but-reproducible configuration for the chaos harness,
+    and :meth:`from_spec` parses the ``--fault-fs`` CLI string a fleet
+    worker subprocess uses to build the same thing.
+
+    Deliberately unmodeled: per-path accounting (``unlink`` does not
+    refund budget — freed segments and a full disk racing each other is
+    exactly the pressure the governor must survive anyway).
+    """
+
+    def __init__(
+        self,
+        *,
+        enospc_after_bytes: int | None = None,
+        partial_writes: bool = False,
+        eio_every_reads: int | None = None,
+        fsync_stall_seconds: float = 0.0,
+    ) -> None:
+        if enospc_after_bytes is not None and enospc_after_bytes < 0:
+            raise ValueError(f"enospc_after_bytes must be >= 0, got {enospc_after_bytes}")
+        if eio_every_reads is not None and eio_every_reads <= 0:
+            raise ValueError(f"eio_every_reads must be positive, got {eio_every_reads}")
+        self.enospc_after_bytes = enospc_after_bytes
+        self.partial_writes = partial_writes
+        self.eio_every_reads = eio_every_reads
+        self.fsync_stall_seconds = fsync_stall_seconds
+        self._lock = threading.Lock()
+        self.bytes_written = 0
+        self.reads = 0
+        self.writes_failed = 0
+        self.reads_failed = 0
+        self.fsync_stalls = 0
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_seed(cls, seed: int, *, intensity: float = 0.6) -> "FaultFS":
+        """Roll a reproducible disk-fault profile for one chaos trial."""
+        rng = random.Random(seed)
+        kwargs: dict = {}
+        if rng.random() < intensity:
+            kwargs["enospc_after_bytes"] = rng.randrange(512, 1 << 20)
+            kwargs["partial_writes"] = rng.random() < 0.5
+        if rng.random() < intensity * 0.5:
+            kwargs["eio_every_reads"] = rng.randrange(5, 50)
+        if rng.random() < intensity * 0.3:
+            kwargs["fsync_stall_seconds"] = rng.uniform(0.001, 0.01)
+        return cls(**kwargs)
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultFS":
+        """Parse a ``--fault-fs`` string: comma-separated
+        ``enospc-after=N``, ``partial``, ``eio-every=K``,
+        ``fsync-stall=SECS``, or ``seed=N`` (which rolls everything
+        else via :meth:`from_seed` and ignores other keys)."""
+        kwargs: dict = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, _, value = part.partition("=")
+            if key == "seed":
+                return cls.from_seed(int(value))
+            if key == "enospc-after":
+                kwargs["enospc_after_bytes"] = int(value)
+            elif key == "partial":
+                kwargs["partial_writes"] = value in ("", "1", "true")
+            elif key == "eio-every":
+                kwargs["eio_every_reads"] = int(value)
+            elif key == "fsync-stall":
+                kwargs["fsync_stall_seconds"] = float(value)
+            else:
+                raise ValueError(
+                    f"unknown --fault-fs key {key!r} in {spec!r}; expected "
+                    "enospc-after/partial/eio-every/fsync-stall/seed"
+                )
+        return cls(**kwargs)
+
+    # -- fault controls ---------------------------------------------------
+
+    def relieve(self, extra_bytes: int | None = None) -> None:
+        """The operator freed disk space: lift the ENOSPC budget
+        entirely, or extend it by ``extra_bytes``."""
+        with self._lock:
+            if extra_bytes is None:
+                self.enospc_after_bytes = None
+            elif self.enospc_after_bytes is not None:
+                self.enospc_after_bytes += extra_bytes
+
+    def _charge_write(self, size: int) -> int:
+        """Budget one write of ``size`` bytes; returns how many bytes
+        may land (< size means a partial write precedes the failure).
+        Raises ENOSPC when nothing fits."""
+        with self._lock:
+            if self.enospc_after_bytes is None:
+                self.bytes_written += size
+                return size
+            room = self.enospc_after_bytes - self.bytes_written
+            if room >= size:
+                self.bytes_written += size
+                return size
+            self.writes_failed += 1
+            landed = max(0, room) if self.partial_writes else 0
+            self.bytes_written += landed
+        if landed:
+            return landed
+        raise OSError(errno.ENOSPC, "FaultFS: write budget exhausted")
+
+    def _charge_read(self, path) -> None:
+        with self._lock:
+            self.reads += 1
+            if (
+                self.eio_every_reads is not None
+                and self.reads % self.eio_every_reads == 0
+            ):
+                self.reads_failed += 1
+                raise OSError(errno.EIO, f"FaultFS: scripted read error on {path}")
+
+    # -- the RealFS surface -----------------------------------------------
+
+    def open(self, path: str | Path, mode: str = "wb") -> IO[bytes]:
+        return Path(path).open(mode)
+
+    def write(self, fh: IO[bytes], data: bytes) -> None:
+        landed = self._charge_write(len(data))
+        if landed < len(data):
+            # Partial write, then the failure the caller must heal from.
+            fh.write(data[:landed])
+            fh.flush()
+            raise OSError(errno.ENOSPC, "FaultFS: disk filled mid-write")
+        fh.write(data)
+        fh.flush()
+
+    def fsync(self, fh: IO[bytes]) -> None:
+        if self.fsync_stall_seconds:
+            with self._lock:
+                self.fsync_stalls += 1
+            time.sleep(self.fsync_stall_seconds)
+        os.fsync(fh.fileno())
+
+    def read_bytes(self, path: str | Path) -> bytes:
+        self._charge_read(path)
+        return Path(path).read_bytes()
+
+    def read_text(self, path: str | Path) -> str:
+        self._charge_read(path)
+        return Path(path).read_text()
+
+    def write_text(self, path: str | Path, text: str) -> None:
+        data = text.encode()
+        landed = self._charge_write(len(data))
+        if landed < len(data):
+            Path(path).write_bytes(data[:landed])
+            raise OSError(errno.ENOSPC, "FaultFS: disk filled mid-write")
+        Path(path).write_text(text)
+
+    def replace(self, src: str | Path, dst: str | Path) -> None:
+        # A rename allocates directory blocks; once the budget is gone
+        # it fails too (the checkpoint-rename failure branch).
+        self._charge_write(0 if self.enospc_after_bytes is None else 1)
+        os.replace(src, dst)
+
+    def unlink(self, path: str | Path) -> None:
+        Path(path).unlink(missing_ok=True)
+
+    def size(self, path: str | Path) -> int:
+        try:
+            return Path(path).stat().st_size
+        except OSError:
+            return 0
+
+    def tree_bytes(self, root: str | Path) -> int:
+        total = 0
+        for dirpath, _dirnames, filenames in os.walk(root):
+            for name in filenames:
+                total += self.size(Path(dirpath) / name)
+        return total
+
+    # -- observability ----------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "bytes_written": self.bytes_written,
+                "writes_failed": self.writes_failed,
+                "reads": self.reads,
+                "reads_failed": self.reads_failed,
+                "fsync_stalls": self.fsync_stalls,
+                "enospc_after_bytes": self.enospc_after_bytes,
+            }
+
+
 def _swap_halves(payload: bytes) -> bytes:
     """Split one EVENTS window into two frames and emit them in the
     wrong order (later stream indices first)."""
@@ -344,4 +564,4 @@ def _swap_halves(payload: bytes) -> bytes:
     return encode_frame(MessageType.EVENTS, late) + encode_frame(MessageType.EVENTS, early)
 
 
-__all__ = ["FAULT_KINDS", "Fault", "FaultPlan", "FaultProxy"]
+__all__ = ["FAULT_KINDS", "Fault", "FaultFS", "FaultPlan", "FaultProxy"]

@@ -66,6 +66,26 @@ class TestCheck:
         assert len(failures) == 1
         assert "tracked_batching_vs_plain" in failures[0]
 
+    def test_kernel_mismatch_reports_loudly_but_never_fails(self):
+        # A minimal runner without the compiled _fastrecord extension
+        # measures pure-python ratios an order of magnitude above the
+        # C-kernel baseline; that must surface as a NOT ENFORCED note,
+        # not a hard failure that masks the job's real results.
+        current = _doc(derived={m: 300.0 for m in GATED_METRICS})
+        base = _doc(record_kernel="c", gates={"tracked_batching_vs_plain": 5.0})
+        failures, report = check(current, base, max_regression=0.10)
+        assert failures == []
+        assert any("NOT ENFORCED" in line for line in report)
+        assert any("record kernel mismatch" in line for line in report)
+
+    def test_matching_kernels_still_enforce(self):
+        # The mismatch escape hatch must not weaken same-kernel runs.
+        base = _doc(gates={"tracked_batching_vs_plain": 5.0})
+        failures, _ = check(
+            _doc(derived={"tracked_batching_vs_plain": 30.0}), base
+        )
+        assert failures  # regression and ceiling both violated
+
     def test_improvement_never_fails(self):
         failures, _ = check(_doc(derived={m: 1.0 for m in GATED_METRICS}), _doc())
         assert failures == []

@@ -105,6 +105,52 @@ class TestJournalRoundtrip:
                 replayed.extend(raws)
         assert replayed == trace.events[cursor:]
 
+    def test_retransmit_overlap_past_cursor_is_trimmed_not_refolded(self, tmp_path):
+        # A window that landed twice around a crash (retransmit overlap
+        # — a legal journal state) must yield each stream index exactly
+        # once.  Before the monotone-cursor fix the second record was
+        # yielded whole, double-folding 32 events into the engine: the
+        # chaos soak caught that as a report divergence.
+        trace = generate_trace(3)  # 556 events
+        with SessionJournal(tmp_path / "j") as journal:
+            journal.append_events(0, trace.events[0:64])
+            journal.append_events(32, trace.events[32:128])
+            replayed = []
+            for start, raws in journal.iter_event_windows(0):
+                assert start == len(replayed)
+                replayed.extend(raws)
+        assert replayed == trace.events[:128]
+
+    def test_fully_covered_duplicate_window_is_skipped(self, tmp_path):
+        trace = generate_trace(3)  # 556 events
+        with SessionJournal(tmp_path / "j") as journal:
+            journal.append_events(0, trace.events[0:64])
+            journal.append_events(64, trace.events[64:128])
+            # Duplicate entirely behind the cursor by the time the
+            # reader reaches it.
+            journal.append_events(32, trace.events[32:96])
+            journal.append_events(128, trace.events[128:160])
+            replayed = []
+            for start, raws in journal.iter_event_windows(0):
+                assert start == len(replayed)
+                replayed.extend(raws)
+        assert replayed == trace.events[:160]
+
+    def test_cursor_gap_recovery_keeps_applied_equal_to_received(self, tmp_path):
+        # A gap means events exist on no disk — recovery must note the
+        # loss and jump its cursor, not leave ``applied`` lagging
+        # ``received``: a resurrected session with a phantom backlog
+        # re-drains (and double-folds) journal events its engine
+        # already absorbed during replay.
+        trace = generate_trace(3)  # 556 events
+        with SessionJournal(tmp_path / "j") as journal:
+            journal.append_events(0, trace.events[0:64])
+            journal.append_events(96, trace.events[96:160])  # 64..96 lost
+        recovered = recover_session_dir(tmp_path / "j")
+        assert recovered.received == 160
+        assert recovered.applied == recovered.received
+        assert any("cursor gap 64..96" in n for n in recovered.notes)
+
     def test_segments_roll_and_still_replay_completely(self, tmp_path):
         trace = generate_trace(3)  # 556 events
         journal = SessionJournal(tmp_path / "j", segment_max_bytes=2000)

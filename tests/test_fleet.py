@@ -186,6 +186,29 @@ class TestRouter:
             channel.post((1, 0, 0, 0, 1, 0, None))
             channel.drain()
 
+    def test_worker_down_error_frame_names_worker(self, fleet):
+        # The raw protocol view of the same failure: HELLO for a
+        # session whose shard owner is down must be answered with an
+        # ERROR frame that names the unreachable worker, not a silent
+        # connection drop.
+        router, daemons = fleet
+        sid = "err-frame-session"
+        dead = daemons[shard_for(sid, 2)]
+        dead_address = dead.address
+        dead.close()
+        from repro.service import ServiceClient
+        from repro.service.protocol import ProtocolError
+
+        with pytest.raises(ProtocolError, match="unreachable") as excinfo:
+            ServiceClient(router.address, session_id=sid)
+        assert dead_address in str(excinfo.value)
+        # The other shard still routes: the fleet is degraded, not down.
+        alive_sid = next(
+            f"alive-{i}" for i in range(100)
+            if daemons[shard_for(f"alive-{i}", 2)].address != dead_address
+        )
+        _ingest(router.address, alive_sid, events=4)
+
     def test_coordinator_merges_across_workers(self, fleet):
         router, daemons = fleet
         # Pick ids that provably span both shards.
@@ -231,6 +254,76 @@ class TestResultCache:
         cache.put(config, {"ok": True})
         cache.path(config).write_text("{torn", encoding="utf-8")
         assert cache.get(config) is None
+
+    def test_entry_lock_is_exclusive_and_reentrant_after_release(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = {"session": "locked"}
+        with cache.lock(config):
+            other = ResultCache(tmp_path)
+            with pytest.raises(TimeoutError):
+                with other.lock(config, timeout=0.2, poll=0.02):
+                    pass
+        # Released on exit: immediately acquirable again.
+        with cache.lock(config, timeout=0.2):
+            pass
+
+    def test_lock_survives_holder_crash(self, tmp_path):
+        # flock dies with the holder process: a SIGKILL'd holder's lock
+        # is taken over without any timeout or manual cleanup.
+        cache = ResultCache(tmp_path)
+        config = {"session": "crashed"}
+        holder = subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                "from repro.service import ResultCache; import sys, time\n"
+                f"c = ResultCache({str(tmp_path)!r})\n"
+                "ctx = c.lock({'session': 'crashed'})\n"
+                "ctx.__enter__()\n"
+                "print('held', flush=True)\n"
+                "time.sleep(60)\n",
+            ],
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            assert holder.stdout.readline().strip() == "held"
+            with pytest.raises(TimeoutError):
+                with cache.lock(config, timeout=0.2, poll=0.02):
+                    pass
+            holder.kill()
+            holder.wait(timeout=10)
+            with cache.lock(config, timeout=5.0):
+                pass
+        finally:
+            if holder.poll() is None:
+                holder.kill()
+                holder.wait()
+
+    def test_lock_serializes_concurrent_fillers(self, tmp_path):
+        import threading
+
+        cache = ResultCache(tmp_path)
+        config = {"session": "fill-once"}
+        computed = []
+
+        def fill(tag: str) -> None:
+            with cache.lock(config, timeout=10.0):
+                if cache.get(config) is None:
+                    time.sleep(0.05)  # widen the race window
+                    computed.append(tag)
+                    cache.put(config, {"by": tag})
+
+        threads = [
+            threading.Thread(target=fill, args=(f"t{i}",)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(computed) == 1  # exactly one filler computed
+        assert cache.get(config)["by"] == computed[0]
 
 
 @pytest.mark.slow
@@ -318,3 +411,29 @@ class TestSupervisorIntegration:
         by_session = {r["session"]: r for r in recovered}
         assert set(by_session) == {"sess-a", "sess-b", "orphan"}
         assert by_session["sess-a"]["received"] == 6
+
+
+class TestRecoverBanner:
+    """Fast, in-process coverage of the `dsspy recover` fleet banner
+    (the subprocess variant above is slow-marked)."""
+
+    def test_fleet_banner_counts_sessions_and_shards(self, tmp_path, capsys):
+        from repro.cli import main
+
+        state = tmp_path / "fleet"
+        _fabricate_session(state / shard_dir_name(0) / "ban-a", events=3)
+        _fabricate_session(state / shard_dir_name(1) / "ban-b", events=3)
+        _fabricate_session(state / shard_dir_name(1) / "ban-c", events=3)
+        assert main(["recover", str(state)]) == 0
+        out = capsys.readouterr().out
+        assert "fleet state dir: recovering 3 session(s) across 2 shard(s)" in out
+
+    def test_no_banner_for_single_daemon_layout(self, tmp_path, capsys):
+        from repro.cli import main
+
+        state = tmp_path / "solo"
+        _fabricate_session(state / "only-session", events=3)
+        assert main(["recover", str(state)]) == 0
+        out = capsys.readouterr().out
+        assert "fleet state dir" not in out
+        assert "only-session" in out
