@@ -1,0 +1,203 @@
+"""Version-skew compatibility smoke: mixed-build client/daemon pairs.
+
+A rolling fleet upgrade means old clients talk to new daemons and new
+clients talk to old daemons, sometimes for hours.  This script proves
+one direction of that skew end to end:
+
+- the daemon runs from ``--server-src`` (a checkout's ``src`` dir),
+- the client runs from ``--client-src`` (another checkout's ``src``),
+- a seeded trace is streamed, FIN'd, and the acknowledged count must
+  equal the trace length — version skew may degrade features, never
+  lose events.
+
+With ``--check-frame-skip`` (only valid when the *server* is a build
+that counts unknown frames) it additionally speaks a deliberately
+version-bumped frame type at the daemon and asserts the daemon skips
+and *counts* it in STATS instead of treating it as corruption.
+
+CI runs the matrix: old-client -> new-daemon and new-client ->
+old-daemon, with the previous main commit checked out in a worktree.
+Run it against one tree (defaults) as a self-compatibility smoke:
+
+    PYTHONPATH=src python examples/compat_smoke.py --check-frame-skip
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# The client leg runs as a subprocess under the *client* tree's
+# PYTHONPATH, so this script never imports two repro versions at once.
+CLIENT_CODE = r"""
+import json, sys
+from repro.service.client import ServiceClient
+from repro.testing.traces import generate_trace
+
+address, seed = sys.argv[1], int(sys.argv[2])
+trace = generate_trace(seed)
+client = ServiceClient(address, session_id=f"compat-{seed}")
+client.register_instances([inst.registration() for inst in trace.instances])
+window = 64
+events = trace.events
+for offset in range(0, len(events), window):
+    client.send_events(offset, events[offset : offset + window])
+ack = client.fin()
+client.close()
+proto = getattr(client, "proto_version", None)  # old builds: absent
+print(json.dumps({
+    "sent": len(events),
+    "received": ack.get("received"),
+    "has_report": ack.get("report") is not None,
+    "proto": proto,
+}))
+"""
+
+
+def start_daemon(server_src: Path, state_dir: Path) -> tuple[subprocess.Popen, str]:
+    port_file = state_dir / "port"
+    env = dict(os.environ, PYTHONPATH=str(server_src))
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--port",
+            "0",
+            "--port-file",
+            str(port_file),
+            "--state-dir",
+            str(state_dir / "state"),
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.STDOUT,
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise SystemExit(f"daemon from {server_src} exited early")
+        if port_file.exists():
+            text = port_file.read_text().strip()
+            if text:
+                return proc, f"127.0.0.1:{text}"
+        time.sleep(0.05)
+    proc.kill()
+    raise SystemExit(f"daemon from {server_src} never published its port")
+
+
+def run_client(client_src: Path, address: str, seed: int) -> dict:
+    env = dict(os.environ, PYTHONPATH=str(client_src))
+    result = subprocess.run(
+        [sys.executable, "-c", CLIENT_CODE, address, str(seed)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    if result.returncode != 0:
+        raise SystemExit(
+            f"client from {client_src} failed:\n{result.stderr[-2000:]}"
+        )
+    return json.loads(result.stdout.strip().splitlines()[-1])
+
+
+def send_unknown_frame(address: str) -> None:
+    """Speak a frame type from the future at the daemon mid-session:
+    HELLO, the bumped frame, then a HEARTBEAT that must still be ACKed."""
+    host, port = address.rsplit(":", 1)
+    with socket.create_connection((host, int(port)), timeout=10) as sock:
+
+        def send(mtype: int, payload: bytes) -> None:
+            sock.sendall(struct.pack("!I", 1 + len(payload)) + bytes([mtype]) + payload)
+
+        def recv() -> tuple[int, bytes]:
+            header = b""
+            while len(header) < 4:
+                header += sock.recv(4 - len(header))
+            (length,) = struct.unpack("!I", header)
+            body = b""
+            while len(body) < length:
+                body += sock.recv(length - len(body))
+            return body[0], body[1:]
+
+        send(1, json.dumps({"session": "compat-future-frame"}).encode())
+        mtype, _ = recv()
+        assert mtype == 2, f"expected ACK to HELLO, got frame type {mtype}"
+        send(99, b"a-frame-type-from-the-future")
+        send(5, b"{}")  # HEARTBEAT
+        mtype, _ = recv()
+        assert mtype == 2, f"unknown frame broke the session: got type {mtype}"
+
+
+def fetch_stats(address: str) -> dict:
+    from repro.service import fetch_stats as _fetch
+
+    return _fetch(address)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--server-src", default=str(REPO / "src"))
+    parser.add_argument("--client-src", default=str(REPO / "src"))
+    parser.add_argument("--seed", type=int, default=20260807)
+    parser.add_argument(
+        "--check-frame-skip",
+        action="store_true",
+        help="also send a version-bumped frame type and assert the daemon "
+        "skips-and-counts it (server must be a counting build)",
+    )
+    args = parser.parse_args()
+    server_src = Path(args.server_src).resolve()
+    client_src = Path(args.client_src).resolve()
+    print(f"compat smoke: daemon from {server_src}")
+    print(f"              client from {client_src}")
+
+    with tempfile.TemporaryDirectory(prefix="dsspy-compat-") as tmp:
+        proc, address = start_daemon(server_src, Path(tmp))
+        try:
+            outcome = run_client(client_src, address, args.seed)
+            print(f"client outcome: {outcome}")
+            if outcome["received"] != outcome["sent"]:
+                raise SystemExit(
+                    f"SKEW LOST EVENTS: acknowledged {outcome['received']} "
+                    f"of {outcome['sent']}"
+                )
+            if not outcome["has_report"]:
+                raise SystemExit("FIN ack carried no report")
+            if args.check_frame_skip:
+                send_unknown_frame(address)
+                stats = fetch_stats(address)
+                skipped = stats.get("frames_skipped", 0)
+                build = stats.get("build")
+                print(f"daemon build: {build}")
+                print(f"frames_skipped: {skipped}")
+                if skipped < 1:
+                    raise SystemExit(
+                        "daemon did not count the version-bumped frame "
+                        f"(frames_skipped={skipped})"
+                    )
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            try:
+                proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+    print("compat smoke OK: no events lost across the version skew")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,6 +32,16 @@ Subcommands:
     write) the reports — for when the crashed daemon's host is gone
     and no replacement daemon will ever replay the journals.
 
+``dsspy migrate STATE_DIR``
+    Bring journals and checkpoints written by an older dsspy build to
+    this build's on-disk format, one crash-safe file rewrite at a
+    time.  Idempotent; refuses downgrades.
+
+``dsspy fleet upgrade STATE_DIR``
+    Ask a running fleet supervisor (``dsspy serve --workers N``) to
+    roll its workers onto the current code one at a time: drain,
+    checkpoint, migrate the shard state, respawn, resume.
+
 ``dsspy selftest``
     Differential self-verification: N seeded trials, each pushing a
     randomized trace through batch analysis, the streaming engine, and
@@ -574,18 +584,52 @@ def _serve_fleet(args: argparse.Namespace) -> int:
         moved = sum(1 for m in supervisor.rebalanced if m["moved"])
         print(f"rebalanced {moved} on-disk session(s) to their assigned shards")
     print("press Ctrl-C or send SIGTERM to shut down")
+    print("send SIGHUP (or run 'dsspy fleet upgrade') for a rolling upgrade")
     stop = threading.Event()
+    upgrade_requested = threading.Event()
 
     def _handler(signum, frame):  # noqa: ARG001
         stop.set()
 
+    def _upgrade_handler(signum, frame):  # noqa: ARG001
+        upgrade_requested.set()
+
     try:
         signal.signal(signal.SIGTERM, _handler)
         signal.signal(signal.SIGINT, _handler)
+        signal.signal(signal.SIGHUP, _upgrade_handler)
     except ValueError:
         pass  # not the main thread
-    stop.wait()
-    supervisor.stop()
+    # `dsspy fleet upgrade` finds the supervisor through this pid file.
+    pid_path = Path(args.state_dir) / "supervisor.pid"
+    import os as _os
+
+    pid_path.write_text(f"{_os.getpid()}\n")
+    try:
+        while not stop.wait(0.2):
+            if not upgrade_requested.is_set():
+                continue
+            upgrade_requested.clear()
+            print("SIGHUP: rolling upgrade starting", flush=True)
+            try:
+                results = supervisor.rolling_upgrade()
+            except OSError as exc:
+                print(f"rolling upgrade failed: {exc}", file=sys.stderr)
+            else:
+                forced = sum(1 for r in results if r.get("forced"))
+                migrated = sum(1 for r in results if r.get("migrated"))
+                print(
+                    f"rolling upgrade complete: {len(results)} worker(s) "
+                    f"restarted, {migrated} shard(s) migrated"
+                    + (f", {forced} force-killed past the drain" if forced else ""),
+                    flush=True,
+                )
+    finally:
+        try:
+            pid_path.unlink()
+        except OSError:
+            pass
+        supervisor.stop()
     print("fleet shut down; all workers drained")
     return 0
 
@@ -615,7 +659,20 @@ def _cmd_sessions(args: argparse.Namespace) -> int:
         return 0
     if args.fleet or stats.get("fleet"):
         return _render_fleet_sessions(stats)
-    print(f"daemon {stats['address']}, up {stats['uptime_sec']}s")
+    build = stats.get("build") or {}
+    build_note = (
+        f" -- dsspy {build['package']}, proto {build['proto']}, "
+        f"journal v{build['journal_format']}, "
+        f"checkpoint v{build['checkpoint_format']}, kernel {build['kernel']}"
+        if build
+        else ""
+    )
+    print(f"daemon {stats['address']}, up {stats['uptime_sec']}s{build_note}")
+    if stats.get("frames_skipped"):
+        print(
+            f"unknown frame types skipped: {stats['frames_skipped']} "
+            "(newer-protocol peer; events unaffected)"
+        )
     sessions = stats["sessions"]
     if not sessions:
         print("no sessions")
@@ -623,7 +680,8 @@ def _cmd_sessions(args: argparse.Namespace) -> int:
     header = (
         f"{'session':<14} {'state':<9} {'received':>10} {'ev/s':>8} "
         f"{'dup':>6} {'decim':>6} {'spill':>6} {'skip':>5} {'defer':>6} "
-        f"{'ckpt':>5} {'refus':>5} {'stage':<8} {'inst':>5}  flagged"
+        f"{'ckpt':>5} {'refus':>5} {'stage':<8} {'press':<7} {'pr':>2} "
+        f"{'inst':>5}  flagged"
     )
     print(header)
     print("-" * len(header))
@@ -632,6 +690,7 @@ def _cmd_sessions(args: argparse.Namespace) -> int:
             f"#{iid}:{'/'.join(kinds)}" for iid, kinds in sorted(s["flagged"].items())
         ) or "-"
         state = s["state"] + ("*" if s.get("recovered") else "")
+        proto = s.get("proto")
         print(
             f"{s['session']:<14} {state:<9} {s['received']:>10} "
             f"{s['events_per_sec']:>8} {s['duplicates']:>6} {s['decimated']:>6} "
@@ -639,6 +698,8 @@ def _cmd_sessions(args: argparse.Namespace) -> int:
             f"{s.get('deferred', 0):>6} "
             f"{s.get('checkpoints', 0):>5} {s.get('refused_windows', 0):>5} "
             f"{s.get('stage', 'normal'):<8} "
+            f"{s.get('pressure', 'normal'):<7} "
+            f"{'-' if proto is None else proto:>2} "
             f"{s['instances']:>5}  {flagged}"
         )
     if any(s.get("recovered") for s in sessions):
@@ -655,9 +716,14 @@ def _render_fleet_sessions(stats: dict) -> int:
     """Fleet-shaped STATS reply (a router's aggregated view): worker
     summary plus the merged session table with a shard column."""
     workers = stats.get("workers", [])
+    drain_note = (
+        f", {stats['drain_refusals']} drain refusal(s)"
+        if stats.get("drain_refusals")
+        else ""
+    )
     print(
         f"fleet {stats['address']}: {len(workers)} workers, "
-        f"{stats.get('routed_connections', 0)} connections routed"
+        f"{stats.get('routed_connections', 0)} connections routed{drain_note}"
     )
     for row in workers:
         if "error" in row:
@@ -668,6 +734,15 @@ def _render_fleet_sessions(stats: dict) -> int:
         else:
             recovered = row.get("recovered_sessions") or []
             note = f", {len(recovered)} recovered" if recovered else ""
+            build = row.get("build") or {}
+            if build:
+                note += f", proto {build['proto']}, dsspy {build['package']}"
+            if row.get("pressure") and row["pressure"] != "normal":
+                note += f", pressure {row['pressure']}"
+            if row.get("frames_skipped"):
+                note += f", {row['frames_skipped']} unknown frame(s) skipped"
+            if row.get("draining"):
+                note += ", DRAINING"
             print(
                 f"  worker {row['worker']} at {row['address']}: "
                 f"{row['sessions']} session(s){note}"
@@ -781,23 +856,157 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
         status = "ok" if entry["ok"] else "CORRUPT"
         if entry["repaired"] or entry["quarantined"]:
             status = "repaired"
+        elif entry.get("needs_migration"):
+            status = "needs-migration"
+        versions = entry.get("versions") or {}
+        segment_versions = sorted(
+            {v for v in (versions.get("segments") or {}).values() if v is not None}
+        )
+        format_note = ""
+        if segment_versions or versions.get("checkpoint") is not None:
+            seg_part = (
+                "segments " + "/".join(f"v{v}" for v in segment_versions)
+                if segment_versions
+                else "no segments"
+            )
+            ckpt = versions.get("checkpoint")
+            ckpt_part = "no checkpoint" if ckpt is None else f"checkpoint v{ckpt}"
+            format_note = f" [{seg_part}, {ckpt_part}]"
         print(
             f"{entry['session']}: {status}, {entry['segments']} segment(s), "
             f"{len(entry['problems'])} problem(s), "
-            f"{len(entry['quarantined'])} quarantined",
+            f"{len(entry['quarantined'])} quarantined{format_note}",
             file=sys.stderr,
         )
         for problem in entry["problems"]:
             print(f"  problem: {problem}", file=sys.stderr)
+        for note in entry.get("needs_migration", []):
+            print(f"  needs-migration: {note}", file=sys.stderr)
         for action in entry["repaired"]:
             print(f"  repaired: {action}", file=sys.stderr)
+    needs_migration = report.get("needs_migration", 0)
     print(
         f"fsck {report['root']}: {report.get('checked', 0)} session(s), "
         f"{report.get('with_problems', 0)} with problems"
+        + (
+            f", {needs_migration} needing migration (run 'dsspy migrate')"
+            if needs_migration
+            else ""
+        )
         + ("" if report["ok"] else " -- NOT CLEAN"),
         file=sys.stderr,
     )
-    return 0 if report["ok"] else 1
+    # Exit codes: 0 clean, 1 damaged, 2 clean but written by a newer
+    # build (needs migration — not an integrity failure).
+    if not report["ok"]:
+        return 1
+    return 2 if needs_migration else 0
+
+
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .service.durability import FutureFormatError
+    from .service.migrate import STATE_VERSION, DowngradeError, migrate_state_dir
+
+    to = args.to if args.to is not None else STATE_VERSION
+    try:
+        report = migrate_state_dir(args.state_dir, to=to)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except DowngradeError as exc:
+        print(f"refusing to migrate: {exc}", file=sys.stderr)
+        return 2
+    except FutureFormatError as exc:
+        print(f"state written by a newer dsspy build: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(_json.dumps(report, indent=2))
+        return 0
+    for entry in report["sessions"]:
+        if entry["steps"]:
+            print(f"{entry['path']}: {' '.join(entry['steps'])}")
+        else:
+            origin = entry["from"]
+            state = "nothing versioned" if origin is None else f"v{origin}"
+            print(f"{entry['path']}: already current ({state})")
+    print(
+        f"migrate {report['root']}: {len(report['sessions'])} session(s), "
+        f"{report['migrated']} migrated to v{report['to']}"
+    )
+    return 0
+
+
+def _cmd_fleet_upgrade(args: argparse.Namespace) -> int:
+    import os
+    import signal
+    import time
+
+    pid_path = Path(args.state_dir) / "supervisor.pid"
+    try:
+        pid = int(pid_path.read_text().strip())
+    except (OSError, ValueError):
+        print(
+            f"no supervisor pid file at {pid_path} — is "
+            "'dsspy serve --workers N --state-dir ...' running?",
+            file=sys.stderr,
+        )
+        return 2
+    baseline = None
+    workers = None
+    if args.address:
+        from .service import fetch_stats
+
+        try:
+            stats = fetch_stats(args.address)
+            baseline = stats.get("upgrades", 0)
+            workers = len(stats.get("workers", []))
+        except (OSError, ValueError) as exc:
+            print(f"cannot reach fleet at {args.address}: {exc}", file=sys.stderr)
+            return 2
+    try:
+        os.kill(pid, signal.SIGHUP)
+    except ProcessLookupError:
+        print(f"supervisor pid {pid} is gone (stale {pid_path})", file=sys.stderr)
+        return 2
+    except PermissionError as exc:
+        print(f"cannot signal supervisor pid {pid}: {exc}", file=sys.stderr)
+        return 2
+    print(f"rolling upgrade requested (SIGHUP to supervisor pid {pid})")
+    if baseline is None:
+        print("pass --address to wait for completion and verify")
+        return 0
+    from .service import fetch_stats
+
+    deadline = time.monotonic() + args.timeout
+    while time.monotonic() < deadline:
+        time.sleep(0.5)
+        try:
+            stats = fetch_stats(args.address)
+        except (OSError, ValueError):
+            continue  # router briefly busy mid-respawn
+        if stats.get("upgrades", 0) >= baseline + workers:
+            print(
+                f"rolling upgrade complete: {workers} worker(s) upgraded "
+                f"({stats['upgrades']} lifetime upgrades)"
+            )
+            for row in stats.get("workers", []):
+                build = row.get("build") or {}
+                if build:
+                    print(
+                        f"  worker {row['worker']}: dsspy {build['package']}, "
+                        f"proto {build['proto']}, "
+                        f"journal v{build['journal_format']}"
+                    )
+            return 0
+    print(
+        f"timed out after {args.timeout}s waiting for {workers} worker "
+        "upgrade(s); the supervisor may still be draining — check "
+        f"'dsspy sessions {args.address}'",
+        file=sys.stderr,
+    )
+    return 1
 
 
 def _cmd_fleet_run(args: argparse.Namespace) -> int:
@@ -944,6 +1153,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         window=args.window,
         disk_fault_rate=args.disk_fault_rate,
         storm_rate=args.storm_rate,
+        upgrade_rate=args.upgrade_rate,
         fleet_workers=args.workers,
         fleet_sessions=args.sessions,
         fleet_fault_fs_spec=args.fault_fs,
@@ -992,10 +1202,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from .buildinfo import format_build_info
+
     parser = argparse.ArgumentParser(
         prog="dsspy",
         description="DSspy: locate parallelization potential in the runtime "
         "profiles of object-oriented data structures (IPDPS 2014 reproduction).",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=format_build_info(),
+        help="print package, protocol, and on-disk format versions",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -1375,6 +1593,57 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_run_p.add_argument("--json", action="store_true", help="raw JSON output")
     fleet_run_p.set_defaults(fn=_cmd_fleet_run)
 
+    migrate = sub.add_parser(
+        "migrate",
+        help="bring a state directory's journals and checkpoints to this "
+        "build's on-disk format (crash-safe, idempotent, no downgrades)",
+    )
+    migrate.add_argument(
+        "state_dir",
+        metavar="STATE_DIR",
+        help="a daemon --state-dir, a fleet state dir (shard-NN layout), "
+        "or one session directory",
+    )
+    migrate.add_argument(
+        "--to",
+        type=int,
+        default=None,
+        metavar="N",
+        help="target format generation (default: this build's current)",
+    )
+    migrate.add_argument("--json", action="store_true", help="raw JSON output")
+    migrate.set_defaults(fn=_cmd_migrate)
+
+    fleet = sub.add_parser(
+        "fleet", help="operate on a running fleet supervisor"
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_upgrade = fleet_sub.add_parser(
+        "upgrade",
+        help="rolling upgrade: drain, migrate, and respawn each worker "
+        "one at a time with zero event loss",
+    )
+    fleet_upgrade.add_argument(
+        "state_dir",
+        metavar="STATE_DIR",
+        help="the fleet's --state-dir (the supervisor pid file lives there)",
+    )
+    fleet_upgrade.add_argument(
+        "--address",
+        default=None,
+        metavar="HOST:PORT",
+        help="fleet router address; when given, wait for every worker to "
+        "come back and print the post-upgrade build per worker",
+    )
+    fleet_upgrade.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        metavar="SEC",
+        help="with --address: max seconds to wait for completion",
+    )
+    fleet_upgrade.set_defaults(fn=_cmd_fleet_upgrade)
+
     recover = sub.add_parser(
         "recover",
         help="rebuild session reports offline from a daemon state directory",
@@ -1506,6 +1775,13 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--storm-rate", type=float, default=0.3,
         help="probability a trial adds concurrent storm producers",
+    )
+    chaos.add_argument(
+        "--upgrade-rate", type=float, default=0.25,
+        help="probability a trial exercises the version-skew path: state "
+        "regressed to the previous on-disk format and migrated under "
+        "fault injection (inproc), or a mid-storm rolling worker "
+        "upgrade (fleet)",
     )
     chaos.add_argument(
         "--recovery-bound", type=float, default=15.0, metavar="SEC",

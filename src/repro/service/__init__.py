@@ -27,6 +27,7 @@ from .daemon import ProfilingDaemon
 from .durability import (
     AdmissionController,
     AdmissionStage,
+    FutureFormatError,
     RecoveredSession,
     SessionJournal,
     engine_from_dict,
@@ -35,6 +36,7 @@ from .durability import (
     merge_engines,
     recover_session_dir,
     scan_state_dir,
+    segment_version,
 )
 from .governor import (
     RESOURCE_ERRNOS,
@@ -51,9 +53,19 @@ from .fleet import (
     rebalance_state_dir,
     scan_fleet_state_dir,
 )
+from .migrate import (
+    DowngradeError,
+    STATE_VERSION,
+    migrate_session_dir,
+    migrate_state_dir,
+    session_versions,
+)
 from .protocol import (
     MAX_EVENTS_PER_FRAME,
     MAX_FRAME_BYTES,
+    PROTOCOL_FEATURES,
+    PROTOCOL_MIN_SUPPORTED,
+    PROTOCOL_VERSION,
     FrameDecoder,
     MessageType,
     ProtocolError,
@@ -63,8 +75,11 @@ from .protocol import (
     encode_events,
     encode_frame,
     encode_json,
+    negotiate_version,
+    parse_version_offer,
     recv_frame,
     send_frame,
+    version_offer,
 )
 from .router import SessionRouter, shard_for
 from .session import IngestPipeline, RateMeter, Session, SessionState
@@ -76,13 +91,19 @@ __all__ = [
     "AdmissionStage",
     "BackoffPolicy",
     "DEFAULT_RING_RECORDS",
+    "DowngradeError",
     "FleetCoordinator",
     "FleetSupervisor",
     "FrameDecoder",
+    "FutureFormatError",
     "IngestPipeline",
     "MAX_EVENTS_PER_FRAME",
     "MAX_FRAME_BYTES",
     "MessageType",
+    "PROTOCOL_FEATURES",
+    "PROTOCOL_MIN_SUPPORTED",
+    "PROTOCOL_VERSION",
+    "STATE_VERSION",
     "ProfilingDaemon",
     "ProtocolError",
     "RESOURCE_ERRNOS",
@@ -112,7 +133,11 @@ __all__ = [
     "fetch_stats",
     "fleet_run",
     "is_resource_error",
+    "migrate_session_dir",
+    "migrate_state_dir",
+    "negotiate_version",
     "parse_address",
+    "parse_version_offer",
     "merge_engine_dicts",
     "merge_engines",
     "rebalance_state_dir",
@@ -120,6 +145,9 @@ __all__ = [
     "recv_frame",
     "scan_fleet_state_dir",
     "scan_state_dir",
+    "segment_version",
     "send_frame",
+    "session_versions",
     "shard_for",
+    "version_offer",
 ]

@@ -42,8 +42,10 @@ from .protocol import (
     decode_json,
     encode_events,
     encode_json,
+    parse_version_offer,
     recv_frame,
     shm_offer,
+    version_offer,
 )
 from .shm import DEFAULT_RING_RECORDS, ShmRing
 
@@ -87,7 +89,10 @@ class ServiceClient:
         self._sock.connect(connect_arg)
         if family == socket.AF_INET:
             self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        hello: dict[str, Any] = {}
+        #: Unknown frame types skipped whole instead of erroring — a
+        #: newer daemon talking past this build (version skew).
+        self.frames_skipped = 0
+        hello: dict[str, Any] = version_offer()
         if session_id:
             hello["session"] = session_id
         if shm is not None:
@@ -98,6 +103,11 @@ class ServiceClient:
         self.resumed: bool = bool(ack.get("resumed", False))
         #: Whether the daemon attached the offered shared-memory ring.
         self.shm_accepted: bool = bool(ack.get(SHM_CAPABILITY, False))
+        # A version-1 daemon sends no version keys; parse_version_offer
+        # folds that case into (1, 1, inferred features).  The ACK's
+        # "proto" is already the daemon's negotiated pick, so the max
+        # of its range *is* the session version.
+        _, self.proto_version, self.server_features = parse_version_offer(ack)
 
     # -- plumbing --------------------------------------------------------
 
@@ -107,10 +117,17 @@ class ServiceClient:
             return self._read_ack()
 
     def _read_ack(self) -> dict[str, Any]:
-        frame = recv_frame(self._sock)
-        if frame is None:
-            raise ProtocolError("server closed the connection")
-        rtype, payload = frame
+        while True:
+            frame = recv_frame(self._sock)
+            if frame is None:
+                raise ProtocolError("server closed the connection")
+            rtype, payload = frame
+            if rtype in MessageType._NAMES:
+                break
+            # Version skew: a newer daemon sent a frame type this
+            # build does not know.  Skip it (framing is
+            # self-delimiting) and keep waiting for the reply.
+            self.frames_skipped += 1
         obj = decode_json(payload)
         if rtype == MessageType.ERROR:
             raise ProtocolError(f"server error: {obj.get('error', '?')}")
@@ -575,6 +592,13 @@ class RemoteChannel(BatchingChannel):
     @property
     def session_id(self) -> str | None:
         return self._session_id
+
+    @property
+    def proto_version(self) -> int | None:
+        """Wire-protocol version negotiated with the daemon on the
+        current connection (None while disconnected)."""
+        client = self._client
+        return client.proto_version if client is not None else None
 
     @property
     def reconnects(self) -> int:

@@ -50,12 +50,17 @@ from .durability import (
 from ..events.spill import RECORD_SIZE, unpack_records
 from .governor import RealFS, ResourceGovernor, ResourcePressure, is_resource_error
 from .protocol import (
+    PROTOCOL_FEATURES,
+    PROTOCOL_MIN_SUPPORTED,
+    PROTOCOL_VERSION,
     MessageType,
     ProtocolError,
     decode_events,
     decode_json,
     encode_json,
+    negotiate_version,
     parse_shm_offer,
+    parse_version_offer,
     recv_frame,
 )
 from .session import Session, SessionState
@@ -290,6 +295,10 @@ class ProfilingDaemon:
         self._close_lock = threading.Lock()
         self.started_at = clock.wall()
         self._shutdown = threading.Event()
+        self._drain_requested = False
+        #: Frames of a type this build does not know, skipped whole
+        #: (version-skew tolerance; framing is self-delimiting).
+        self.frames_skipped = 0
         self.recovered_sessions: list[str] = []
         if self.state_dir is not None:
             self.state_dir.mkdir(parents=True, exist_ok=True)
@@ -520,10 +529,18 @@ class ProfilingDaemon:
                             },
                         )
                     )
-                else:
+                elif mtype in MessageType._NAMES:
                     raise ProtocolError(
                         f"unexpected message type {MessageType.name(mtype)}"
                     )
+                else:
+                    # A frame type from a newer protocol than this
+                    # build speaks.  Framing is self-delimiting, so the
+                    # frame has already been consumed whole — skip it
+                    # and keep the session alive instead of treating
+                    # version skew as corruption.  Counted and surfaced
+                    # in STATS so a mixed fleet is diagnosable.
+                    self.frames_skipped += 1
         except ProtocolError as exc:
             try:
                 conn.sendall(encode_json(MessageType.ERROR, {"error": str(exc)}))
@@ -584,6 +601,25 @@ class ProfilingDaemon:
         session_id = obj.get("session") or uuid.uuid4().hex[:12]
         if not isinstance(session_id, str):
             raise ProtocolError("HELLO 'session' must be a string")
+        peer_min, peer_max, peer_features = parse_version_offer(obj)
+        proto = negotiate_version(peer_min, peer_max)
+        if proto is None:
+            # Disjoint ranges have no safe fallback; a clear refusal
+            # beats a half-understood conversation.
+            conn.sendall(
+                encode_json(
+                    MessageType.ERROR,
+                    {
+                        "error": (
+                            f"no common protocol version: client speaks "
+                            f"{peer_min}-{peer_max}, server speaks "
+                            f"{PROTOCOL_MIN_SUPPORTED}-{PROTOCOL_VERSION}"
+                        )
+                    },
+                )
+            )
+            return None
+        features = sorted(PROTOCOL_FEATURES & peer_features)
         if (
             self._admission is not None
             and self._admission.peek() >= AdmissionStage.SHED
@@ -618,7 +654,14 @@ class ProfilingDaemon:
                 resumed = False
             else:
                 resumed = session.resume()
-        shm_ok = self._attach_shm(session, parse_shm_offer(obj))
+        session.proto_version = proto
+        # shm rides the feature set: a peer that did not advertise it
+        # (or a build without it) keeps shipping EVENTS frames on the
+        # socket — graceful degradation, not an error.  _attach_shm is
+        # called either way so a previous connection's consumer is
+        # always stopped and drained before the cursor is ACKed.
+        offer = parse_shm_offer(obj) if "shm" in features else None
+        shm_ok = self._attach_shm(session, offer)
         conn.sendall(
             encode_json(
                 MessageType.ACK,
@@ -628,6 +671,9 @@ class ProfilingDaemon:
                     "resumed": resumed,
                     "recovered": session.recovered,
                     "shm": shm_ok,
+                    "proto": proto,
+                    "proto_min": PROTOCOL_MIN_SUPPORTED,
+                    "features": features,
                 },
             )
         )
@@ -741,11 +787,15 @@ class ProfilingDaemon:
     def stats(self) -> dict[str, Any]:
         with self._sessions_lock:
             sessions = list(self.sessions.values())
+        from ..buildinfo import build_info
+
         out = {
             "address": self.address,
             "uptime_sec": round(self.clock.wall() - self.started_at, 1),
             "state_dir": str(self.state_dir) if self.state_dir else None,
             "recovered_sessions": list(self.recovered_sessions),
+            "build": build_info(),
+            "frames_skipped": self.frames_skipped,
             "sessions": [s.stats() for s in sessions],
         }
         if self._admission is not None:
@@ -789,18 +839,35 @@ class ProfilingDaemon:
             try:
                 signal.signal(signal.SIGTERM, self.handle_signal)
                 signal.signal(signal.SIGINT, self.handle_signal)
-            except ValueError:
+                signal.signal(signal.SIGUSR1, self.handle_drain_signal)
+            except (ValueError, AttributeError):
                 pass  # not the main thread; caller drives shutdown
         try:
             self._shutdown.wait()
         finally:
-            self.close()
+            if self._drain_requested:
+                self.park()
+            else:
+                self.close()
 
     def handle_signal(self, signum, frame) -> None:  # noqa: ARG002
         self.shutdown()
 
+    def handle_drain_signal(self, signum, frame) -> None:  # noqa: ARG002
+        self.request_drain()
+
     def shutdown(self) -> None:
         """Request shutdown (signal-safe: just sets an event)."""
+        self._shutdown.set()
+
+    def request_drain(self) -> None:
+        """Request a journal-preserving exit (signal-safe).
+
+        ``serve_forever`` answers with :meth:`park` instead of
+        :meth:`close`: sessions are checkpointed and left on disk for
+        the next daemon generation — the exit half of a rolling
+        upgrade."""
+        self._drain_requested = True
         self._shutdown.set()
 
     def crash(self) -> None:
@@ -859,12 +926,14 @@ class ProfilingDaemon:
                 session.finish()  # idempotent; joins the pipeline worker
             session.delete_journal()
 
-    def close(self) -> None:
-        """Stop listening, flush and finalize every session, remove the
-        Unix socket file.  Idempotent and safe to call from any thread."""
+    def _quiesce_transport(self) -> bool:
+        """Common first half of :meth:`close` and :meth:`park`: stop
+        accepting, wake the worker threads, and give in-flight
+        connections a moment to drain.  Returns False when another
+        caller already closed the daemon."""
         with self._close_lock:
             if self._closed:
-                return
+                return False
             self._closed = True
         self._shutdown.set()
         try:
@@ -893,6 +962,20 @@ class ProfilingDaemon:
                 if not self._conns:
                     break
             time.sleep(0.01)
+        return True
+
+    def _remove_unix_socket(self) -> None:
+        if self.unix_socket_path is not None:
+            try:
+                self.unix_socket_path.unlink()
+            except FileNotFoundError:
+                pass
+
+    def close(self) -> None:
+        """Stop listening, flush and finalize every session, remove the
+        Unix socket file.  Idempotent and safe to call from any thread."""
+        if not self._quiesce_transport():
+            return
         with self._sessions_lock:
             sessions = list(self.sessions.values())
         for session in sessions:
@@ -904,11 +987,34 @@ class ProfilingDaemon:
             # the journals have served their purpose; only a crash
             # leaves state behind for the next daemon to recover.
             session.delete_journal()
-        if self.unix_socket_path is not None:
-            try:
-                self.unix_socket_path.unlink()
-            except FileNotFoundError:
-                pass
+        self._remove_unix_socket()
+
+    def park(self) -> None:
+        """Journal-preserving shutdown — the exit half of a rolling
+        upgrade.  Unlike :meth:`close`, unfinished sessions are *not*
+        finalized: each is quiesced under the checkpoint barrier
+        (deferred backlog drained, pipeline flushed, checkpoint
+        written) and its journal closed but kept, so the next daemon
+        generation on the same state directory resumes every session
+        at its exact ``received`` cursor.  Idempotent with close():
+        whichever runs first wins."""
+        if not self._quiesce_transport():
+            return
+        with self._sessions_lock:
+            sessions = list(self.sessions.values())
+        for session in sessions:
+            # Drain the ring first so everything the client shipped is
+            # in the session (and therefore the journal) before the
+            # parking checkpoint freezes the cursor.
+            self._stop_shm_consumer(session.session_id)
+            if session.state == SessionState.FINISHED:
+                # Report already frozen; deliver it and clean up as a
+                # normal shutdown would.
+                self._write_report(session)
+                session.delete_journal()
+            else:
+                session.park()
+        self._remove_unix_socket()
 
     def __enter__(self) -> "ProfilingDaemon":
         return self

@@ -74,7 +74,65 @@ from .governor import REAL_FS, RealFS, ResourceGovernor, is_resource_error
 from .protocol import _EVENTS_HEADER
 from .streaming import StreamingUseCaseEngine, _InstanceFold
 
-JOURNAL_MAGIC = b"DSPYWJ01"
+#: Every journal segment opens with ``DSPYWJ`` plus two ASCII digits
+#: naming the on-disk format generation that wrote it.  v1 and v2
+#: share the record layout (v2 merely stamps the generation so future
+#: record-format changes have a place to hang a migration); readers
+#: accept every generation up to :data:`JOURNAL_VERSION` and refuse
+#: newer ones with :class:`FutureFormatError` — "needs migration by a
+#: newer build", never "corrupt".
+JOURNAL_MAGIC_PREFIX = b"DSPYWJ"
+JOURNAL_VERSION = 2
+JOURNAL_MAGIC = b"DSPYWJ02"  # stamped on newly opened segments
+_MAGIC_LEN = len(JOURNAL_MAGIC)
+
+
+class FutureFormatError(RuntimeError):
+    """On-disk state written by a newer dsspy than this build.
+
+    Deliberately *not* a :class:`ValueError` subclass: recovery paths
+    that tolerate corruption (replay-from-zero, fsck damage handling)
+    must not swallow a version mismatch — refusing loudly is the whole
+    point, because "recovering" newer state would silently destroy it.
+    """
+
+
+def journal_magic(version: int) -> bytes:
+    """Segment header for format generation ``version``."""
+    if not 1 <= version <= 99:
+        raise ValueError(f"journal format version out of range: {version}")
+    return JOURNAL_MAGIC_PREFIX + b"%02d" % version
+
+
+def parse_journal_magic(header: bytes) -> int:
+    """Format generation from a segment's first 8 bytes.
+
+    Raises :class:`ValueError` for non-journal bytes and
+    :class:`FutureFormatError` for a generation newer than this build
+    understands.
+    """
+    if len(header) < _MAGIC_LEN or not header.startswith(JOURNAL_MAGIC_PREFIX):
+        raise ValueError("not a DSspy journal segment")
+    tail = header[len(JOURNAL_MAGIC_PREFIX) : _MAGIC_LEN]
+    if not tail.isdigit():
+        raise ValueError("not a DSspy journal segment")
+    version = int(tail)
+    if version < 1:
+        raise ValueError("not a DSspy journal segment")
+    if version > JOURNAL_VERSION:
+        raise FutureFormatError(
+            f"journal segment format v{version} is newer than this build "
+            f"reads (v{JOURNAL_VERSION}); run 'dsspy migrate' with the "
+            "newer build or upgrade this one"
+        )
+    return version
+
+
+def segment_version(path: str | Path, *, fs: RealFS | None = None) -> int:
+    """Format generation of one segment file on disk."""
+    data = (fs if fs is not None else REAL_FS).read_bytes(Path(path))
+    return parse_journal_magic(data[:_MAGIC_LEN])
+
 
 #: Journal record types.
 REC_REGISTER = 1
@@ -90,7 +148,12 @@ MAX_JOURNAL_PAYLOAD = 16 * 1024 * 1024
 
 _SEGMENT_GLOB = "journal-*.wal"
 _CHECKPOINT_NAME = "checkpoint.json"
-CHECKPOINT_VERSION = 1
+#: Checkpoint schema generation.  v1 lacked the ``format`` block; v2
+#: records the writing build's format versions so mixed-version state
+#: directories are diagnosable.  Readers accept v1 and v2; a newer
+#: version is a :class:`FutureFormatError`, never "replay from zero"
+#: (which would silently discard the newer engine state).
+CHECKPOINT_VERSION = 2
 
 
 # -- registration parsing (shared by daemon ingest and recovery) -------------
@@ -624,10 +687,12 @@ def scan_segment(
     """
     path = Path(path)
     data = (fs if fs is not None else REAL_FS).read_bytes(path)
-    if not data.startswith(JOURNAL_MAGIC):
-        raise ValueError(f"{path}: not a DSspy journal segment")
+    try:
+        parse_journal_magic(data[:_MAGIC_LEN])
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from None
     records: list[tuple[int, bytes]] = []
-    offset = len(JOURNAL_MAGIC)
+    offset = _MAGIC_LEN
     while offset < len(data):
         if offset + _REC_HEADER.size > len(data):
             return records, offset
@@ -692,6 +757,19 @@ def recover_session_dir(
     if ckpt_path.exists():
         try:
             state = json.loads(ckpt_path.read_text())
+            if isinstance(state, dict):
+                version = state.get("version", 0)
+                if isinstance(version, int) and version > CHECKPOINT_VERSION:
+                    # Outside this try's except net on purpose: a
+                    # future-version checkpoint must refuse recovery,
+                    # not degrade into a replay-from-zero that would
+                    # clobber the newer state on the next checkpoint.
+                    raise FutureFormatError(
+                        f"checkpoint of session {session_id} is format "
+                        f"v{version}, newer than this build reads "
+                        f"(v{CHECKPOINT_VERSION}); run 'dsspy migrate' "
+                        "with the newer build or upgrade this one"
+                    )
             engine = engine_from_dict(
                 state["engine"],
                 thresholds=thresholds,
@@ -949,7 +1027,10 @@ __all__ = [
     "AdmissionController",
     "AdmissionStage",
     "CHECKPOINT_VERSION",
+    "FutureFormatError",
     "JOURNAL_MAGIC",
+    "JOURNAL_MAGIC_PREFIX",
+    "JOURNAL_VERSION",
     "MAX_JOURNAL_PAYLOAD",
     "REC_EVENTS",
     "REC_FIN",
@@ -958,8 +1039,11 @@ __all__ = [
     "SessionJournal",
     "engine_from_dict",
     "engine_to_dict",
+    "journal_magic",
+    "parse_journal_magic",
     "parse_register_entries",
     "recover_session_dir",
     "scan_segment",
     "scan_state_dir",
+    "segment_version",
 ]

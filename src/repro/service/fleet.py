@@ -161,6 +161,7 @@ class _Worker:
     log_path: Path | None = None
     address: str = ""
     dead: bool = False  # gave up restarting (restart budget exhausted)
+    upgrading: bool = False  # intentional exit in progress: monitor hands off
 
 
 class FleetSupervisor:
@@ -228,6 +229,7 @@ class FleetSupervisor:
         self.workers: list[_Worker] = []
         self.router: SessionRouter | None = None
         self.rebalanced: list[dict[str, Any]] = []
+        self.upgrades = 0  # workers cycled through upgrade_worker
         self._stopping = False
         self._started = False
         self._lock = threading.Lock()
@@ -314,6 +316,7 @@ class FleetSupervisor:
             str(w.index): w.restarts for w in self.workers if w.restarts
         }
         out["rebalanced"] = len(self.rebalanced)
+        out["upgrades"] = self.upgrades
         return out
 
     def stop(self, graceful: bool = True, timeout: float = 15.0) -> None:
@@ -366,6 +369,98 @@ class FleetSupervisor:
         if proc is not None and proc.poll() is None:
             proc.kill()
             proc.wait(timeout=10.0)
+
+    def upgrade_worker(
+        self,
+        index: int,
+        *,
+        drain_timeout: float = 15.0,
+        migrate: bool = True,
+    ) -> dict[str, Any]:
+        """Drain, migrate, and respawn one worker — a zero-loss deploy.
+
+        The sequence is the rolling-upgrade runbook, mechanized:
+        the router stops routing new HELLOs to the shard (RETRY_AFTER,
+        so clients back off instead of erroring), the worker gets
+        SIGUSR1 (``serve_forever`` answers with
+        :meth:`~repro.service.ProfilingDaemon.park`: every session
+        checkpointed, journals closed but *kept*), the shard's state
+        is migrated to the current format, and a fresh process — the
+        new code — respawns on the same shard and port, recovering
+        every parked session at its exact cursor.
+
+        A worker that misses ``drain_timeout`` is SIGKILLed: the
+        journal's append-before-ack barrier means even a hard kill
+        loses nothing acked, the respawn merely replays instead of
+        resuming.  Returns a summary dict for ``dsspy fleet upgrade``.
+        """
+        worker = self.workers[index]
+        out: dict[str, Any] = {
+            "worker": index,
+            "drained": False,
+            "forced": False,
+            "migrated": 0,
+            "restarted": False,
+        }
+        worker.upgrading = True
+        if self.router is not None:
+            self.router.set_draining(index, True)
+        try:
+            proc = worker.proc
+            if proc is not None and proc.poll() is None:
+                try:
+                    proc.send_signal(signal.SIGUSR1)
+                except OSError:
+                    pass
+                try:
+                    proc.wait(timeout=drain_timeout)
+                    out["drained"] = True
+                except subprocess.TimeoutExpired:
+                    # The journal is the source of truth; a stuck
+                    # drain must not stall the deploy.
+                    out["forced"] = True
+                    try:
+                        proc.kill()
+                        proc.wait(timeout=10.0)
+                    except (OSError, subprocess.TimeoutExpired):
+                        pass
+            elif proc is not None:
+                out["drained"] = True  # already exited
+            if migrate:
+                from .migrate import migrate_state_dir
+
+                out["migrated"] = migrate_state_dir(worker.shard_dir)[
+                    "migrated"
+                ]
+            self._spawn(worker)
+            self._await_ready(worker)
+            out["restarted"] = True
+            if self.router is not None:
+                self.router.set_worker(index, worker.address)
+        finally:
+            worker.upgrading = False
+            if self.router is not None:
+                self.router.set_draining(index, False)
+        self.upgrades += 1
+        if self.router is not None:
+            self.router.upgrades = self.upgrades
+        return out
+
+    def rolling_upgrade(
+        self, *, drain_timeout: float = 15.0, migrate: bool = True
+    ) -> list[dict[str, Any]]:
+        """Upgrade the whole fleet one worker at a time.
+
+        Strictly serial on purpose: at most one shard is draining at
+        any moment, so fleet capacity never dips below N-1 workers and
+        a failed respawn stops the rollout with the rest of the fleet
+        untouched."""
+        return [
+            self.upgrade_worker(
+                index, drain_timeout=drain_timeout, migrate=migrate
+            )
+            for index in range(len(self.workers))
+        ]
 
     def _spawn(self, worker: _Worker, port: int = 0) -> None:
         worker.shard_dir.mkdir(parents=True, exist_ok=True)
@@ -443,6 +538,7 @@ class FleetSupervisor:
                     or proc.poll() is None
                     or self._stopping
                     or worker.dead
+                    or worker.upgrading  # intentional: upgrade respawns it
                     or not self._auto_restart
                 ):
                     continue

@@ -24,6 +24,11 @@ every layer the durability design promises:
 - **Shard ownership** — in a fleet layout, a session directory under
   ``shard-NN`` must hash there (:func:`~repro.service.router.shard_for`);
   a misplaced session would be invisible to its resuming client.
+- **Format versions** — every artifact's format generation is reported
+  (segment magic digits, checkpoint ``version``).  State written by a
+  *newer* build is classified ``needs_migration`` (CLI exit 2), never
+  "damaged" (exit 1): it is healthy data this build cannot read, and
+  repair mode refuses to touch it.
 
 The default run is strictly read-only and reports problems in a
 machine-readable dict (the CLI exits non-zero on any).  With
@@ -54,14 +59,17 @@ from typing import Any
 
 from .durability import (
     _CHECKPOINT_NAME,
+    _MAGIC_LEN,
     _SEGMENT_GLOB,
     CHECKPOINT_VERSION,
     JOURNAL_MAGIC,
     REC_EVENTS,
     REC_FIN,
+    FutureFormatError,
     _decode_events_payload,
     engine_from_dict,
     engine_to_dict,
+    parse_journal_magic,
     recover_session_dir,
     scan_segment,
     scan_state_dir,
@@ -98,6 +106,8 @@ def _check_checkpoint(session_dir: Path, session_id: str) -> dict[str, Any]:
     out: dict[str, Any] = {
         "present": False,
         "valid": False,
+        "version": None,
+        "needs_migration": False,
         "received": None,
         "applied": None,
         "problems": [],
@@ -118,10 +128,17 @@ def _check_checkpoint(session_dir: Path, session_id: str) -> dict[str, Any]:
     if missing:
         out["problems"].append(f"checkpoint missing fields: {', '.join(missing)}")
         return out
-    if state["version"] != CHECKPOINT_VERSION:
-        out["problems"].append(
-            f"checkpoint version {state['version']!r} != {CHECKPOINT_VERSION}"
-        )
+    version = state["version"]
+    if not isinstance(version, int) or version < 1:
+        out["problems"].append(f"checkpoint version invalid: {version!r}")
+        return out
+    out["version"] = version
+    if version > CHECKPOINT_VERSION:
+        # Written by a newer build.  Not damage — do not validate the
+        # (possibly changed) schema any further, and never quarantine
+        # it; the classification is "needs migration by that build".
+        out["needs_migration"] = True
+        return out
     if state["session"] != session_id:
         out["problems"].append(
             f"checkpoint names session {state['session']!r}, directory is "
@@ -159,9 +176,16 @@ def fsck_session_dir(directory: str | Path, *, repair: bool = False) -> dict[str
     problems: list[str] = []
     quarantined: list[str] = []
     repaired: list[str] = []
+    needs_migration: list[str] = []
+    segment_versions: dict[str, int | None] = {}
 
     ckpt = _check_checkpoint(directory, session_id)
     problems.extend(ckpt["problems"])
+    if ckpt["needs_migration"]:
+        needs_migration.append(
+            f"checkpoint is format v{ckpt['version']}, newer than this "
+            f"build reads (v{CHECKPOINT_VERSION})"
+        )
 
     segments = sorted(directory.glob(_SEGMENT_GLOB))
     # First pass: find the first damaged segment (bad magic, or a torn
@@ -170,6 +194,21 @@ def fsck_session_dir(directory: str | Path, *, repair: bool = False) -> dict[str
     torn_tail: tuple[Path, int] | None = None
     scanned: list[tuple[Path, list[tuple[int, bytes]]]] = []
     for i, segment in enumerate(segments):
+        try:
+            segment_versions[segment.name] = parse_journal_magic(
+                segment.read_bytes()[:_MAGIC_LEN]
+            )
+        except FutureFormatError:
+            # A newer build's segment: not damage, not scannable here.
+            # Continuity past it cannot be checked, so stop the scan —
+            # the classification is "needs migration", never a repair.
+            segment_versions[segment.name] = None
+            needs_migration.append(
+                f"{segment.name}: segment format newer than this build reads"
+            )
+            break
+        except (ValueError, OSError):
+            segment_versions[segment.name] = None  # scan below reports it
         try:
             records, torn_offset = scan_segment(segment)
         except (ValueError, OSError) as exc:
@@ -224,6 +263,11 @@ def fsck_session_dir(directory: str | Path, *, repair: bool = False) -> dict[str
             cursor = max(cursor, start + len(raws))
             received = max(received, start + len(raws))
 
+    if repair and needs_migration:
+        # Never "repair" state a newer build wrote: quarantining or
+        # rebuilding it would destroy data this build cannot read.
+        # Migrate first (with the newer build), then fsck again.
+        repair = False
     if repair:
         if damaged_from is not None:
             # Quarantine the damaged segment AND everything after it:
@@ -281,7 +325,15 @@ def fsck_session_dir(directory: str | Path, *, repair: bool = False) -> dict[str
         "finished": finished,
         "segments": len(segments),
         "received": received,
-        "checkpoint": {k: ckpt[k] for k in ("present", "valid", "received", "applied")},
+        "checkpoint": {
+            k: ckpt[k]
+            for k in ("present", "valid", "version", "received", "applied")
+        },
+        "versions": {
+            "segments": segment_versions,
+            "checkpoint": ckpt["version"],
+        },
+        "needs_migration": needs_migration,
         "problems": problems,
         "quarantined": quarantined,
         "repaired": repaired,
@@ -346,6 +398,9 @@ def fsck_state_dir(
         1 for s in report["sessions"] if s["problems"]
     )
     report["quarantined"] = sum(len(s["quarantined"]) for s in report["sessions"])
+    report["needs_migration"] = sum(
+        1 for s in report["sessions"] if s["needs_migration"]
+    )
     return report
 
 

@@ -175,6 +175,85 @@ def decode_json(payload: bytes) -> dict[str, Any]:
     return obj
 
 
+# -- protocol version negotiation --------------------------------------------
+
+#: Current wire-protocol version of this build.  Version 1 is the
+#: pre-negotiation protocol (no version keys in HELLO/ACK at all);
+#: version 2 added explicit negotiation, the feature-flag set, and
+#: skip-and-count handling of unknown frame types.  Bump this (and add
+#: an entry to the compatibility table in ``docs/architecture.md``)
+#: whenever a frame type or payload schema changes.
+PROTOCOL_VERSION = 2
+
+#: Oldest peer version this build still speaks.  Raising this drops
+#: compatibility with old clients/daemons — a fleet must finish its
+#: rolling upgrade through every intermediate version first.
+PROTOCOL_MIN_SUPPORTED = 1
+
+#: Optional features this build implements, advertised in HELLO/ACK
+#: alongside the version range.  Both sides use the *intersection*;
+#: a feature missing on either side is silently not used (graceful
+#: degradation), never an error.
+PROTOCOL_FEATURES = frozenset({"shm", "snapshot", "journaled", "retry-after"})
+
+
+def version_offer() -> dict[str, Any]:
+    """HELLO/ACK payload fragment advertising this build's versions.
+
+    Merged into the HELLO (client side) and echoed, with the
+    *negotiated* version, in the ACK (daemon side).  Version-1 peers
+    ignore the unknown keys, which is exactly the degradation we want.
+    """
+    return {
+        "proto": PROTOCOL_VERSION,
+        "proto_min": PROTOCOL_MIN_SUPPORTED,
+        "features": sorted(PROTOCOL_FEATURES),
+    }
+
+
+def parse_version_offer(obj: dict[str, Any]) -> tuple[int, int, frozenset[str]]:
+    """Extract ``(min, max, features)`` from a HELLO or ACK payload.
+
+    A payload without version keys is a version-1 peer (the protocol
+    predating negotiation); its feature set is inferred from the
+    legacy capability keys it *did* send (an old client offering
+    ``shm`` still gets its ring).  Malformed version keys raise
+    :class:`ProtocolError` — a peer that speaks the schema but gets it
+    wrong is a bug, not a legacy peer.
+    """
+    proto = obj.get("proto")
+    if proto is None:
+        features = {"shm"} if SHM_CAPABILITY in obj else set()
+        return 1, 1, frozenset(features)
+    if not isinstance(proto, int) or proto < 1:
+        raise ProtocolError("HELLO 'proto' must be a positive integer")
+    proto_min = obj.get("proto_min", 1)
+    if not isinstance(proto_min, int) or not 1 <= proto_min <= proto:
+        raise ProtocolError("HELLO 'proto_min' must be an int in [1, proto]")
+    raw_features = obj.get("features", [])
+    if not isinstance(raw_features, list) or not all(
+        isinstance(f, str) for f in raw_features
+    ):
+        raise ProtocolError("HELLO 'features' must be a list of strings")
+    return proto_min, proto, frozenset(raw_features)
+
+
+def negotiate_version(
+    peer_min: int,
+    peer_max: int,
+    *,
+    local_min: int = PROTOCOL_MIN_SUPPORTED,
+    local_max: int = PROTOCOL_VERSION,
+) -> int | None:
+    """Highest version both ranges contain, or ``None`` when the
+    ranges are disjoint (the caller reports a clear error — there is
+    no safe fallback once a peer's *minimum* is above our maximum)."""
+    high = min(peer_max, local_max)
+    if high < max(peer_min, local_min):
+        return None
+    return high
+
+
 # -- HELLO capabilities ------------------------------------------------------
 
 #: HELLO payload key under which a client offers the shared-memory ring

@@ -79,6 +79,13 @@ class SessionRouter:
             raise ValueError("a router needs at least one worker address")
         self._workers = list(workers)
         self._workers_lock = threading.Lock()
+        self._draining: set[int] = set()
+        self.drain_refusals = 0  # HELLOs turned away from draining shards
+        self.drain_retry_after = 0.5
+        #: Workers cycled through an upgrade — maintained by the
+        #: supervisor so wire STATS readers (``dsspy fleet upgrade
+        #: --address``) can watch a rolling upgrade converge.
+        self.upgrades = 0
         self._connect_timeout = connect_timeout
         self._closed = False
         self._close_lock = threading.Lock()
@@ -111,9 +118,27 @@ class SessionRouter:
         with self._workers_lock:
             self._workers[index] = address
 
+    def set_draining(self, index: int, draining: bool) -> None:
+        """Mark one shard as draining for a rolling upgrade.
+
+        While marked, new HELLOs hashing to that shard are answered
+        with RETRY_AFTER instead of being routed — clients back off
+        and land after the respawned worker is serving again.
+        Connections already pumped are left alone; the worker's own
+        drain quiesces them."""
+        with self._workers_lock:
+            if draining:
+                self._draining.add(index)
+            else:
+                self._draining.discard(index)
+
     def worker_for(self, session_id: str) -> str:
         with self._workers_lock:
             return self._workers[shard_for(session_id, len(self._workers))]
+
+    def _drain_check(self, session_id: str) -> bool:
+        with self._workers_lock:
+            return shard_for(session_id, len(self._workers)) in self._draining
 
     # -- accept / dispatch -----------------------------------------------
 
@@ -193,6 +218,21 @@ class SessionRouter:
             obj["session"] = session_id
         elif not isinstance(session_id, str):
             raise ProtocolError("HELLO 'session' must be a string")
+        if self._drain_check(session_id):
+            # The shard is mid-upgrade: refuse with the same contract
+            # the admission ladder uses, so the client's existing
+            # backoff machinery handles the deploy for free.
+            self.drain_refusals += 1
+            try:
+                conn.sendall(
+                    encode_json(
+                        MessageType.RETRY_AFTER,
+                        {"retry_after": self.drain_retry_after},
+                    )
+                )
+            except OSError:
+                pass
+            return None
         address = self.worker_for(session_id)
         try:
             upstream = _dial(address, self._connect_timeout)
@@ -243,14 +283,24 @@ class SessionRouter:
             else:
                 row["sessions"] = len(stats["sessions"])
                 row["recovered_sessions"] = stats.get("recovered_sessions", [])
+                row["build"] = stats.get("build")
+                row["frames_skipped"] = stats.get("frames_skipped", 0)
+                governor = stats.get("admission", {}).get(
+                    "governor", stats.get("governor", {})
+                )
+                row["pressure"] = governor.get("pressure_stage")
                 for entry in stats["sessions"]:
                     entry["worker"] = index
                     sessions.append(entry)
+            with self._workers_lock:
+                row["draining"] = index in self._draining
             worker_rows.append(row)
         return {
             "address": self.address,
             "fleet": True,
             "routed_connections": self.routed,
+            "drain_refusals": self.drain_refusals,
+            "upgrades": self.upgrades,
             "workers": worker_rows,
             "sessions": sessions,
         }

@@ -334,6 +334,9 @@ class Session:
         self.recovered = False
         self._governor = governor
         self.last_stage = 0  # AdmissionStage.NORMAL
+        #: Wire-protocol version negotiated with the client currently
+        #: attached to this session (None until a HELLO negotiates).
+        self.proto_version: int | None = None
         self.journal = journal
         self._checkpoint_every = checkpoint_every
         self._last_checkpoint = 0
@@ -523,6 +526,7 @@ class Session:
             self._governor.note_compaction()
 
     def _checkpoint_state(self) -> dict[str, Any]:
+        from ..buildinfo import build_info
         from .durability import CHECKPOINT_VERSION, engine_to_dict
 
         return {
@@ -531,6 +535,10 @@ class Session:
             "received": self.received,
             "applied": self.applied,
             "duplicates": self.duplicates,
+            # v2: which build (and which format generations) wrote
+            # this checkpoint — the first thing to look at when a
+            # mixed-version fleet misbehaves.
+            "format": build_info(),
             "engine": engine_to_dict(self.engine),
         }
 
@@ -623,6 +631,37 @@ class Session:
             if self.journal is not None:
                 self.journal.close()
 
+    def park(self) -> None:
+        """Quiesce for a rolling upgrade: drain the deferred backlog,
+        flush the pipeline, write a final checkpoint under the same
+        barrier discipline as :meth:`_maybe_checkpoint_locked`, and
+        close the journal *without* deleting it.  The next daemon
+        generation resumes from the checkpoint (plus any journal tail)
+        with the exact ``received`` cursor, so clients reconnecting
+        after the upgrade retransmit nothing they do not have to.
+
+        Best-effort by design: a flush timeout or a failing disk skips
+        the checkpoint — the journal already holds every accepted
+        window, so recovery replays instead of resuming, trading
+        restart latency for zero loss."""
+        with self._lock:
+            if self.state == SessionState.FINISHED:
+                # Report already frozen (and FIN journaled); finish()
+                # closed the journal. Nothing to quiesce.
+                return
+            try:
+                self._drain_deferred_locked()
+                self.pipeline.close()
+                if self.journal is not None:
+                    self.journal.checkpoint(self._checkpoint_state())
+            except (OSError, TimeoutError):
+                self.pipeline.abort()
+            finally:
+                if self.journal is not None:
+                    self.journal.close()
+                self.state = SessionState.DETACHED
+                self.detached_at = self._clock.monotonic()
+
     def delete_journal(self) -> None:
         """Remove the session's on-disk journal (eviction/cleanup)."""
         if self.journal is not None:
@@ -684,6 +723,12 @@ class Session:
                 ),
                 "journaled": self.journal is not None,
                 "recovered": self.recovered,
+                "proto": self.proto_version,
+                "pressure": AdmissionStage.name(
+                    self._governor.pressure_stage()
+                    if self._governor is not None
+                    else 0
+                ),
                 "stage": AdmissionStage.name(self.last_stage),
                 "flagged": {
                     str(iid): kinds for iid, kinds in engine.flagged_kinds().items()

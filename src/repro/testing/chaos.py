@@ -35,6 +35,15 @@ operator: after :attr:`ChaosSoak.relieve_after` consecutive refusals it
 calls ``fs.relieve()`` ("disk freed") and lets the governor's pressure
 decay bring the daemon back — which exercises exactly the
 degrade-then-recover path the ladder exists for.
+
+The ``upgrade`` fault (:attr:`ChaosSoak.upgrade_rate`) replays a
+version-skewed deploy mid-trial.  Inproc: the daemon generation is
+parked (drain + checkpoint), its state dir regressed to the previous
+on-disk format, ``migrate`` run — often first under a hostile FaultFS
+that dies mid-rewrite, the stand-in for SIGKILL during ``dsspy
+migrate`` — then finished clean, and the next generation boots on the
+migrated state.  Fleet: a real :meth:`FleetSupervisor.rolling_upgrade`
+runs while sessions stream.  Either way the ledger must balance.
 """
 
 from __future__ import annotations
@@ -54,6 +63,7 @@ from ..service.client import ServiceClient, fetch_stats
 from ..service.daemon import ProfilingDaemon
 from ..service.fleet import FleetSupervisor
 from ..service.fsck import fsck_state_dir
+from ..service.migrate import migrate_state_dir
 from ..service.protocol import ProtocolError, RetryAfterError
 from .faults import FAULT_KINDS, FaultFS, FaultPlan, FaultProxy
 from .oracle import (
@@ -70,6 +80,57 @@ DISK_SEED_SALT = 0xD15C_0BAD
 
 #: Mixed into the trial seed for storm-producer traces.
 STORM_SEED_SALT = 0x57012_AB
+
+#: Mixed into the trial seed for the upgrade fault's own randomness
+#: (mid-migration fault profile), independent of the other schedules.
+UPGRADE_SEED_SALT = 0x06_AD_E5
+
+
+def regress_state_dir_to_v1(root: str | Path) -> int:
+    """TEST SCAFFOLDING: rewrite a state directory the way the
+    previous (v1) dsspy generation left it — v1 segment magics and v1
+    checkpoints without the ``format`` block.  Real old builds write
+    this shape natively; the chaos ``upgrade`` fault regresses fresh
+    state so every soak trial hands ``migrate`` genuinely old input.
+    Returns the number of files rewritten."""
+    from ..service.durability import (
+        _CHECKPOINT_NAME,
+        _MAGIC_LEN,
+        _SEGMENT_GLOB,
+        journal_magic,
+        parse_journal_magic,
+    )
+    from ..service.fleet import scan_fleet_state_dir
+
+    root = Path(root)
+    if any(root.glob(_SEGMENT_GLOB)) or (root / _CHECKPOINT_NAME).exists():
+        session_dirs = [root]
+    else:
+        session_dirs = scan_fleet_state_dir(root)
+    rewritten = 0
+    for directory in session_dirs:
+        for segment in sorted(directory.glob(_SEGMENT_GLOB)):
+            data = segment.read_bytes()
+            try:
+                version = parse_journal_magic(data[:_MAGIC_LEN])
+            except ValueError:
+                continue  # damaged header stays damaged
+            if version <= 1:
+                continue
+            segment.write_bytes(journal_magic(1) + data[_MAGIC_LEN:])
+            rewritten += 1
+        ckpt = directory / _CHECKPOINT_NAME
+        if ckpt.exists():
+            try:
+                state = json.loads(ckpt.read_text())
+            except (OSError, ValueError):
+                continue
+            if isinstance(state, dict) and state.get("version", 1) != 1:
+                state["version"] = 1
+                state.pop("format", None)
+                ckpt.write_text(json.dumps(state, separators=(",", ":")))
+                rewritten += 1
+    return rewritten
 
 
 def _accounted_refusals(stats: dict[str, Any]) -> int:
@@ -200,6 +261,7 @@ class ChaosTrialResult:
     sessions: int = 1
     faults_injected: int = 0
     kills: int = 0
+    upgrades: int = 0
     refusals_observed: int = 0
     refusals_accounted: int = 0
     recovery_times: list[float] = field(default_factory=list)
@@ -219,6 +281,7 @@ class ChaosTrialResult:
             "sessions": self.sessions,
             "faults_injected": self.faults_injected,
             "kills": self.kills,
+            "upgrades": self.upgrades,
             "refusals_observed": self.refusals_observed,
             "refusals_accounted": self.refusals_accounted,
             "recovery_times": [round(t, 4) for t in self.recovery_times],
@@ -232,6 +295,7 @@ class ChaosTrialResult:
         lines = [
             f"trial seed={self.seed}: {status} ({self.events} events, "
             f"{self.faults_injected} faults, {self.kills} kills, "
+            f"{self.upgrades} upgrades, "
             f"{self.refusals_observed} refusals, {self.elapsed:.2f}s)"
         ]
         lines.extend(f"  {v}" for v in self.violations)
@@ -271,6 +335,7 @@ class ChaosSoak:
         retry_after: float = 0.05,
         disk_fault_rate: float = 0.6,
         storm_rate: float = 0.3,
+        upgrade_rate: float = 0.0,
         max_storm_producers: int = 3,
         relieve_after: int = 3,
         state_budget: int | None = None,
@@ -293,6 +358,7 @@ class ChaosSoak:
         self.retry_after = retry_after
         self.disk_fault_rate = disk_fault_rate
         self.storm_rate = storm_rate
+        self.upgrade_rate = upgrade_rate
         self.max_storm_producers = max_storm_producers
         self.relieve_after = relieve_after
         self.state_budget = state_budget
@@ -511,10 +577,70 @@ class ChaosSoak:
         observed = 0
         received = 0
         accounted = 0
+        # No rng draws unless the fault is enabled: upgrade_rate=0 must
+        # leave the seeded fault/storm stream byte-identical to builds
+        # that predate the upgrade fault.
+        want_upgrade = self.upgrade_rate > 0 and rng.random() < self.upgrade_rate
+        upgrade_delay = rng.uniform(0.05, 0.4) if self.upgrade_rate > 0 else 0.0
+        upgrades = [0]
+        upgrade_violations: list[str] = []
         try:
             with FaultProxy(
                 daemon_box["d"].address, plan, on_kill=on_kill
             ) as proxy:
+                upgrade_thread: threading.Thread | None = None
+                if want_upgrade:
+
+                    def do_upgrade() -> None:
+                        # Inproc flavor of a rolling upgrade: park the
+                        # running generation, regress its state dir to
+                        # the previous format (stand-in for "the old
+                        # build wrote this"), migrate — often first
+                        # under a hostile FaultFS that dies mid-rewrite,
+                        # like SIGKILL during `dsspy migrate` — then
+                        # finish the migration clean and boot the next
+                        # generation on the result.  The kill lock
+                        # serializes against kill faults: nothing else
+                        # may crash or replace the generation while the
+                        # state dir is mid-surgery.
+                        time.sleep(upgrade_delay)
+                        with kill_lock:
+                            old = daemon_box["d"]
+                            try:
+                                old.park()
+                            except Exception:
+                                old.crash()  # journal is the truth
+                            try:
+                                regress_state_dir_to_v1(state_dir)
+                                urng = random.Random(seed ^ UPGRADE_SEED_SALT)
+                                if urng.random() < 0.6:
+                                    hostile = FaultFS(
+                                        enospc_after_bytes=urng.randrange(64, 4096),
+                                        partial_writes=urng.random() < 0.7,
+                                    )
+                                    try:
+                                        migrate_state_dir(state_dir, fs=hostile)
+                                    except OSError:
+                                        pass  # the killed-mid-migration half
+                                migrate_state_dir(state_dir)
+                            except Exception as exc:
+                                upgrade_violations.append(
+                                    f"upgrade migration failed: {exc!r}"
+                                )
+                            t0 = time.monotonic()
+                            try:
+                                daemon_box["d"] = make_daemon()
+                            except Exception as exc:
+                                upgrade_violations.append(
+                                    f"post-upgrade generation failed to boot: {exc!r}"
+                                )
+                                return
+                            proxy.upstream_address = daemon_box["d"].address
+                            recovery_times.append(time.monotonic() - t0)
+                            upgrades[0] += 1
+
+                    upgrade_thread = threading.Thread(target=do_upgrade, daemon=True)
+                    upgrade_thread.start()
                 storm_threads: list[threading.Thread] = []
                 if rng.random() < self.storm_rate:
                     for i in range(rng.randint(1, self.max_storm_producers)):
@@ -552,6 +678,13 @@ class ChaosSoak:
                     th.join(timeout=60.0)
                     if th.is_alive():
                         storm_violations.append("storm producer still running")
+                if upgrade_thread is not None:
+                    # The upgrade may outlive the ship (short traces):
+                    # wait for it so the final ledger sum, fsck, and
+                    # cleanup see a settled state dir.
+                    upgrade_thread.join(timeout=60.0)
+                    if upgrade_thread.is_alive():
+                        upgrade_violations.append("upgrade fault still running")
 
             # Ship threads have joined, so every observed refusal's
             # counter increment (which strictly precedes the RETRY-AFTER
@@ -571,6 +704,7 @@ class ChaosSoak:
                 fsck_report=fsck_report,
             )
             violations += storm_violations
+            violations += upgrade_violations
         except Exception as exc:
             violations.append(f"trial aborted: {exc!r}")
         finally:
@@ -617,6 +751,7 @@ class ChaosSoak:
             sessions=1,
             faults_injected=len(plan.injected),
             kills=kills,
+            upgrades=upgrades[0],
             refusals_observed=observed + storm_observed[0],
             refusals_accounted=accounted,
             recovery_times=recovery_times,
@@ -684,6 +819,11 @@ class ChaosSoak:
         accounted = 0
         fsck_report: dict[str, Any] | None = None
         merged: dict[str, Any] | None = None
+        # As in the inproc trial: zero rng draws when disabled.
+        want_upgrade = self.upgrade_rate > 0 and rng.random() < self.upgrade_rate
+        upgrade_delay = rng.uniform(0.1, 0.6) if self.upgrade_rate > 0 else 0.0
+        upgrades = [0]
+        upgrade_violations: list[str] = []
         try:
             with FaultProxy(sup.address, plan, on_kill=on_kill) as proxy:
                 session_violations: list[str] = []
@@ -719,11 +859,46 @@ class ChaosSoak:
                 ]
                 for th in threads:
                     th.start()
+                upgrade_thread: threading.Thread | None = None
+                if want_upgrade:
+
+                    def do_upgrade() -> None:
+                        # A real rolling upgrade mid-storm.  Each
+                        # worker's ledger dies with its process, so
+                        # snapshot every worker's accounted refusals
+                        # first (same carry as the kill path).  The
+                        # kill lock keeps kill faults from SIGKILLing
+                        # a worker the supervisor is mid-upgrade on.
+                        time.sleep(upgrade_delay)
+                        with kill_lock:
+                            for addr in sup.worker_addresses():
+                                try:
+                                    accounted_carry[0] += _accounted_refusals(
+                                        fetch_stats(addr)
+                                    )
+                                except Exception:
+                                    pass
+                            try:
+                                results = sup.rolling_upgrade(drain_timeout=10.0)
+                            except Exception as exc:
+                                upgrade_violations.append(
+                                    f"rolling upgrade failed: {exc!r}"
+                                )
+                            else:
+                                upgrades[0] += len(results)
+
+                    upgrade_thread = threading.Thread(target=do_upgrade, daemon=True)
+                    upgrade_thread.start()
                 for th in threads:
                     th.join(timeout=120.0)
                     if th.is_alive():
                         session_violations.append("fleet session still running")
+                if upgrade_thread is not None:
+                    upgrade_thread.join(timeout=120.0)
+                    if upgrade_thread.is_alive():
+                        upgrade_violations.append("rolling upgrade still running")
                 violations += session_violations
+                violations += upgrade_violations
                 # A kill near the end of shipping may leave the worker
                 # mid-restart; the merge must see the whole fleet, so
                 # wait (bounded) for every worker to answer STATS.
@@ -742,13 +917,27 @@ class ChaosSoak:
                 except Exception:
                     pass
             accounted += accounted_carry[0]
+            # Drain refusals (RETRY_AFTER for a draining shard) are
+            # accounted on the router, not any worker.
+            try:
+                accounted += int(fetch_stats(sup.address).get("drain_refusals", 0))
+            except Exception:
+                pass
 
             violations += self.monitor.check_counts(total_events, received_total[0])
-            violations += self._check_merged(batches, merged)
-            # Refusal ledger is advisory once workers were SIGKILLed:
-            # refusals landing between the pre-kill snapshot and the
-            # kill itself are legitimately lost with the process.
-            if kills[0] == 0:
+            # The coordinator merges *lingering* sessions.  A rolling
+            # upgrade evicts finished-and-lingering sessions exactly
+            # like linger expiry does (their reports were delivered at
+            # FIN — the per-session report check above already proved
+            # them), so the cross-session merge is only checkable when
+            # no upgrade ran.
+            if upgrades[0] == 0:
+                violations += self._check_merged(batches, merged)
+            # Refusal ledger is advisory once workers were SIGKILLed or
+            # upgraded: refusals landing between the pre-kill/pre-drain
+            # snapshot and the process exit are legitimately lost with
+            # the process.
+            if kills[0] == 0 and upgrades[0] == 0:
                 violations += self.monitor.check_ledger(observed_total[0], accounted)
             violations += self.monitor.check_recovery(recovery_log)
 
@@ -778,6 +967,7 @@ class ChaosSoak:
             sessions=self.fleet_sessions,
             faults_injected=len(plan.injected),
             kills=kills[0],
+            upgrades=upgrades[0],
             refusals_observed=observed_total[0],
             refusals_accounted=accounted,
             recovery_times=recovery_log,
@@ -908,6 +1098,7 @@ class ChaosSoak:
             "events": sum(r.events for r in results),
             "faults_injected": sum(r.faults_injected for r in results),
             "kills": sum(r.kills for r in results),
+            "upgrades": sum(r.upgrades for r in results),
             "refusals_observed": sum(r.refusals_observed for r in results),
             "refusals_accounted": sum(r.refusals_accounted for r in results),
             "max_recovery": round(
@@ -930,7 +1121,9 @@ class ChaosSoak:
 __all__ = [
     "DISK_SEED_SALT",
     "STORM_SEED_SALT",
+    "UPGRADE_SEED_SALT",
     "ChaosSoak",
     "ChaosTrialResult",
     "InvariantMonitor",
+    "regress_state_dir_to_v1",
 ]

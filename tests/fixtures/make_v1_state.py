@@ -1,0 +1,61 @@
+"""Generator for the committed ``state_v1`` fixture.
+
+Run once against the pre-version-negotiation tree (journal magic
+``DSPYWJ01``, checkpoint version 1) to produce a state directory in
+the old on-disk format::
+
+    PYTHONPATH=src python tests/fixtures/make_v1_state.py
+
+The output is committed verbatim; tests migrate a *copy* of it with
+``dsspy migrate``, verify it with ``dsspy fsck``, and compare the
+replayed report against batch analysis of the identical seeded trace
+(`generate_trace` is a pure function of its seed, so the events need
+not be stored alongside the journal).
+
+Do not regenerate with a newer tree — the whole point of the fixture
+is that it was written by the old format.
+"""
+
+from __future__ import annotations
+
+import shutil
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
+
+from repro.service import SessionJournal, StreamingUseCaseEngine  # noqa: E402
+from repro.service.session import Session  # noqa: E402
+from repro.testing import generate_trace  # noqa: E402
+
+#: (session id, trace seed) pairs — mirrored by the migration test.
+SESSIONS = (("fixture-a", 1005), ("fixture-b", 1006))
+WINDOW = 64
+
+
+def main() -> None:
+    root = Path(__file__).resolve().parent / "state_v1"
+    if root.exists():
+        shutil.rmtree(root)
+    for session_id, seed in SESSIONS:
+        trace = generate_trace(seed)
+        journal = SessionJournal(root / session_id, segment_max_bytes=16 * 1024)
+        session = Session(
+            session_id,
+            StreamingUseCaseEngine(),
+            journal=journal,
+            checkpoint_every=128,
+        )
+        for inst in trace.instances:
+            session.register(inst.instance_id, inst.kind, None, inst.label)
+        for offset in range(0, len(trace.events), WINDOW):
+            session.ingest(offset, trace.events[offset : offset + WINDOW])
+        # No FIN: the fixture mimics sessions interrupted mid-stream
+        # (the case a rolling upgrade must carry across formats).
+        session.abandon()
+    for path in sorted(root.rglob("*")):
+        print(path.relative_to(root.parent), path.stat().st_size if path.is_file() else "dir")
+
+
+if __name__ == "__main__":
+    main()

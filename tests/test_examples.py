@@ -58,6 +58,13 @@ class TestExamples:
         assert "[OK] Mandelbrot" in out
         assert "contended" in out
 
+    def test_compat_smoke_self(self):
+        # CI crosses builds (compat-matrix job); here both trees are
+        # this one — the harness itself must stay green.
+        out = run_example("compat_smoke.py", "--check-frame-skip")
+        assert "compat smoke OK" in out
+        assert "frames_skipped: 1" in out
+
     @pytest.mark.slow
     def test_reproduce_paper(self):
         out = run_example("reproduce_paper.py", "0.08", timeout=600)

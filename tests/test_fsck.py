@@ -79,6 +79,7 @@ class TestCleanSessions:
         assert report["ok"]
         assert report["checkpoint"] == {
             "present": True, "valid": True, "received": events, "applied": events,
+            "version": CHECKPOINT_VERSION,
         }
 
     def test_repair_on_clean_directory_changes_nothing(self, tmp_path):
